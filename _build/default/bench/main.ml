@@ -1,0 +1,428 @@
+(* Benchmark harness regenerating every table and figure of the
+   paper's evaluation (Sec. VI), plus ablations for the design choices
+   called out in DESIGN.md.
+
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe table1       -- Table I only
+     dune exec bench/main.exe fig1         -- workflow-stage timings
+     dune exec bench/main.exe fig2         -- Req-17 syntax tree
+     dune exec bench/main.exe ablations    -- ablation studies
+     dune exec bench/main.exe localize     -- localization scaling
+
+   Timing methodology: each Table I row is a Bechamel [Test.make]
+   measuring the stage-2 realizability check (the quantity the paper's
+   "time(s)" column reports); absolute numbers are machine-dependent —
+   the reproduction targets the *shape* (which rows are slow, who is
+   consistent). *)
+
+open Bechamel
+open Speccc_logic
+open Speccc_core
+open Speccc_synthesis
+open Speccc_partition
+open Speccc_casestudies
+
+(* ---------- bechamel plumbing ---------- *)
+
+let measure_tests tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~stabilize:false
+      ~quota:(Time.second 1.0) ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"g" tests) in
+  let results = Analyze.all ols (List.hd instances) raw in
+  fun name ->
+    match Hashtbl.find_opt results ("g/" ^ name) with
+    | None -> nan
+    | Some est ->
+      (match Analyze.OLS.estimates est with
+       | Some [ ns ] -> ns /. 1e9
+       | Some _ | None -> nan)
+
+(* ---------- shared preparation ---------- *)
+
+type prepared_row = {
+  row : Table1.row;
+  formulas : Ltl.t list;
+  partition : Partition.t;
+}
+
+let sym_options =
+  { (Pipeline.default_options ()) with
+    Pipeline.engine = Realizability.Symbolic }
+
+let prepare_row row =
+  match row.Table1.source with
+  | Table1.Sentences texts ->
+    let outcome = Pipeline.run ~options:sym_options texts in
+    {
+      row;
+      formulas = outcome.Pipeline.formulas;
+      partition = outcome.Pipeline.partition.Partition.partition;
+    }
+  | Table1.Formulas (formulas, inputs, outputs) ->
+    { row; formulas; partition = { Partition.inputs; outputs } }
+
+let check_prepared prepared =
+  Realizability.check ~engine:Realizability.Symbolic
+    ~inputs:prepared.partition.Partition.inputs
+    ~outputs:prepared.partition.Partition.outputs prepared.formulas
+
+let verdict_string = function
+  | Realizability.Consistent -> "consistent"
+  | Realizability.Inconsistent -> "INCONSISTENT"
+  | Realizability.Inconclusive _ -> "fails (pre-fix)"
+
+(* ---------- Table I ---------- *)
+
+let table1 () =
+  Format.printf "@.== Table I: experimental results ==@.";
+  Format.printf
+    "(times are Bechamel OLS estimates of the realizability check)@.@.";
+  let prepared = List.map prepare_row Table1.rows in
+  let tests =
+    List.map
+      (fun p ->
+         let name = p.row.Table1.group ^ ":" ^ p.row.Table1.row_id in
+         Test.make ~name
+           (Staged.stage (fun () -> ignore (check_prepared p))))
+      prepared
+  in
+  let time_of = measure_tests tests in
+  Format.printf "%-6s %-5s %-35s %8s %4s %4s %10s  %s@." "Group" "No."
+    "Specification" "formulas" "in" "out" "time(s)" "verdict";
+  List.iter
+    (fun p ->
+       let name = p.row.Table1.group ^ ":" ^ p.row.Table1.row_id in
+       let report = check_prepared p in
+       let note =
+         match p.row.Table1.expected, report.Realizability.verdict with
+         | Table1.Inconsistent_until_partition_fix prop,
+           (Realizability.Inconsistent | Realizability.Inconclusive _) ->
+           let fixed =
+             Partition.adjust p.partition ~to_output:[ prop ] ()
+           in
+           let report' =
+             Realizability.check ~engine:Realizability.Symbolic
+               ~inputs:fixed.Partition.inputs
+               ~outputs:fixed.Partition.outputs p.formulas
+           in
+           Printf.sprintf " -> after partition fix: %s"
+             (verdict_string report'.Realizability.verdict)
+         | _ -> ""
+       in
+       Format.printf "%-6s %-5s %-35s %8d %4d %4d %10.4f  %s%s@."
+         p.row.Table1.group p.row.Table1.row_id p.row.Table1.name
+         (List.length p.formulas)
+         (List.length p.partition.Partition.inputs)
+         (List.length p.partition.Partition.outputs)
+         (time_of name)
+         (verdict_string report.Realizability.verdict)
+         note)
+    prepared
+
+(* ---------- Figure 1: the three-stage workflow ---------- *)
+
+let fig1 () =
+  Format.printf "@.== Figure 1: workflow stages on CARA row 0 ==@.@.";
+  let outcome = Pipeline.run ~options:sym_options Cara.working_mode_texts in
+  let t = outcome.Pipeline.times in
+  Format.printf "stage 1  translation (parse + reason + LTL): %8.4fs@."
+    t.Pipeline.translation_s;
+  Format.printf "stage 1' time abstraction (SMT):             %8.4fs@."
+    t.Pipeline.abstraction_s;
+  Format.printf "stage 1'' input/output partition:            %8.4fs@."
+    t.Pipeline.partition_s;
+  Format.printf "stage 2  realizability (synthesis):          %8.4fs@."
+    t.Pipeline.synthesis_s;
+  Format.printf "verdict: %s@."
+    (verdict_string outcome.Pipeline.report.Realizability.verdict);
+
+  Format.printf
+    "@.-- the refinement loop (stage 3) on TELEPROMISE Information --@.@.";
+  let app = List.nth Telepromise.applications 3 in
+  let texts = Telepromise.application_sentences app in
+  let outcome = Pipeline.run ~options:sym_options texts in
+  let partition = outcome.Pipeline.partition.Partition.partition in
+  Format.printf "iteration 1: check -> %s@."
+    (verdict_string outcome.Pipeline.report.Realizability.verdict);
+  let check_subset formulas =
+    let _, report = Pipeline.check_formulas ~options:sym_options formulas in
+    report.Realizability.verdict = Realizability.Consistent
+  in
+  let check_partition p =
+    let _, report =
+      Pipeline.check_formulas ~options:sym_options ~partition:p
+        outcome.Pipeline.formulas
+    in
+    report.Realizability.verdict = Realizability.Consistent
+  in
+  let t0 = Unix.gettimeofday () in
+  let suggestion =
+    Refine.suggest ~check_subset ~check_partition ~partition
+      outcome.Pipeline.formulas
+  in
+  Format.printf "iteration 2: localize + adjust (%.2fs)@."
+    (Unix.gettimeofday () -. t0);
+  (match suggestion.Refine.localization with
+   | Some localization ->
+     Format.printf "  culprit requirement index: %d@."
+       localization.Localize.culprit
+   | None -> ());
+  Format.printf "  %s@." suggestion.Refine.advice;
+  (match suggestion.Refine.adjustment with
+   | Some adjustment ->
+     let _, report =
+       Pipeline.check_formulas ~options:sym_options
+         ~partition:adjustment.Refine.partition outcome.Pipeline.formulas
+     in
+     Format.printf "iteration 3: re-check -> %s@."
+       (verdict_string report.Realizability.verdict)
+   | None -> ())
+
+(* ---------- Figure 2 ---------- *)
+
+let fig2 () =
+  Format.printf "@.== Figure 2: syntax tree of Req-17 ==@.@.";
+  let lexicon = Speccc_nlp.Lexicon.default () in
+  let text =
+    "When auto-control mode is entered, eventually the cuff will be \
+     inflated."
+  in
+  let tree = Speccc_nlp.Parser.sentence lexicon text in
+  Format.printf "%a@." Speccc_nlp.Syntax.pp_sentence tree
+
+(* ---------- ablations ---------- *)
+
+let ablation_timeabs () =
+  Format.printf "@.== Ablation: time abstraction (Sec. IV-E) ==@.@.";
+  Format.printf "%-28s %10s %8s %8s@." "Θ (budget 5)" "method" "ΣX" "Σ|Δ|";
+  let theta_sets = [
+    [ 3; 180; 60 ];
+    [ 2; 4; 8; 16 ];
+    [ 7; 13; 29 ];
+    [ 10; 100; 1000 ];
+    [ 5; 50; 500; 45; 450 ];
+  ]
+  in
+  List.iter
+    (fun thetas ->
+       let label =
+         "{" ^ String.concat "," (List.map string_of_int thetas) ^ "}"
+       in
+       let gcd = Speccc_timeabs.Timeabs.gcd_solution thetas in
+       let opt =
+         Speccc_timeabs.Timeabs.solve_smt
+           (Speccc_timeabs.Timeabs.problem ~budget:5 thetas)
+       in
+       Format.printf "%-28s %10s %8d %8d@." label "gcd"
+         gcd.Speccc_timeabs.Timeabs.x_total
+         gcd.Speccc_timeabs.Timeabs.error_total;
+       Format.printf "%-28s %10s %8d %8d@." "" "optimized"
+         opt.Speccc_timeabs.Timeabs.x_total
+         opt.Speccc_timeabs.Timeabs.error_total)
+    theta_sets;
+  (* solver-vs-solver timing *)
+  let prob =
+    Speccc_timeabs.Timeabs.problem ~budget:5 [ 3; 180; 60; 45; 90 ]
+  in
+  let tests = [
+    Test.make ~name:"smt"
+      (Staged.stage (fun () ->
+           ignore (Speccc_timeabs.Timeabs.solve_smt prob)));
+    Test.make ~name:"analytic"
+      (Staged.stage (fun () ->
+           ignore (Speccc_timeabs.Timeabs.solve_analytic prob)));
+  ]
+  in
+  let time_of = measure_tests tests in
+  Format.printf "@.solver timing on Θ={3,180,60,45,90}:@.";
+  Format.printf "  bit-blasting SMT (paper's route): %10.6fs@."
+    (time_of "smt");
+  Format.printf "  analytic divisor search:          %10.6fs@."
+    (time_of "analytic")
+
+let ablation_semantic () =
+  Format.printf
+    "@.== Ablation: semantic reasoning (Sec. IV-D) on CARA row 0 ==@.@.";
+  let config = Speccc_translate.Translate.default_config () in
+  let result =
+    Speccc_translate.Translate.specification config Cara.working_mode_texts
+  in
+  let with_props =
+    List.concat_map
+      (fun r -> Ltl.props r.Speccc_translate.Translate.formula)
+      result.Speccc_translate.Translate.requirements
+    |> List.sort_uniq compare
+  in
+  let without, with_reasoning =
+    Speccc_reasoning.Semantic.reduction_count
+      config.Speccc_translate.Translate.dictionary
+      result.Speccc_translate.Translate.relations
+  in
+  Format.printf "adjective/adverb occurrences (subject, word):    %4d@."
+    without;
+  Format.printf "propositions they produce with reasoning:        %4d@."
+    with_reasoning;
+  Format.printf "total propositions in the translated spec:       %4d@."
+    (List.length with_props);
+  Format.printf
+    "(without reasoning every occurrence would be its own proposition,@.";
+  Format.printf
+    " and mutual-exclusion assumptions would have to be added)@."
+
+let ablation_engine () =
+  Format.printf
+    "@.== Ablation: the three engines on small specs ==@.@.";
+  let specs = [
+    ("response",      "G (i -> o)");
+    ("delayed",       "G (i -> X X o)");
+    ("eventual",      "G (i -> F o)");
+    ("weak-until",    "o W i");
+    ("two-req",       "G (i -> o) && G (!i -> X o2)");
+  ]
+  in
+  let tests =
+    List.concat_map
+      (fun (name, text) ->
+         let f = Ltl_parse.formula text in
+         [
+           Test.make ~name:(name ^ "/explicit")
+             (Staged.stage (fun () ->
+                  ignore
+                    (Realizability.check ~engine:Realizability.Explicit
+                       ~inputs:[ "i" ] ~outputs:[ "o"; "o2" ] [ f ])));
+           Test.make ~name:(name ^ "/symbolic")
+             (Staged.stage (fun () ->
+                  ignore
+                    (Realizability.check ~engine:Realizability.Symbolic
+                       ~inputs:[ "i" ] ~outputs:[ "o"; "o2" ] [ f ])));
+           Test.make ~name:(name ^ "/sat")
+             (Staged.stage (fun () ->
+                  ignore
+                    (Satsynth.solve_iterative ~inputs:[ "i" ]
+                       ~outputs:[ "o"; "o2" ] f)));
+         ])
+      specs
+  in
+  let time_of = measure_tests tests in
+  Format.printf "%-12s %14s %14s %14s@." "spec" "explicit(s)" "symbolic(s)"
+    "sat(s)";
+  List.iter
+    (fun (name, _) ->
+       Format.printf "%-12s %14.6f %14.6f %14.6f@." name
+         (time_of (name ^ "/explicit"))
+         (time_of (name ^ "/symbolic"))
+         (time_of (name ^ "/sat")))
+    specs
+
+let ablation_lookahead () =
+  Format.printf
+    "@.== Ablation: symbolic look-ahead (G4LTL's unroll parameter) ==@.@.";
+  let scenario = Robot.scenario ~robots:2 ~rooms:5 in
+  Format.printf "%-10s %10s %s@." "lookahead" "time(s)" "verdict";
+  List.iter
+    (fun lookahead ->
+       let t0 = Unix.gettimeofday () in
+       let report =
+         Realizability.check ~engine:Realizability.Symbolic ~lookahead
+           ~inputs:scenario.Robot.inputs ~outputs:scenario.Robot.outputs
+           scenario.Robot.formulas
+       in
+       Format.printf "%-10d %10.4f %s@." lookahead
+         (Unix.gettimeofday () -. t0)
+         (verdict_string report.Realizability.verdict))
+    [ 1; 2; 4; 6; 8 ]
+
+let robot_sweep () =
+  Format.printf
+    "@.== Robot scaling sweep (\"different numbers of rooms and \
+     robots\") ==@.@.";
+  Format.printf "%-8s %-8s %10s %6s %6s %10s %s@." "robots" "rooms"
+    "formulas" "in" "out" "time(s)" "verdict";
+  List.iter
+    (fun (robots, rooms) ->
+       let scenario = Robot.scenario ~robots ~rooms in
+       let t0 = Unix.gettimeofday () in
+       let report =
+         Realizability.check ~engine:Realizability.Symbolic
+           ~inputs:scenario.Robot.inputs ~outputs:scenario.Robot.outputs
+           scenario.Robot.formulas
+       in
+       Format.printf "%-8d %-8d %10d %6d %6d %10.4f %s@." robots rooms
+         (List.length scenario.Robot.formulas)
+         (List.length scenario.Robot.inputs)
+         (List.length scenario.Robot.outputs)
+         (Unix.gettimeofday () -. t0)
+         (verdict_string report.Realizability.verdict))
+    (* (3,6) runs ~80 s and (3,9) far beyond — the sweep stops where
+       an interactive run stays pleasant; see EXPERIMENTS.md *)
+    [ (1, 4); (1, 6); (1, 9); (1, 12); (2, 5); (2, 8); (3, 4) ]
+
+let localize_bench () =
+  Format.printf "@.== Localization scaling (Sec. V-B) ==@.@.";
+  Format.printf "%-14s %10s %10s %10s@." "requirements" "culprit" "partners"
+    "time(s)";
+  let explicit_options =
+    { (Pipeline.default_options ()) with
+      Pipeline.engine = Realizability.Explicit }
+  in
+  List.iter
+    (fun n ->
+       (* n innocent requirements; the conflict is between the first
+          requirement and a late one. *)
+       let innocent k =
+         Ltl_parse.formula
+           (Printf.sprintf "G (i%d -> o%d)" (k mod 4) (k mod 4))
+       in
+       let formulas =
+         (Ltl_parse.formula "G (trigger -> flag)"
+          :: List.init (n - 2) (fun k -> innocent k))
+         @ [ Ltl_parse.formula "G (trigger -> !flag)" ]
+       in
+       let check subset =
+         let _, report =
+           Pipeline.check_formulas ~options:explicit_options subset
+         in
+         report.Realizability.verdict = Realizability.Consistent
+       in
+       let t0 = Unix.gettimeofday () in
+       match Localize.run ~check formulas with
+       | Some result ->
+         Format.printf "%-14d %10d %10d %10.4f@." n
+           result.Localize.culprit
+           (List.length result.Localize.partners)
+           (Unix.gettimeofday () -. t0)
+       | None -> Format.printf "%-14d (consistent?)@." n)
+    [ 4; 8; 12; 16 ]
+
+let () =
+  let groups =
+    match Array.to_list Sys.argv with
+    | _ :: ([ _ ] as args) -> args
+    | _ :: args when args <> [] -> args
+    | _ -> [ "table1"; "fig1"; "fig2"; "ablations"; "robots"; "localize" ]
+  in
+  List.iter
+    (fun group ->
+       match group with
+       | "table1" -> table1 ()
+       | "fig1" -> fig1 ()
+       | "fig2" -> fig2 ()
+       | "ablations" ->
+         ablation_timeabs ();
+         ablation_semantic ();
+         ablation_engine ();
+         ablation_lookahead ()
+       | "ablation-timeabs" -> ablation_timeabs ()
+       | "ablation-semantic" -> ablation_semantic ()
+       | "ablation-engine" -> ablation_engine ()
+       | "ablation-lookahead" -> ablation_lookahead ()
+       | "robots" -> robot_sweep ()
+       | "localize" -> localize_bench ()
+       | other -> Format.printf "unknown bench group %S@." other)
+    groups

@@ -1,0 +1,714 @@
+(* SpecCC — Specification Consistency Checking.
+
+   Subcommands:
+     translate   requirements -> LTL (stage 1)
+     tree        print the syntax tree of one sentence (Fig. 2)
+     lint        exact per-requirement sanity checks (SCR-style)
+     check       full pipeline: translate, abstract, partition, check
+     localize    locate the inconsistent requirements (Sec. V-B)
+     synth       extract the controller / counterstrategy
+     testgen     conformance test suite from the controller
+     patterns    Dwyer-pattern classification of the requirements
+     table       reproduce Table I *)
+
+open Cmdliner
+open Speccc_logic
+open Speccc_core
+open Speccc_synthesis
+open Speccc_casestudies
+
+(* ---------- shared helpers ---------- *)
+
+let builtin_spec = function
+  | "cara" ->
+    Some
+      (List.map
+         (fun (id, text) -> { Document.id; text })
+         Cara.working_modes)
+  | "cara:modes" ->
+    Some
+      (List.map
+         (fun (id, text) -> { Document.id; text })
+         Cara.mode_description)
+  | name ->
+    (match String.index_opt name ':' with
+     | Some i ->
+       let group = String.sub name 0 i in
+       let row = String.sub name (i + 1) (String.length name - i - 1) in
+       (match group with
+        | "cara" ->
+          List.find_opt (fun c -> c.Cara.row = row) Cara.components
+          |> Option.map (fun c -> Document.of_texts (Cara.component_sentences c))
+        | "tele" ->
+          List.find_opt (fun a -> a.Telepromise.row = row)
+            Telepromise.applications
+          |> Option.map (fun a ->
+              Document.of_texts (Telepromise.application_sentences a))
+        | "arbiter" ->
+          (match int_of_string_opt row with
+           | Some masters when masters >= 1 && masters <= 4 ->
+             Some
+               (List.map
+                  (fun (id, text) -> { Document.id; text })
+                  (Arbiter.instance ~masters).Arbiter.document)
+           | Some _ | None -> None)
+        | _ -> None)
+     | None -> None)
+
+let load_document source =
+  match builtin_spec source with
+  | Some document -> document
+  | None ->
+    if Sys.file_exists source then Document.of_file source
+    else
+      failwith
+        (Printf.sprintf
+           "unknown specification %S (expected a file, \"cara\", \
+            \"cara:ROW\" or \"tele:ROW\")"
+           source)
+
+let load_spec source = Document.texts (load_document source)
+
+let spec_arg =
+  let doc =
+    "Specification: a file with one requirement sentence per line \
+     ('#' comments allowed), or a built-in: $(b,cara), $(b,cara:2.1.1), \
+     $(b,tele:4), ..."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+
+let engine_arg =
+  let parse = function
+    | "auto" -> Ok Realizability.Auto
+    | "explicit" -> Ok Realizability.Explicit
+    | "symbolic" -> Ok Realizability.Symbolic
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  let print ppf e =
+    Format.pp_print_string ppf
+      (match e with
+       | Realizability.Auto -> "auto"
+       | Realizability.Explicit -> "explicit"
+       | Realizability.Symbolic -> "symbolic")
+  in
+  Arg.(value & opt (conv (parse, print)) Realizability.Auto
+       & info [ "engine" ] ~doc:"Synthesis engine: auto, explicit, symbolic.")
+
+let lookahead_arg =
+  Arg.(value & opt int 6
+       & info [ "lookahead" ]
+         ~doc:"Bounded-eventuality depth for the symbolic engine.")
+
+let budget_arg =
+  Arg.(value & opt (some int) (Some 5)
+       & info [ "budget" ]
+         ~doc:"Arrival-error budget B for time abstraction; omit the \
+               option for GCD-only with $(b,--budget=gcd).")
+
+let options_of ~engine ~lookahead ~budget =
+  let defaults = Pipeline.default_options () in
+  { defaults with Pipeline.engine; lookahead; time_budget = budget }
+
+(* ---------- translate ---------- *)
+
+let translate_cmd =
+  let syntax_arg =
+    Arg.(value & flag & info [ "paper" ] ~doc:"Print in the appendix style.")
+  in
+  let run source paper =
+    let document = load_document source in
+    let config = Speccc_translate.Translate.default_config () in
+    let result =
+      Speccc_translate.Translate.specification config
+        (Document.texts document)
+    in
+    let syntax =
+      if paper then Ltl_print.Paper else Ltl_print.Ascii
+    in
+    List.iteri
+      (fun i r ->
+         Format.printf "%% %s: %s@.%s@.@."
+           (Document.id_at document i)
+           r.Speccc_translate.Translate.text
+           (Ltl_print.to_string ~syntax r.Speccc_translate.Translate.formula))
+      result.Speccc_translate.Translate.requirements
+  in
+  Cmd.v (Cmd.info "translate" ~doc:"Translate requirements to LTL")
+    Term.(const run $ spec_arg $ syntax_arg)
+
+(* ---------- tree ---------- *)
+
+let tree_cmd =
+  let sentence_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SENTENCE")
+  in
+  let run text =
+    let lexicon = Speccc_nlp.Lexicon.default () in
+    let tree = Speccc_nlp.Parser.sentence lexicon text in
+    Format.printf "%a@." Speccc_nlp.Syntax.pp_sentence tree
+  in
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Print the syntax tree of one sentence (Fig. 2)")
+    Term.(const run $ sentence_arg)
+
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let run source engine lookahead budget =
+    let document = load_document source in
+    let options = options_of ~engine ~lookahead ~budget in
+    let outcome = Pipeline.run_document ~options document in
+    let num_assumptions =
+      List.length (fst (Document.split document))
+    in
+    if num_assumptions > 0 then
+      Format.printf "environment assumptions: %d@." num_assumptions;
+    Format.printf "%a@." Pipeline.pp_outcome outcome;
+    match outcome.Pipeline.report.Realizability.verdict with
+    | Realizability.Consistent -> ()
+    | Realizability.Inconsistent -> exit 1
+    | Realizability.Inconclusive _ -> exit 2
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run the full consistency pipeline (Fig. 1)")
+    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ budget_arg)
+
+(* ---------- localize ---------- *)
+
+let localize_cmd =
+  let run source engine lookahead budget =
+    let texts = load_spec source in
+    let options = options_of ~engine ~lookahead ~budget in
+    let outcome = Pipeline.run ~options texts in
+    match outcome.Pipeline.report.Realizability.verdict with
+    | Realizability.Consistent ->
+      Format.printf "specification is consistent; nothing to localize@."
+    | Realizability.Inconsistent | Realizability.Inconclusive _ ->
+      let check_subset formulas =
+        let _, report = Pipeline.check_formulas ~options formulas in
+        report.Realizability.verdict = Realizability.Consistent
+      in
+      let check_partition partition =
+        let _, report =
+          Pipeline.check_formulas ~options ~partition outcome.Pipeline.formulas
+        in
+        report.Realizability.verdict = Realizability.Consistent
+      in
+      let suggestion =
+        Refine.suggest ~check_subset ~check_partition
+          ~partition:outcome.Pipeline.partition.Speccc_partition.Partition.partition
+          outcome.Pipeline.formulas
+      in
+      (match suggestion.Refine.localization with
+       | Some localization ->
+         Format.printf "%a@." Localize.pp localization;
+         let document = load_document source in
+         List.iteri
+           (fun i r ->
+              if i = localization.Localize.culprit
+              || List.mem i localization.Localize.partners then
+                Format.printf "  [%d = %s] %s@." i
+                  (Document.id_at document i)
+                  r.Speccc_translate.Translate.text)
+           outcome.Pipeline.requirements
+       | None -> ());
+      Format.printf "advice: %s@." suggestion.Refine.advice
+  in
+  Cmd.v
+    (Cmd.info "localize"
+       ~doc:"Locate inconsistent requirements and suggest refinements")
+    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ budget_arg)
+
+(* ---------- synth ---------- *)
+
+let synth_cmd =
+  let dot_arg =
+    Arg.(value & flag
+         & info [ "dot" ] ~doc:"Print the controller as a Graphviz digraph.")
+  in
+  let st_arg =
+    Arg.(value & flag
+         & info [ "st" ]
+           ~doc:"Print the controller as an IEC 61131-3 Structured Text \
+                 function block (the G4LTL-ST output format).")
+  in
+  let verilog_arg =
+    Arg.(value & flag
+         & info [ "verilog" ]
+           ~doc:"Print the controller as a synthesizable Verilog module.")
+  in
+  let run source engine lookahead budget dot st verilog =
+    let texts = load_spec source in
+    let options = options_of ~engine ~lookahead ~budget in
+    let outcome = Pipeline.run ~options texts in
+    match outcome.Pipeline.report.Realizability.verdict with
+    | Realizability.Consistent ->
+      (match outcome.Pipeline.report.Realizability.controller with
+       | Some machine ->
+         Format.printf
+           "consistent: controller with %d state(s), %d input(s), %d \
+            output(s)@."
+           machine.Mealy.num_states
+           (List.length machine.Mealy.inputs)
+           (List.length machine.Mealy.outputs);
+         if dot then Format.printf "%a@." Mealy.pp_dot machine;
+         if st then
+           Format.printf "%s@." (Codegen.to_structured_text machine);
+         if verilog then Format.printf "%s@." (Codegen.to_verilog machine)
+       | None ->
+         Format.printf
+           "consistent (symbolic strategy; controller too large to \
+            enumerate)@.")
+    | Realizability.Inconsistent ->
+      Format.printf "INCONSISTENT@.";
+      (match outcome.Pipeline.report.Realizability.counterstrategy with
+       | Some cs ->
+         (* demonstrate against a trivial candidate *)
+         let machine = {
+           Mealy.inputs = cs.Bounded.cs_inputs;
+           outputs = cs.Bounded.cs_outputs;
+           num_states = 1;
+           initial = 0;
+           step = (fun _ _ -> (0, 0));
+         }
+         in
+         let word = Bounded.refute cs machine in
+         Format.printf
+           "environment counterstrategy found; e.g. against the \
+            all-low implementation it forces:@.  %a@."
+           Speccc_logic.Trace.pp word
+       | None -> ());
+      exit 1
+    | Realizability.Inconclusive why ->
+      Format.printf "inconclusive: %s@." why;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Synthesize a controller (or a counterstrategy) from the \
+             specification")
+    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ budget_arg
+          $ dot_arg $ st_arg $ verilog_arg)
+
+(* ---------- testgen ---------- *)
+
+let testgen_cmd =
+  let run source engine lookahead budget =
+    let texts = load_spec source in
+    let options = options_of ~engine ~lookahead ~budget in
+    let outcome = Pipeline.run ~options texts in
+    match outcome.Pipeline.report.Realizability.controller with
+    | None ->
+      Format.printf
+        "no controller available (verdict: %s); cannot generate tests@."
+        (match outcome.Pipeline.report.Realizability.verdict with
+         | Realizability.Consistent -> "consistent, strategy not enumerable"
+         | Realizability.Inconsistent -> "inconsistent"
+         | Realizability.Inconclusive why -> why);
+      exit 2
+    | Some machine ->
+      let suite = Testgen.transition_cover machine in
+      let covered, total = Testgen.coverage machine suite in
+      Format.printf
+        "reference controller: %d state(s); %d test case(s) covering \
+         %d/%d transitions@.@."
+        machine.Mealy.num_states (List.length suite) covered total;
+      List.iteri
+        (fun i test ->
+           Format.printf "test %d:@.%a@." i Testgen.pp_test_case test)
+        suite
+  in
+  Cmd.v
+    (Cmd.info "testgen"
+       ~doc:"Derive a conformance test suite from the synthesized \
+             controller")
+    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ budget_arg)
+
+(* ---------- patterns ---------- *)
+
+let patterns_cmd =
+  let run source =
+    let document = load_document source in
+    let texts = Document.texts document in
+    let config = Speccc_translate.Translate.default_config () in
+    let result = Speccc_translate.Translate.specification config texts in
+    let formulas =
+      List.map
+        (fun r -> r.Speccc_translate.Translate.formula)
+        result.Speccc_translate.Translate.requirements
+    in
+    List.iter
+      (fun (i, instance) ->
+         let text = List.nth texts i in
+         match instance with
+         | Some instance ->
+           Format.printf "[%d] %a@.    %s@." i
+             Speccc_patterns.Patterns.pp_instance instance text
+         | None -> Format.printf "[%d] (no pattern) %s@." i text)
+      (Speccc_patterns.Patterns.classify formulas)
+  in
+  Cmd.v
+    (Cmd.info "patterns"
+       ~doc:"Classify each requirement by its specification pattern \
+             (Dwyer et al.)")
+    Term.(const run $ spec_arg)
+
+(* ---------- lint ---------- *)
+
+let lint_cmd =
+  let run source =
+    let document = load_document source in
+    let texts = Document.texts document in
+    let config = Speccc_translate.Translate.default_config () in
+    let result = Speccc_translate.Translate.specification config texts in
+    let formulas =
+      List.map
+        (fun r -> r.Speccc_translate.Translate.formula)
+        result.Speccc_translate.Translate.requirements
+    in
+    (* Lint after time abstraction: the tableau-based checks degrade on
+       hundreds-deep X chains, exactly the chains Sec. IV-E removes. *)
+    let formulas =
+      match Speccc_timeabs.Timeabs.thetas_of_formulas formulas with
+      | [] -> formulas
+      | thetas ->
+        let solution =
+          Speccc_timeabs.Timeabs.solve_analytic
+            (Speccc_timeabs.Timeabs.problem ~budget:5 thetas)
+        in
+        List.map (Speccc_timeabs.Timeabs.apply solution) formulas
+    in
+    let findings = Speccc_lint.Lint.check formulas in
+    if findings = [] then
+      Format.printf "no findings: every requirement is satisfiable, \
+                     non-trivial, pairwise compatible and fireable@."
+    else begin
+      List.iter
+        (fun finding ->
+           Format.printf "%a@."
+             (Speccc_lint.Lint.pp_finding ~requirement_text:(fun i ->
+                  Some (Document.id_at document i)))
+             finding)
+        findings;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Cheap exact checks before synthesis: unsatisfiable or \
+             tautological requirements, pairwise conflicts, guards \
+             that can never fire")
+    Term.(const run $ spec_arg)
+
+(* ---------- report ---------- *)
+
+let report_cmd =
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the markdown report to $(docv) instead of stdout.")
+  in
+  let run source engine lookahead budget output =
+    let document = load_document source in
+    let options = options_of ~engine ~lookahead ~budget in
+    let outcome = Pipeline.run_document ~options document in
+    let buffer = Buffer.create 8192 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+    add "# Consistency report: %s\n\n" source;
+    (* 1. requirements and their translations *)
+    add "## Requirements and translations\n\n";
+    add "| id | kind | requirement | LTL |\n|---|---|---|---|\n";
+    List.iteri
+      (fun i r ->
+         let item = List.nth document i in
+         add "| %s | %s | %s | `%s` |\n" item.Document.id
+           (if Document.is_assumption item then "assumption" else "guarantee")
+           r.Speccc_translate.Translate.text
+           (Ltl_print.to_string r.Speccc_translate.Translate.formula))
+      outcome.Pipeline.requirements;
+    (* 2. patterns *)
+    add "\n## Specification patterns\n\n";
+    List.iteri
+      (fun i (_, instance) ->
+         match instance with
+         | Some instance ->
+           add "- %s: %s\n" (Document.id_at document i)
+             (Format.asprintf "%a" Speccc_patterns.Patterns.pp_instance
+                instance)
+         | None -> add "- %s: (no pattern template)\n"
+                     (Document.id_at document i))
+      (Speccc_patterns.Patterns.classify outcome.Pipeline.formulas);
+    (* 3. lint findings *)
+    add "\n## Lint findings\n\n";
+    let findings = Speccc_lint.Lint.check outcome.Pipeline.formulas in
+    if findings = [] then add "None.\n"
+    else
+      List.iter
+        (fun finding ->
+           add "- %s\n"
+             (Format.asprintf "%a"
+                (Speccc_lint.Lint.pp_finding ~requirement_text:(fun i ->
+                     Some (Document.id_at document i)))
+                finding))
+        findings;
+    (* 4. time abstraction *)
+    add "\n## Time abstraction\n\n";
+    (match outcome.Pipeline.time_solution with
+     | Some solution ->
+       add "```\n%s```\n"
+         (Format.asprintf "%a" Speccc_timeabs.Timeabs.pp_solution solution)
+     | None -> add "No timing constraints.\n");
+    (* 5. partition *)
+    add "\n## Input/output partition\n\n```\n%s\n```\n"
+      (Format.asprintf "%a" Speccc_partition.Partition.pp
+         outcome.Pipeline.partition.Speccc_partition.Partition.partition);
+    (match outcome.Pipeline.partition.Speccc_partition.Partition.conflicts with
+     | [] -> ()
+     | conflicts ->
+       add "\nConflicting classifications resolved to output: %s\n"
+         (String.concat ", "
+            (List.map
+               (fun c -> c.Speccc_partition.Partition.prop)
+               conflicts)));
+    (* 6. verdict *)
+    add "\n## Consistency verdict\n\n";
+    (match outcome.Pipeline.report.Realizability.verdict with
+     | Realizability.Consistent ->
+       add "**CONSISTENT** — a controller exists (engine: %s, %.3fs).\n"
+         outcome.Pipeline.report.Realizability.engine_used
+         outcome.Pipeline.report.Realizability.wall_time;
+       (match outcome.Pipeline.report.Realizability.controller with
+        | Some machine ->
+          add "Controller: %d state(s).\n" machine.Mealy.num_states
+        | None -> ())
+     | Realizability.Inconsistent ->
+       add "**INCONSISTENT** — provably unrealizable (engine: %s).\n"
+         outcome.Pipeline.report.Realizability.engine_used
+     | Realizability.Inconclusive why -> add "**INCONCLUSIVE** — %s.\n" why);
+    (* 7. localization on failure *)
+    (match outcome.Pipeline.report.Realizability.verdict with
+     | Realizability.Consistent -> ()
+     | Realizability.Inconsistent | Realizability.Inconclusive _ ->
+       let check_subset formulas =
+         let _, r = Pipeline.check_formulas ~options formulas in
+         r.Realizability.verdict = Realizability.Consistent
+       in
+       let check_partition p =
+         let _, r =
+           Pipeline.check_formulas ~options ~partition:p
+             outcome.Pipeline.formulas
+         in
+         r.Realizability.verdict = Realizability.Consistent
+       in
+       let suggestion =
+         Refine.suggest ~check_subset ~check_partition
+           ~partition:outcome.Pipeline.partition
+               .Speccc_partition.Partition.partition
+           outcome.Pipeline.formulas
+       in
+       add "\n## Refinement (stage 3)\n\n";
+       (match suggestion.Refine.localization with
+        | Some localization ->
+          add "- culprit: %s\n"
+            (Document.id_at document localization.Localize.culprit);
+          (match localization.Localize.partners with
+           | [] -> ()
+           | partners ->
+             add "- conflicting with: %s\n"
+               (String.concat ", "
+                  (List.map (Document.id_at document) partners)))
+        | None -> ());
+       add "- advice: %s\n" suggestion.Refine.advice);
+    let text = Buffer.contents buffer in
+    match output with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Format.printf "report written to %s@." path
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Produce a full markdown consistency report (translations, \
+             patterns, lint, abstraction, partition, verdict, \
+             refinement advice)")
+    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ budget_arg
+          $ output_arg)
+
+(* ---------- monitor ---------- *)
+
+let monitor_cmd =
+  let trace_arg =
+    let doc =
+      "Trace file: one letter per line as comma-separated true \
+       propositions (empty line = all false)."
+    in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let parse_trace path =
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line ->
+        let line = String.trim line in
+        if line <> "" && line.[0] = '#' then go acc
+        else
+          let letter =
+            String.split_on_char ',' line
+            |> List.map String.trim
+            |> List.filter (( <> ) "")
+            |> List.map (fun p -> (p, true))
+          in
+          go (letter :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  let run source trace_path =
+    let document = load_document source in
+    let config = Speccc_translate.Translate.default_config () in
+    let result =
+      Speccc_translate.Translate.specification config
+        (Document.texts document)
+    in
+    let letters = parse_trace trace_path in
+    Format.printf "trace: %d letters@.@." (List.length letters);
+    let any_violation = ref false in
+    List.iteri
+      (fun i r ->
+         let monitor =
+           Speccc_monitor.Monitor.create r.Speccc_translate.Translate.formula
+         in
+         let verdict = Speccc_monitor.Monitor.run monitor letters in
+         let id = Document.id_at document i in
+         match verdict with
+         | Speccc_monitor.Monitor.Violated at ->
+           any_violation := true;
+           Format.printf "%-10s VIOLATED at letter %d  (%s)@." id at
+             r.Speccc_translate.Translate.text
+         | Speccc_monitor.Monitor.Satisfied at ->
+           Format.printf "%-10s satisfied from letter %d@." id at
+         | Speccc_monitor.Monitor.Running residual ->
+           Format.printf "%-10s pending: %s@." id
+             (Ltl_print.to_string residual))
+      result.Speccc_translate.Translate.requirements;
+    if !any_violation then exit 1
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Replay a recorded execution trace against every \
+             requirement (runtime verification)")
+    Term.(const run $ spec_arg $ trace_arg)
+
+(* ---------- table ---------- *)
+
+let row_sources row =
+  match row.Table1.source with
+  | Table1.Sentences texts -> `Nl texts
+  | Table1.Formulas (formulas, inputs, outputs) ->
+    `Formal (formulas, inputs, outputs)
+
+let run_row ?(lookahead = 6) row =
+  let start = Unix.gettimeofday () in
+  let options =
+    { (Pipeline.default_options ()) with
+      Pipeline.engine = Realizability.Symbolic;
+      lookahead }
+  in
+  let formulas, partition, report =
+    match row_sources row with
+    | `Nl texts ->
+      let outcome = Pipeline.run ~options texts in
+      ( outcome.Pipeline.formulas,
+        outcome.Pipeline.partition.Speccc_partition.Partition.partition,
+        outcome.Pipeline.report )
+    | `Formal (formulas, inputs, outputs) ->
+      let partition =
+        { Speccc_partition.Partition.inputs; outputs }
+      in
+      let _, report = Pipeline.check_formulas ~options ~partition formulas in
+      (formulas, partition, report)
+  in
+  let elapsed = Unix.gettimeofday () -. start in
+  (formulas, partition, report, elapsed)
+
+let verdict_string = function
+  | Realizability.Consistent -> "consistent"
+  | Realizability.Inconsistent -> "INCONSISTENT"
+  | Realizability.Inconclusive why -> "inconclusive: " ^ why
+
+let table_cmd =
+  let rows_arg =
+    Arg.(value & opt (some string) None
+         & info [ "only" ]
+           ~doc:"Run a single row, e.g. $(b,CARA:0) or $(b,Robot:3).")
+  in
+  let lookahead_arg =
+    Arg.(value & opt int 6 & info [ "lookahead" ] ~doc:"Symbolic lookahead.")
+  in
+  let run only lookahead =
+    let selected =
+      match only with
+      | None -> Table1.rows
+      | Some key ->
+        List.filter
+          (fun r ->
+             String.lowercase_ascii
+               (r.Table1.group ^ ":" ^ r.Table1.row_id)
+             = String.lowercase_ascii key)
+          Table1.rows
+    in
+    Format.printf "%-6s %-5s %-35s %8s %4s %4s %8s  %s@." "Group" "No."
+      "Specification" "formulas" "in" "out" "time(s)" "verdict";
+    List.iter
+      (fun row ->
+         let formulas, partition, report, elapsed = run_row ~lookahead row in
+         let fixed_note =
+           match row.Table1.expected, report.Realizability.verdict with
+           | Table1.Inconsistent_until_partition_fix prop,
+             (Realizability.Inconsistent | Realizability.Inconclusive _) ->
+             (* stage 3: adjust the partition and re-check *)
+             let adjusted =
+               Speccc_partition.Partition.adjust partition
+                 ~to_output:[ prop ] ()
+             in
+             let options =
+               { (Pipeline.default_options ()) with
+                 Pipeline.engine = Realizability.Symbolic;
+                 lookahead }
+             in
+             let _, report' =
+               Pipeline.check_formulas ~options ~partition:adjusted formulas
+             in
+             Printf.sprintf " -> after partition fix (%s): %s" prop
+               (verdict_string report'.Realizability.verdict)
+           | _ -> ""
+         in
+         Format.printf "%-6s %-5s %-35s %8d %4d %4d %8.2f  %s%s@."
+           row.Table1.group row.Table1.row_id row.Table1.name
+           (List.length formulas)
+           (List.length partition.Speccc_partition.Partition.inputs)
+           (List.length partition.Speccc_partition.Partition.outputs)
+           elapsed
+           (verdict_string report.Realizability.verdict)
+           fixed_note)
+      selected
+  in
+  Cmd.v (Cmd.info "table" ~doc:"Reproduce Table I")
+    Term.(const run $ rows_arg $ lookahead_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "speccc" ~version:"1.0.0"
+      ~doc:"Formal consistency checking over specifications in natural \
+            languages (SpecCC)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ translate_cmd; tree_cmd; check_cmd; localize_cmd; synth_cmd; lint_cmd; monitor_cmd; report_cmd;
+            testgen_cmd; patterns_cmd; table_cmd ]))

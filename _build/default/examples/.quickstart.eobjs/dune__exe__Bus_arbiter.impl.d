@@ -1,0 +1,1 @@
+examples/bus_arbiter.ml: Arbiter Codegen Document Format List Mealy Pipeline Realizability Speccc_casestudies Speccc_core Speccc_synthesis String

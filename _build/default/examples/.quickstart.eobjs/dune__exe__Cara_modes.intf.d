@@ -1,0 +1,1 @@
+examples/cara_modes.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Pipeline Speccc_core Speccc_logic Speccc_partition Speccc_translate

@@ -1,0 +1,1 @@
+examples/reference_model.ml: Format List Mealy Pipeline Realizability Speccc_core Speccc_synthesis String Testgen Verify

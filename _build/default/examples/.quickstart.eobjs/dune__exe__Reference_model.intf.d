@@ -1,0 +1,1 @@
+examples/reference_model.mli:

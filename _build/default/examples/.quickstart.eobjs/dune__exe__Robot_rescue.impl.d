@@ -1,0 +1,1 @@
+examples/robot_rescue.ml: Format List Ltl Ltl_print Mealy Realizability Robot Speccc_casestudies Speccc_logic Speccc_synthesis String

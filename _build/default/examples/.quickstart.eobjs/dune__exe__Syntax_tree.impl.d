@@ -1,0 +1,1 @@
+examples/syntax_tree.ml: Dependency Format Lexicon List Parser Speccc_logic Speccc_nlp Speccc_translate String Syntax

@@ -1,0 +1,58 @@
+(* A hardware-flavoured case study: a two-master bus arbiter specified
+   in structured English (AMBA-style request/grant with a sticky-
+   request environment assumption), synthesized, minimized, and emitted
+   as both IEC 61131-3 Structured Text and Verilog.
+
+   Run with:  dune exec examples/bus_arbiter.exe *)
+
+open Speccc_core
+open Speccc_synthesis
+open Speccc_casestudies
+
+let () =
+  let inst = Arbiter.instance ~masters:2 in
+  Format.printf "=== bus arbiter (%d masters) ===@." inst.Arbiter.masters;
+  List.iter
+    (fun (id, text) -> Format.printf "  %s: %s@." id text)
+    inst.Arbiter.document;
+
+  let document =
+    List.map
+      (fun (id, text) -> { Document.id; text })
+      inst.Arbiter.document
+  in
+  let options =
+    { (Pipeline.default_options ()) with
+      Pipeline.engine = Realizability.Explicit }
+  in
+  let outcome = Pipeline.run_document ~options document in
+  Format.printf "@.%a@.@." Pipeline.pp_outcome outcome;
+
+  match outcome.Pipeline.report.Realizability.controller with
+  | None -> Format.printf "no controller extracted@."
+  | Some machine ->
+    Format.printf "arbiter controller: %d state(s) after minimization@.@."
+      machine.Mealy.num_states;
+    (* both requesters held high: grants must alternate (mutual
+       exclusion + response) *)
+    let both = [ ("request_one", true); ("request_two", true) ] in
+    let letters = Mealy.run machine (List.init 12 (fun _ -> both)) in
+    List.iteri
+      (fun step letter ->
+         let grants =
+           List.filter
+             (fun (p, b) ->
+                b && String.length p >= 5 && String.sub p 0 5 = "grant")
+             letter
+         in
+         Format.printf "  step %d grants: {%s}@." step
+           (String.concat ", " (List.map fst grants)))
+      letters;
+    Format.printf
+      "  (bounded synthesis procrastinates: grants appear as the \
+       counting bound forces them, then the pattern repeats)@.";
+
+    Format.printf "@.--- IEC 61131-3 Structured Text ---@.%s@."
+      (Codegen.to_structured_text ~name:"bus_arbiter" machine);
+    Format.printf "--- Verilog ---@.%s@."
+      (Codegen.to_verilog ~name:"bus_arbiter" machine)

@@ -1,0 +1,34 @@
+(* Quickstart: one requirement in, a consistency verdict out.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Speccc_core
+
+let () =
+  let requirements = [
+    "If the start button is pressed, the pump is started.";
+    "If the pump is lost, the alarm is triggered in 2 seconds.";
+    "When the pump is started, eventually the cuff is inflated.";
+  ]
+  in
+  (* The whole pipeline — parse the structured English, reason over
+     antonyms, translate to LTL, abstract time, partition the
+     propositions, and check realizability — is one call: *)
+  let outcome = Pipeline.run requirements in
+
+  (* Show the translated formulas ... *)
+  List.iter
+    (fun r ->
+       Format.printf "%% %s@.  %s@."
+         r.Speccc_translate.Translate.text
+         (Speccc_logic.Ltl_print.to_string ~syntax:Speccc_logic.Ltl_print.Paper
+            r.Speccc_translate.Translate.formula))
+    outcome.Pipeline.requirements;
+
+  (* ... the derived input/output partition ... *)
+  Format.printf "@.%a@.@."
+    Speccc_partition.Partition.pp
+    outcome.Pipeline.partition.Speccc_partition.Partition.partition;
+
+  (* ... and the verdict. *)
+  Format.printf "%a@." Pipeline.pp_outcome outcome

@@ -1,0 +1,1 @@
+lib/automata/nbw.ml: Array Format Hashtbl List Ltl Nnf Printf Queue Set Speccc_logic String Trace

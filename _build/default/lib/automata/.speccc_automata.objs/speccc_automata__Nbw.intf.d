@@ -1,0 +1,1 @@
+lib/automata/nbw.mli: Format Speccc_logic

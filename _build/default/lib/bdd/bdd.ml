@@ -1,0 +1,338 @@
+type t =
+  | Zero
+  | One
+  | Node of { id : int; var : int; low : t; high : t }
+
+let node_id = function Zero -> 0 | One -> 1 | Node { id; _ } -> id
+
+type manager = {
+  mutable next_id : int;
+  unique : (int * int * int, t) Hashtbl.t;     (* (var, low, high) ↦ node *)
+  ite_cache : (int * int * int, t) Hashtbl.t;
+  quant_cache : (bool * int * int, t) Hashtbl.t; (* (is_forall, varset key, node) *)
+  mutable quant_vars : int list;               (* vars of the current quantification *)
+  mutable quant_key : int;                     (* cache key for quant_vars *)
+  mutable next_quant_key : int;
+}
+
+let manager () = {
+  next_id = 2;
+  unique = Hashtbl.create 4096;
+  ite_cache = Hashtbl.create 4096;
+  quant_cache = Hashtbl.create 1024;
+  quant_vars = [];
+  quant_key = -1;
+  next_quant_key = 0;
+}
+
+let node_count m = Hashtbl.length m.unique
+
+let clear_caches m =
+  Hashtbl.reset m.ite_cache;
+  Hashtbl.reset m.quant_cache
+
+let zero _ = Zero
+let one _ = One
+
+let mk m v low high =
+  if node_id low = node_id high then low
+  else begin
+    let key = (v, node_id low, node_id high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some node -> node
+    | None ->
+      let node = Node { id = m.next_id; var = v; low; high } in
+      m.next_id <- m.next_id + 1;
+      Hashtbl.add m.unique key node;
+      node
+  end
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var: negative variable";
+  mk m i Zero One
+
+let nvar m i =
+  if i < 0 then invalid_arg "Bdd.nvar: negative variable";
+  mk m i One Zero
+
+let equal a b = node_id a = node_id b
+let is_zero d = equal d Zero
+let is_one d = equal d One
+let hash d = node_id d
+
+let top_var = function Zero | One -> None | Node { var = v; _ } -> Some v
+
+let low = function
+  | Node { low = l; _ } -> l
+  | Zero | One -> invalid_arg "Bdd.low: constant"
+
+let high = function
+  | Node { high = h; _ } -> h
+  | Zero | One -> invalid_arg "Bdd.high: constant"
+
+(* Top variable of up to three diagrams, for Shannon expansion. *)
+let min_top3 f g h =
+  let top d = match d with Node { var = v; _ } -> v | Zero | One -> max_int in
+  min (top f) (min (top g) (top h))
+
+let cofactors v = function
+  | Node { var; low; high; _ } when var = v -> low, high
+  | d -> d, d
+
+let rec ite m f g h =
+  match f, g, h with
+  | One, _, _ -> g
+  | Zero, _, _ -> h
+  | _, One, Zero -> f
+  | _ when equal g h -> g
+  | _ ->
+    let key = (node_id f, node_id g, node_id h) in
+    (match Hashtbl.find_opt m.ite_cache key with
+     | Some result -> result
+     | None ->
+       let v = min_top3 f g h in
+       let f0, f1 = cofactors v f in
+       let g0, g1 = cofactors v g in
+       let h0, h1 = cofactors v h in
+       let low = ite m f0 g0 h0 in
+       let high = ite m f1 g1 h1 in
+       let result = mk m v low high in
+       Hashtbl.add m.ite_cache key result;
+       result)
+
+let not_ m f = ite m f Zero One
+let and_ m f g = ite m f g Zero
+let or_ m f g = ite m f One g
+let xor m f g = ite m f (not_ m g) g
+let imp m f g = ite m f g One
+let eqv m f g = ite m f g (not_ m g)
+
+let and_list m fs = List.fold_left (and_ m) One fs
+let or_list m fs = List.fold_left (or_ m) Zero fs
+
+(* Quantification over a sorted variable list.  The cache is keyed by a
+   token identifying the variable set, refreshed whenever a different
+   set is supplied. *)
+let quantify m ~is_forall vars f =
+  let vars = List.sort_uniq compare vars in
+  if m.quant_vars <> vars then begin
+    m.quant_vars <- vars;
+    m.quant_key <- m.next_quant_key;
+    m.next_quant_key <- m.next_quant_key + 1;
+    Hashtbl.reset m.quant_cache
+  end;
+  let key_of node = (is_forall, m.quant_key, node_id node) in
+  let rec go remaining f =
+    match f, remaining with
+    | (Zero | One), _ -> f
+    | _, [] -> f
+    | Node { var; low; high; _ }, v :: rest ->
+      if var > v then go rest f
+      else begin
+        match Hashtbl.find_opt m.quant_cache (key_of f) with
+        | Some result -> result
+        | None ->
+          let result =
+            if var = v then
+              let l = go rest low and h = go rest high in
+              if is_forall then and_ m l h else or_ m l h
+            else
+              let l = go remaining low and h = go remaining high in
+              mk m var l h
+          in
+          Hashtbl.add m.quant_cache (key_of f) result;
+          result
+      end
+  in
+  go vars f
+
+let exists m vars f = quantify m ~is_forall:false vars f
+let forall m vars f = quantify m ~is_forall:true vars f
+
+let restrict m assignment f =
+  let assignment = List.sort_uniq compare assignment in
+  let rec go remaining f =
+    match f, remaining with
+    | (Zero | One), _ -> f
+    | _, [] -> f
+    | Node { var; low; high; _ }, (v, value) :: rest ->
+      if var > v then go rest f
+      else if var = v then go rest (if value then high else low)
+      else mk m var (go remaining low) (go remaining high)
+  in
+  go assignment f
+
+let rec compose m v g f =
+  match f with
+  | Zero | One -> f
+  | Node { var; low; high; _ } ->
+    if var > v then f
+    else if var = v then ite m g high low
+    else
+      let l = compose m v g low and h = compose m v g high in
+      ite m (var_of m var) h l
+and var_of m i = mk m i Zero One
+
+let rename m mapping f =
+  (* Substitute one variable at a time through fresh placeholders to
+     avoid capture, then map placeholders to targets.  For the common
+     case of disjoint source/target sets a direct pass suffices. *)
+  let sources = List.map fst mapping in
+  let targets = List.map snd mapping in
+  let collision = List.exists (fun t -> List.mem t sources) targets in
+  if not collision then
+    List.fold_left (fun acc (src, dst) -> compose m src (var_of m dst) acc) f
+      mapping
+  else begin
+    (* Route through placeholder variables beyond every used index. *)
+    let max_used =
+      List.fold_left max 0 (sources @ targets) + 1
+    in
+    let staged =
+      List.mapi (fun i (src, dst) -> (src, max_used + i, dst)) mapping
+    in
+    let f =
+      List.fold_left
+        (fun acc (src, tmp, _) -> compose m src (var_of m tmp) acc)
+        f staged
+    in
+    List.fold_left
+      (fun acc (_, tmp, dst) -> compose m tmp (var_of m dst) acc)
+      f staged
+  end
+
+let rename_monotone m mapping f =
+  let mapping = List.sort compare mapping in
+  let rec check_monotone = function
+    | [] | [ _ ] -> ()
+    | (_, dst1) :: (((_, dst2) :: _) as rest) ->
+      if dst1 >= dst2 then
+        invalid_arg "Bdd.rename_monotone: mapping is not monotone";
+      check_monotone rest
+  in
+  check_monotone mapping;
+  List.iter
+    (fun (_, dst) ->
+       if dst < 0 then invalid_arg "Bdd.rename_monotone: negative target")
+    mapping;
+  let table = Hashtbl.create 16 in
+  List.iter (fun (src, dst) -> Hashtbl.replace table src dst) mapping;
+  let cache = Hashtbl.create 256 in
+  let rec go = function
+    | Zero -> Zero
+    | One -> One
+    | Node { id; var; low; high } ->
+      (match Hashtbl.find_opt cache id with
+       | Some result -> result
+       | None ->
+         let var' =
+           match Hashtbl.find_opt table var with
+           | Some dst -> dst
+           | None -> var
+         in
+         let result = mk m var' (go low) (go high) in
+         Hashtbl.add cache id result;
+         result)
+  in
+  go f
+
+let support f =
+  let module Int_set = Set.Make (Int) in
+  let seen = Hashtbl.create 64 in
+  let vars = ref Int_set.empty in
+  let rec go = function
+    | Zero | One -> ()
+    | Node { id; var; low; high } ->
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        vars := Int_set.add var !vars;
+        go low;
+        go high
+      end
+  in
+  go f;
+  Int_set.elements !vars
+
+(* [count d] = number of models of [d] over variables
+   [level d .. nvars-1], where [level] is the root variable ([nvars]
+   for terminals).  Models over all [nvars] variables are then obtained
+   by scaling for the free variables above the root. *)
+let sat_count f ~nvars =
+  let cache = Hashtbl.create 64 in
+  let pow2 k = 2.0 ** float_of_int k in
+  let level = function Zero | One -> nvars | Node { var; _ } -> var in
+  let rec count = function
+    | Zero -> 0.0
+    | One -> 1.0
+    | Node { id; var; low; high } ->
+      (match Hashtbl.find_opt cache id with
+       | Some n -> n
+       | None ->
+         let n =
+           (count low *. pow2 (level low - var - 1))
+           +. (count high *. pow2 (level high - var - 1))
+         in
+         Hashtbl.add cache id n;
+         n)
+  in
+  count f *. pow2 (level f)
+
+let rec any_sat = function
+  | Zero -> None
+  | One -> Some []
+  | Node { var; low; high; _ } ->
+    (match any_sat high with
+     | Some assignment -> Some ((var, true) :: assignment)
+     | None ->
+       (match any_sat low with
+        | Some assignment -> Some ((var, false) :: assignment)
+        | None -> None))
+
+let rec eval d assignment =
+  match d with
+  | Zero -> false
+  | One -> true
+  | Node { var; low; high; _ } ->
+    if assignment var then eval high assignment else eval low assignment
+
+let size f =
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  let rec go = function
+    | Zero | One as terminal ->
+      let id = node_id terminal in
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        incr count
+      end
+    | Node { id; low; high; _ } ->
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        incr count;
+        go low;
+        go high
+      end
+  in
+  go f;
+  !count
+
+let pp_dot ppf f =
+  let seen = Hashtbl.create 64 in
+  Format.fprintf ppf "digraph bdd {@\n";
+  Format.fprintf ppf "  node0 [label=\"0\", shape=box];@\n";
+  Format.fprintf ppf "  node1 [label=\"1\", shape=box];@\n";
+  let rec go = function
+    | Zero | One -> ()
+    | Node { id; var; low; high } ->
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        Format.fprintf ppf "  node%d [label=\"x%d\"];@\n" id var;
+        Format.fprintf ppf "  node%d -> node%d [style=dashed];@\n" id
+          (node_id low);
+        Format.fprintf ppf "  node%d -> node%d;@\n" id (node_id high);
+        go low;
+        go high
+      end
+  in
+  go f;
+  Format.fprintf ppf "}@\n"

@@ -1,0 +1,1 @@
+lib/casestudies/arbiter.ml: Array Fun List Printf

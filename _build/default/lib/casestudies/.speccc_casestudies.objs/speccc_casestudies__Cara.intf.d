@@ -1,0 +1,1 @@
+lib/casestudies/cara.mli: Specgen

@@ -1,0 +1,1 @@
+lib/casestudies/robot.ml: Fun List Ltl Printf Speccc_logic

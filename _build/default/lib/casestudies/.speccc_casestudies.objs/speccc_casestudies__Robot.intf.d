@@ -1,0 +1,1 @@
+lib/casestudies/robot.mli: Speccc_logic

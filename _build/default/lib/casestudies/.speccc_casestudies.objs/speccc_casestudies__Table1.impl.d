@@ -1,0 +1,1 @@
+lib/casestudies/table1.ml: Cara List Robot Speccc_logic Telepromise

@@ -1,0 +1,1 @@
+lib/casestudies/table1.mli: Speccc_logic

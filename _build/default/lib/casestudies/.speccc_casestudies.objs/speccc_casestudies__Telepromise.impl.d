@@ -1,0 +1,1 @@
+lib/casestudies/telepromise.ml: Printf Specgen

@@ -1,0 +1,56 @@
+type instance = {
+  masters : int;
+  document : (string * string) list;
+}
+
+let number_names = [| "one"; "two"; "three"; "four" |]
+
+let request k = Printf.sprintf "request_%s" number_names.(k)
+let grant k = Printf.sprintf "grant_%s" number_names.(k)
+
+let instance ~masters =
+  if masters < 1 || masters > Array.length number_names then
+    invalid_arg "Arbiter.instance: masters must be within 1..4";
+  let per_master k =
+    [
+      (* AMBA-style environment assumption: a pending request stays up
+         until it is granted; without it no finite-memory arbiter can
+         serve two one-shot simultaneous requests.  Stated in the
+         one-step form (X via "in 1 seconds"), which keeps the
+         negated-specification automaton small. *)
+      ( Printf.sprintf "Assume-%d" (k + 1),
+        Printf.sprintf
+          "If %s is active and %s is disabled, %s is active in 1 seconds."
+          (request k) (grant k) (request k) );
+      ( Printf.sprintf "Arb-R%d" (k + 1),
+        Printf.sprintf "When %s is active, eventually %s is enabled."
+          (request k) (grant k) );
+      ( Printf.sprintf "Arb-S%d" (k + 1),
+        Printf.sprintf "If %s is inactive, %s is disabled." (request k)
+          (grant k) );
+    ]
+  in
+  let mutex =
+    List.concat_map
+      (fun i ->
+         List.filter_map
+           (fun j ->
+              if j > i then
+                Some
+                  ( Printf.sprintf "Arb-M%d%d" (i + 1) (j + 1),
+                    Printf.sprintf "The %s is inactive or the %s is inactive."
+                      (grant i) (grant j) )
+              else None)
+           (List.init masters Fun.id))
+      (List.init masters Fun.id)
+  in
+  {
+    masters;
+    document =
+      List.concat_map per_master (List.init masters Fun.id) @ mutex;
+  }
+
+let texts inst = List.map snd inst.document
+
+let expected_inputs inst = List.init inst.masters request |> List.sort compare
+let expected_outputs inst = List.init inst.masters grant |> List.sort compare

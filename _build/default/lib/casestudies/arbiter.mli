@@ -1,0 +1,25 @@
+(** A bus-arbiter case study in structured English — the classic
+    LTL-synthesis benchmark family (AMBA-style request/grant), added on
+    top of the paper's three case studies to exercise the pipeline on
+    a hardware-flavoured specification.
+
+    For [n] masters the specification says: every request is
+    eventually granted; at most one grant at a time; no spurious
+    grants; a granted master keeps the bus until it releases it
+    (weak until). *)
+
+type instance = {
+  masters : int;
+  document : (string * string) list;  (** (requirement id, sentence) *)
+}
+
+val instance : masters:int -> instance
+(** Raises [Invalid_argument] when [masters < 1] or [masters > 4]
+    (names are spelled out). *)
+
+val texts : instance -> string list
+
+val expected_inputs : instance -> string list
+val expected_outputs : instance -> string list
+(** The partition the Sec. IV-F heuristic is expected to derive —
+    asserted in tests. *)

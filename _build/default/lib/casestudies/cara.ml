@@ -1,0 +1,152 @@
+let working_modes = [
+  ("Req-01",
+   "The CARA will be operational whenever the LSTAT is powered on.");
+  ("Req-07",
+   "If an occlusion is detected, and auto control mode is running, auto \
+    control mode will be terminated.");
+  ("Req-08",
+   "If Air Ok signal remains low, auto control mode is terminated in 3 \
+    seconds.");
+  ("Req-13.1",
+   "If arterial line and pulse wave are corroborated, and cuff is \
+    available, next arterial line is selected.");
+  ("Req-13.2",
+   "If pulse wave is corroborated, and cuff is available, and arterial \
+    line is not corroborated, next pulse wave is selected.");
+  ("Req-13.3",
+   "If arterial line is not corroborated, and pulse wave is not \
+    corroborated, and cuff is available, then cuff is selected.");
+  ("Req-16",
+   "If a pump is plugged in, and an infusate is ready, and the occlusion \
+    line is clear, auto control mode can be started.");
+  ("Req-17.1",
+   "When auto control mode is running, eventually the cuff will be \
+    inflated.");
+  ("Req-17.2",
+   "If start auto control button is pressed, and cuff is not available, \
+    an alarm is issued and override selection is provided.");
+  ("Req-17.3",
+   "If alarm reset button is pressed, the alarm is disabled.");
+  ("Req-17.4",
+   "If override selection is provided, if override yes is pressed, and \
+    arterial line is not corroborated, next arterial line is selected.");
+  ("Req-17.5",
+   "If override selection is provided, if override yes is pressed, and \
+    arterial line is corroborated, and pulse wave is not corroborated, \
+    next pulse wave is selected.");
+  ("Req-17.6",
+   "If override selection is provided, if override no is pressed, next \
+    manual mode is started.");
+  ("Req-17.7",
+   "If cuff and arterial line and pulse wave are not available, next \
+    manual mode is started.");
+  ("Req-20",
+   "If manual mode is running and start auto control button is pressed, \
+    next corroboration is triggered.");
+  ("Req-28",
+   "If a valid blood pressure is unavailable in 180 seconds, manual mode \
+    should be triggered.");
+  ("Req-32.1",
+   "If pulse wave or arterial line is available, and cuff is selected, \
+    corroboration is triggered.");
+  ("Req-32.2",
+   "If pulse wave is selected, and arterial line is available, \
+    corroboration is triggered.");
+  ("Req-34",
+   "When auto control mode is running, terminate auto control button \
+    should be available.");
+  ("Req-42",
+   "When auto control mode is running, and the arterial line, or pulse \
+    wave or cuff is lost, an alarm should sound in 60 seconds.");
+  ("Req-44",
+   "If pulse wave and arterial line are unavailable, and cuff is \
+    selected, and blood pressure is not valid, next manual mode is \
+    started.");
+  ("Req-48.1",
+   "Whenever termiante auto control button is selected, a confirmation \
+    button is available.");
+  ("Req-48.2",
+   "If a confirmation button is available, and confirmation yes is \
+    pressed, manual mode is started.");
+  ("Req-48.3",
+   "If a confirmation button is available, and confirmation no is \
+    pressed, auto control mode is running.");
+  ("Req-48.4",
+   "If a confirmation button is available, and confirmation yes is \
+    pressed, next confirmation yes is disabled.");
+  ("Req-48.5",
+   "If a confirmation button is available, and confirmation no is \
+    pressed, next confirmation no is disabled.");
+  ("Req-48.6",
+   "If a confirmation button is available, and terminating auto control \
+    button is pressed, next terminating auto control button is disabled.");
+  ("Req-49",
+   "When a start auto control button is enabled, the start auto control \
+    button is enabled until it is pressed.");
+  ("Req-54",
+   "If auto control mode is running, and impedance reading is \
+    unavailable, next auto control model is terminated.");
+]
+
+let working_mode_texts = List.map snd working_modes
+
+(* The prose of Sec. III ("System Description") as structured English:
+   the three operating modes, the battery fallback, and the
+   arterial-line > pulse-wave > cuff source priority. *)
+let mode_description = [
+  ("Mode-1", "If the pump is off, wait mode is running.");
+  ("Mode-2", "If the pump is off, the blood pressure monitor is disabled.");
+  ("Mode-3", "If the pump is turned on, manual mode is started.");
+  ("Mode-4", "If manual mode is running, the software is monitoring.");
+  ("Mode-5",
+   "If the power supply is lost, the battery is selected and the alarm \
+    is triggered.");
+  ("Mode-6",
+   "If manual mode is running and the start auto control button is \
+    pressed, auto control mode is started.");
+  ("Mode-7", "If the pump is off, auto control mode is not running.");
+  ("Mode-8",
+   "When auto control mode is running, the infusion rate is controlled.");
+  ("Prio-1",
+   "If the arterial line is available, the arterial line is selected.");
+  ("Prio-2",
+   "If the arterial line is lost and the pulse wave is available, the \
+    pulse wave is selected.");
+  ("Prio-3",
+   "If the arterial line is lost and the pulse wave is lost and the \
+    cuff is available, the cuff is selected.");
+  ("Prio-4",
+   "If the arterial line is lost and the pulse wave is lost and the \
+    cuff is lost, manual mode is started.");
+]
+
+let mode_description_texts = List.map snd mode_description
+
+type component = {
+  row : string;
+  name : string;
+  profile : Specgen.profile;
+}
+
+(* Scales from Table I: (row, name, lines, inputs, outputs). *)
+let components =
+  List.map
+    (fun (row, name, prefix, lines, inputs, outputs) ->
+       { row; name; profile = { Specgen.prefix; lines; inputs; outputs } })
+    [
+      ("1", "Pump Monitor", "pm", 20, 9, 14);
+      ("2.1.1", "BPM: cuff detector", "cuffdet", 14, 13, 12);
+      ("2.1.2", "BPM: AL detector", "aldet", 15, 11, 14);
+      ("2.1.3", "BPM: pulse wave detector", "pwdet", 14, 9, 12);
+      ("2.2.1", "BPM: initial auto control", "iac", 16, 14, 15);
+      ("2.2.2", "BPM: first corroboration", "fcor", 19, 11, 16);
+      ("2.2.3", "BPM: valid ctrl blood pressure", "vbp", 13, 11, 10);
+      ("2.2.4", "BPM: cuff source handler", "csh", 11, 9, 10);
+      ("2.2.5", "BPM: arterial line blood pressure", "albp", 16, 9, 13);
+      ("2.2.6", "BPM: arterial line corroboration", "alc", 12, 8, 13);
+      ("2.2.7", "BPM: pulse wave handler", "pwh", 20, 10, 21);
+      ("3.1", "(PA) Model ctrl algorithm", "mca", 9, 15, 11);
+      ("3.2", "(PA) Polling algorithm", "pa", 56, 12, 20);
+    ]
+
+let component_sentences component = Specgen.sentences component.profile

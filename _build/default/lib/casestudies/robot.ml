@@ -1,0 +1,107 @@
+open Speccc_logic
+
+type scenario = {
+  robots : int;
+  rooms : int;
+  formulas : Ltl.t list;
+  inputs : string list;
+  outputs : string list;
+}
+
+let room_prop robot room = Printf.sprintf "r%d_room_%d" robot room
+
+let scenario ~robots ~rooms =
+  if robots < 1 then invalid_arg "Robot.scenario: robots < 1";
+  if rooms < 2 then invalid_arg "Robot.scenario: rooms < 2";
+  if robots > rooms then invalid_arg "Robot.scenario: more robots than rooms";
+  let injured = Ltl.prop "injured_seen" in
+  let at_medic = Ltl.prop "at_medic" in
+  let carry = Ltl.prop "carry" in
+  let room robot k = Ltl.prop (room_prop robot k) in
+  let all_rooms robot = List.init rooms (room robot) in
+  let per_robot robot =
+    (* star topology: from room k the robot may stay, go to the
+       corridor (room 0), or — from the corridor — enter any room *)
+    let movement k =
+      let targets =
+        if k = 0 then all_rooms robot
+        else [ room robot k; room robot 0 ]
+      in
+      Ltl.always
+        (Ltl.implies (room robot k) (Ltl.next (Ltl.disj_list targets)))
+    in
+    let somewhere = Ltl.always (Ltl.disj_list (all_rooms robot)) in
+    let exclusive =
+      Ltl.always
+        (Ltl.conj_list
+           (List.concat_map
+              (fun i ->
+                 List.filter_map
+                   (fun j ->
+                      if j > i then
+                        Some (Ltl.neg (Ltl.conj (room robot i) (room robot j)))
+                      else None)
+                   (List.init rooms Fun.id))
+              (List.init rooms Fun.id)))
+    in
+    let patrol = Ltl.always (Ltl.eventually (room robot 0)) in
+    List.map movement (List.init rooms Fun.id)
+    @ [ somewhere; exclusive; patrol ]
+  in
+  let shared =
+    [
+      (* someone spotted: eventually a robot carries them *)
+      Ltl.always (Ltl.implies injured (Ltl.eventually carry));
+      (* hand over at the medic *)
+      Ltl.always
+        (Ltl.implies (Ltl.conj carry at_medic) (Ltl.next (Ltl.neg carry)));
+    ]
+  in
+  let coordination =
+    (* with several robots, a sighting recalls every robot to the
+       corridor for the hand-over *)
+    if robots < 2 then []
+    else
+      List.init robots (fun robot ->
+          Ltl.always
+            (Ltl.implies injured (Ltl.eventually (room robot 0))))
+  in
+  let no_collision =
+    if robots < 2 then []
+    else
+      List.init rooms (fun k ->
+          Ltl.always
+            (Ltl.conj_list
+               (List.concat_map
+                  (fun a ->
+                     List.filter_map
+                       (fun b ->
+                          if b > a then
+                            Some (Ltl.neg (Ltl.conj (room a k) (room b k)))
+                          else None)
+                       (List.init robots Fun.id))
+                  (List.init robots Fun.id))))
+  in
+  let formulas =
+    List.concat_map per_robot (List.init robots Fun.id)
+    @ shared @ coordination @ no_collision
+  in
+  let outputs =
+    List.concat_map
+      (fun robot -> List.init rooms (room_prop robot))
+      (List.init robots Fun.id)
+    @ [ "carry" ]
+  in
+  {
+    robots;
+    rooms;
+    formulas;
+    inputs = [ "injured_seen"; "at_medic" ];
+    outputs;
+  }
+
+let table_rows = [
+  ("1", "A robot with 4 rooms", scenario ~robots:1 ~rooms:4);
+  ("2", "A robot with 9 rooms", scenario ~robots:1 ~rooms:9);
+  ("3", "Two robots with 5 rooms", scenario ~robots:2 ~rooms:5);
+]

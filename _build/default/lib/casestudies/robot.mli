@@ -1,0 +1,28 @@
+(** The rescue-robot scenario (third case study; adapted, like the
+    paper, from Kress-Gazit et al.).
+
+    Rooms are arranged in a star around room 0 (the corridor, where
+    the medic waits): every room connects to room 0 and to itself.
+    Robots search for injured people and carry them to the medic; two
+    robots may never share a room.  The specification is produced
+    directly in LTL (the scenario of [10] is already formal).
+
+    Propositions: outputs [rN_room_K] (robot N is in room K) and
+    [carry] (someone is aboard); inputs [injured_seen] and [at_medic]
+    — exactly two inputs, as in every robot row of Table I. *)
+
+type scenario = {
+  robots : int;
+  rooms : int;
+  formulas : Speccc_logic.Ltl.t list;
+  inputs : string list;
+  outputs : string list;
+}
+
+val scenario : robots:int -> rooms:int -> scenario
+(** Raises [Invalid_argument] when [robots < 1], [rooms < 2] or
+    [robots > rooms]. *)
+
+val table_rows : (string * string * scenario) list
+(** The three Table I rows: (row id, name, scenario) for 1×4, 1×9 and
+    2×5. *)

@@ -1,0 +1,67 @@
+type source =
+  | Sentences of string list
+  | Formulas of Speccc_logic.Ltl.t list * string list * string list
+
+type expected =
+  | Consistent
+  | Inconsistent_until_partition_fix of string
+
+type row = {
+  group : string;
+  row_id : string;
+  name : string;
+  source : source;
+  expected : expected;
+}
+
+let cara_rows =
+  {
+    group = "CARA";
+    row_id = "0";
+    name = "Working mode and switching";
+    source = Sentences Cara.working_mode_texts;
+    expected = Consistent;
+  }
+  :: List.map
+    (fun component ->
+       {
+         group = "CARA";
+         row_id = component.Cara.row;
+         name = component.Cara.name;
+         source = Sentences (Cara.component_sentences component);
+         expected = Consistent;
+       })
+    Cara.components
+
+let tele_rows =
+  List.map
+    (fun app ->
+       {
+         group = "TELE";
+         row_id = app.Telepromise.row;
+         name = app.Telepromise.name;
+         source = Sentences (Telepromise.application_sentences app);
+         expected =
+           (match app.Telepromise.trap_prop with
+            | None -> Consistent
+            | Some prop -> Inconsistent_until_partition_fix prop);
+       })
+    Telepromise.applications
+
+let robot_rows =
+  List.map
+    (fun (row_id, name, scenario) ->
+       {
+         group = "Robot";
+         row_id;
+         name;
+         source =
+           Formulas
+             ( scenario.Robot.formulas,
+               scenario.Robot.inputs,
+               scenario.Robot.outputs );
+         expected = Consistent;
+       })
+    Robot.table_rows
+
+let rows = cara_rows @ tele_rows @ robot_rows

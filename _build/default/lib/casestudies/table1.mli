@@ -1,0 +1,23 @@
+(** Descriptors for every row of the paper's Table I, binding each
+    specification to the pipeline stages that reproduce it. *)
+
+type source =
+  | Sentences of string list   (** goes through the full NL pipeline *)
+  | Formulas of Speccc_logic.Ltl.t list * string list * string list
+      (** already formal: (formulas, inputs, outputs) *)
+
+type expected =
+  | Consistent
+  | Inconsistent_until_partition_fix of string
+      (** the misclassified proposition to move to the outputs *)
+
+type row = {
+  group : string;    (** CARA / TELE / Robot *)
+  row_id : string;
+  name : string;
+  source : source;
+  expected : expected;
+}
+
+val rows : row list
+(** All 22 rows, in Table I order. *)

@@ -1,0 +1,64 @@
+type application = {
+  row : string;
+  name : string;
+  profile : Specgen.profile;
+  trap_prop : string option;
+}
+
+(* Scales from Table I: Shopping 29/11/24, Article processing 17/3/13,
+   On-line reservation 6/3/4, Information 15/8/14, Local bulletin
+   board 17/7/16.  The seeded trap contributes two requirement lines
+   and one input, so the generated profile is reduced accordingly for
+   the trapped applications. *)
+let applications = [
+  {
+    row = "1";
+    name = "Shopping";
+    profile = { Specgen.prefix = "shop"; lines = 29; inputs = 11; outputs = 24 };
+    trap_prop = None;
+  };
+  {
+    row = "2";
+    name = "Article processing";
+    profile = { Specgen.prefix = "art"; lines = 17; inputs = 3; outputs = 13 };
+    trap_prop = None;
+  };
+  {
+    row = "3";
+    name = "On-line reservation";
+    profile = { Specgen.prefix = "res"; lines = 6; inputs = 3; outputs = 4 };
+    trap_prop = None;
+  };
+  {
+    row = "4";
+    name = "Information";
+    profile = { Specgen.prefix = "info"; lines = 13; inputs = 7; outputs = 13 };
+    trap_prop = Some "info_lock";
+  };
+  {
+    row = "5";
+    name = "Local bulletin board";
+    profile = { Specgen.prefix = "bb"; lines = 15; inputs = 6; outputs = 15 };
+    trap_prop = Some "bb_lock";
+  };
+]
+
+(* The trap: the lock appears only in antecedents, so the heuristic
+   calls it an input; the environment can then raise it together with
+   the first sensor and force [issue_X && !issue_X].  With the lock
+   reclassified as an output the system simply holds it low.  The
+   trigger reuses the application's first generated sensor so the
+   input count matches Table I exactly (+1 for the lock). *)
+let trap_sentences profile lock =
+  let prefix = profile.Specgen.prefix in
+  let sensor = Specgen.sensor_name profile 0 in
+  [
+    Printf.sprintf "If %s is active, %s_reply is not issued." lock prefix;
+    Printf.sprintf "If %s is available, %s_reply is issued." sensor prefix;
+  ]
+
+let application_sentences app =
+  let generated = Specgen.sentences app.profile in
+  match app.trap_prop with
+  | None -> generated
+  | Some lock -> generated @ trap_sentences app.profile lock

@@ -1,0 +1,24 @@
+(** The TELEPROMISE case study: five generic applications (Shopping,
+    Article processing, On-line reservation, Information, Local
+    bulletin board) regenerated at Table I scale — the original
+    functional specification's link is dead (see DESIGN.md).
+
+    As in the paper, the last two applications (Information and Local
+    bulletin board) are {e initially inconsistent}: each contains an
+    internal lock variable that the Sec. IV-F heuristic classifies as
+    an input, letting the environment raise it together with a request
+    and force contradictory responses.  Reclassifying the lock as an
+    output (the paper's "modifying the input/output variable
+    partition") restores consistency; {!trap_prop} names the variable
+    so tests and benchmarks can exercise the refinement loop. *)
+
+type application = {
+  row : string;
+  name : string;
+  profile : Specgen.profile;
+  trap_prop : string option;
+      (** the misclassified lock variable, when seeded *)
+}
+
+val applications : application list
+val application_sentences : application -> string list

@@ -1,0 +1,1 @@
+lib/core/document.ml: Format List Printf String

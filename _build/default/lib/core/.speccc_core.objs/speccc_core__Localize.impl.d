@@ -1,0 +1,1 @@
+lib/core/localize.ml: Array Format Fun List Ltl Set Speccc_logic String

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Document Format List Ltl Partition Realizability Speccc_logic Speccc_partition Speccc_synthesis Speccc_timeabs Speccc_translate Timeabs Translate Unix

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Document Format Speccc_logic Speccc_partition Speccc_synthesis Speccc_timeabs Speccc_translate

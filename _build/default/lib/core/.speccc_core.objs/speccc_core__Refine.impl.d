@@ -1,0 +1,1 @@
+lib/core/refine.ml: Format List Localize Ltl Partition Speccc_logic Speccc_partition String

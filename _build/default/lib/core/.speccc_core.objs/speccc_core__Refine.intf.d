@@ -1,0 +1,1 @@
+lib/core/refine.mli: Localize Speccc_logic Speccc_partition

@@ -1,0 +1,91 @@
+open Speccc_logic
+
+type result = {
+  culprit : int;
+  consistent_prefix : int list;
+  relevant : int list;
+  partners : int list;
+}
+
+module String_set = Set.Make (String)
+
+let props_set formula = String_set.of_list (Ltl.props formula)
+
+let shares_props a b =
+  not (String_set.is_empty (String_set.inter (props_set a) (props_set b)))
+
+(* Minimal subset of [candidates] (indices into [formulas]) that is
+   inconsistent together with the culprit: drop candidates one at a
+   time, keeping the set inconsistent. *)
+let shrink_partners ~check formulas culprit candidates =
+  let formula_of i = List.nth formulas i in
+  let inconsistent indices =
+    not (check (formula_of culprit :: List.map formula_of indices))
+  in
+  if not (inconsistent candidates) then
+    (* The culprit only conflicts with the full context; keep all. *)
+    candidates
+  else
+    let rec minimize kept = function
+      | [] -> List.rev kept
+      | index :: rest ->
+        if inconsistent (List.rev_append kept rest) then
+          (* droppable *)
+          minimize kept rest
+        else minimize (index :: kept) rest
+    in
+    minimize [] candidates
+
+let run ~check formulas =
+  let formulas_array = Array.of_list formulas in
+  if check formulas then None
+  else begin
+    (* Incremental growth: add requirements in order while the subset
+       stays consistent. *)
+    let rec grow accepted index =
+      if index >= Array.length formulas_array then None
+      else
+        let subset =
+          List.map (fun i -> formulas_array.(i)) (List.rev accepted)
+          @ [ formulas_array.(index) ]
+        in
+        if check subset then grow (index :: accepted) (index + 1)
+        else Some (List.rev accepted, index)
+    in
+    match grow [] 0 with
+    | None ->
+      (* Each prefix was consistent, yet the whole set is not: numeric
+         instability cannot happen with a deterministic checker, but a
+         non-monotone check (bound effects) can land here; report the
+         last requirement as culprit. *)
+      let last = Array.length formulas_array - 1 in
+      Some
+        {
+          culprit = last;
+          consistent_prefix = List.init last Fun.id;
+          relevant = [];
+          partners = [];
+        }
+    | Some (prefix, culprit) ->
+      let culprit_formula = formulas_array.(culprit) in
+      let relevant =
+        List.filter
+          (fun i -> shares_props formulas_array.(i) culprit_formula)
+          prefix
+      in
+      let partners = shrink_partners ~check formulas culprit relevant in
+      Some { culprit; consistent_prefix = prefix; relevant; partners }
+  end
+
+let pp ppf result =
+  let show = function
+    | [] -> "(none)"
+    | l -> String.concat ", " (List.map string_of_int l)
+  in
+  Format.fprintf ppf
+    "@[<v>culprit: requirement %d@,consistent prefix: %s@,relevant: \
+     %s@,minimal partners: %s@]"
+    result.culprit
+    (show result.consistent_prefix)
+    (show result.relevant)
+    (show result.partners)

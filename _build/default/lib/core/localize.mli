@@ -1,0 +1,31 @@
+(** Inconsistency localization (Sec. V-B, first bullet): starting from
+    a consistent subset, requirements are added one at a time; the
+    first addition that breaks consistency is the culprit.  The other
+    requirements are then filtered by relevance (shared propositions
+    with the culprit), and a minimal inconsistent partner set inside
+    the relevant requirements is extracted by a delta-debugging-style
+    shrink, which handles the paper's "not neighbored" case. *)
+
+type result = {
+  culprit : int;
+      (** index of the requirement that broke consistency *)
+  consistent_prefix : int list;
+      (** indices accepted before the culprit *)
+  relevant : int list;
+      (** indices sharing propositions with the culprit *)
+  partners : int list;
+      (** minimal subset of [relevant] that is inconsistent together
+          with the culprit *)
+}
+
+val run :
+  check:(Speccc_logic.Ltl.t list -> bool) ->
+  Speccc_logic.Ltl.t list ->
+  result option
+(** [run ~check formulas]: [check] decides consistency of a subset
+    (typically realizability under a re-derived partition).  Returns
+    [None] when the whole specification is consistent.  A requirement
+    that is inconsistent on its own is reported as culprit with an
+    empty partner set. *)
+
+val pp : Format.formatter -> result -> unit

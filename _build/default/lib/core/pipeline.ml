@@ -1,0 +1,195 @@
+open Speccc_logic
+open Speccc_translate
+open Speccc_timeabs
+open Speccc_partition
+open Speccc_synthesis
+
+type options = {
+  translate : Translate.config;
+  time_budget : int option;
+  use_smt_abstraction : bool;
+  engine : Realizability.engine;
+  lookahead : int;
+  bound : int;
+}
+
+let default_options () = {
+  translate = Translate.default_config ();
+  time_budget = Some 5;
+  use_smt_abstraction = true;
+  engine = Realizability.Auto;
+  lookahead = 6;
+  bound = 8;
+}
+
+type stage_times = {
+  translation_s : float;
+  abstraction_s : float;
+  partition_s : float;
+  synthesis_s : float;
+}
+
+type outcome = {
+  requirements : Translate.requirement list;
+  formulas : Ltl.t list;
+  time_solution : Timeabs.solution option;
+  partition : Partition.analysis;
+  report : Realizability.report;
+  times : stage_times;
+}
+
+let timed f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let abstract_times options formulas =
+  match Timeabs.thetas_of_formulas formulas with
+  | [] -> (formulas, None)
+  | thetas ->
+    let solution =
+      match options.time_budget with
+      | None -> Timeabs.gcd_solution thetas
+      | Some budget ->
+        let problem = Timeabs.problem ~budget thetas in
+        if options.use_smt_abstraction then Timeabs.solve_smt problem
+        else Timeabs.solve_analytic problem
+    in
+    (List.map (Timeabs.apply solution) formulas, Some solution)
+
+let check_formulas ?options ?partition formulas =
+  let options =
+    match options with Some o -> o | None -> default_options ()
+  in
+  let partition =
+    match partition with
+    | Some p -> p
+    | None -> (Partition.of_requirements formulas).Partition.partition
+  in
+  let report =
+    Realizability.check ~engine:options.engine ~lookahead:options.lookahead
+      ~bound:options.bound ~inputs:partition.Partition.inputs
+      ~outputs:partition.Partition.outputs formulas
+  in
+  (partition, report)
+
+let run ?options texts =
+  let options =
+    match options with Some o -> o | None -> default_options ()
+  in
+  let translation, translation_s =
+    timed (fun () -> Translate.specification options.translate texts)
+  in
+  let raw_formulas =
+    List.map (fun r -> r.Translate.formula) translation.Translate.requirements
+  in
+  let (formulas, time_solution), abstraction_s =
+    timed (fun () -> abstract_times options raw_formulas)
+  in
+  let partition, partition_s =
+    timed (fun () -> Partition.of_requirements formulas)
+  in
+  let report, synthesis_s =
+    timed (fun () ->
+        Realizability.check ~engine:options.engine
+          ~lookahead:options.lookahead ~bound:options.bound
+          ~inputs:partition.Partition.partition.Partition.inputs
+          ~outputs:partition.Partition.partition.Partition.outputs formulas)
+  in
+  {
+    requirements = translation.Translate.requirements;
+    formulas;
+    time_solution;
+    partition;
+    report;
+    times = { translation_s; abstraction_s; partition_s; synthesis_s };
+  }
+
+let run_document ?options document =
+  let options =
+    match options with Some o -> o | None -> default_options ()
+  in
+  let texts = Document.texts document in
+  let translation, translation_s =
+    timed (fun () -> Translate.specification options.translate texts)
+  in
+  let raw_formulas =
+    List.map (fun r -> r.Translate.formula) translation.Translate.requirements
+  in
+  let (formulas, time_solution), abstraction_s =
+    timed (fun () -> abstract_times options raw_formulas)
+  in
+  let tagged = List.combine document formulas in
+  let assumptions =
+    List.filter_map
+      (fun (item, formula) ->
+         if Document.is_assumption item then Some formula else None)
+      tagged
+  in
+  let guarantees =
+    List.filter_map
+      (fun (item, formula) ->
+         if Document.is_assumption item then None else Some formula)
+      tagged
+  in
+  (* The Sec. IV-F heuristic reads requirement shapes, which
+     assumptions do not follow — partition over the guarantees, then
+     adopt assumption-only propositions as inputs (they describe the
+     environment). *)
+  let partition, partition_s =
+    timed (fun () ->
+        let analysis = Partition.of_requirements guarantees in
+        let known =
+          analysis.Partition.partition.Partition.inputs
+          @ analysis.Partition.partition.Partition.outputs
+        in
+        let extra =
+          List.concat_map Ltl.props assumptions
+          |> List.sort_uniq compare
+          |> List.filter (fun p -> not (List.mem p known))
+        in
+        {
+          analysis with
+          Partition.partition = {
+            analysis.Partition.partition with
+            Partition.inputs =
+              List.sort compare
+                (analysis.Partition.partition.Partition.inputs @ extra);
+          };
+        })
+  in
+  let report, synthesis_s =
+    timed (fun () ->
+        Realizability.check ~engine:options.engine
+          ~lookahead:options.lookahead ~bound:options.bound ~assumptions
+          ~inputs:partition.Partition.partition.Partition.inputs
+          ~outputs:partition.Partition.partition.Partition.outputs guarantees)
+  in
+  {
+    requirements = translation.Translate.requirements;
+    formulas;
+    time_solution;
+    partition;
+    report;
+    times = { translation_s; abstraction_s; partition_s; synthesis_s };
+  }
+
+let pp_outcome ppf outcome =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "requirements: %d@,"
+    (List.length outcome.requirements);
+  (match outcome.time_solution with
+   | Some solution ->
+     Format.fprintf ppf "time abstraction: %a@," Timeabs.pp_solution solution
+   | None -> Format.fprintf ppf "time abstraction: none needed@,");
+  Format.fprintf ppf "%a@," Partition.pp
+    outcome.partition.Partition.partition;
+  let verdict =
+    match outcome.report.Realizability.verdict with
+    | Realizability.Consistent -> "CONSISTENT (realizable)"
+    | Realizability.Inconsistent -> "INCONSISTENT (unrealizable)"
+    | Realizability.Inconclusive why -> "INCONCLUSIVE: " ^ why
+  in
+  Format.fprintf ppf "verdict: %s (engine: %s, %.3fs)@]" verdict
+    outcome.report.Realizability.engine_used
+    outcome.report.Realizability.wall_time

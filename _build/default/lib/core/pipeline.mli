@@ -1,0 +1,59 @@
+(** The SpecCC pipeline (Fig. 1): natural-language requirements are
+    translated to LTL (stage 1, with semantic reasoning and time
+    abstraction), partitioned into inputs/outputs, and checked for
+    consistency by LTL synthesis (stage 2).  Stage 3 — refinement — is
+    provided by {!Localize} and {!Refine}. *)
+
+type options = {
+  translate : Speccc_translate.Translate.config;
+  time_budget : int option;
+      (** error budget [B] for the abstraction; [None] = GCD only *)
+  use_smt_abstraction : bool;
+      (** true: solve the optimization by bit-blasting (the paper's
+          route); false: analytic divisor search *)
+  engine : Speccc_synthesis.Realizability.engine;
+  lookahead : int;
+  bound : int;
+}
+
+val default_options : unit -> options
+
+type stage_times = {
+  translation_s : float;
+  abstraction_s : float;
+  partition_s : float;
+  synthesis_s : float;
+}
+
+type outcome = {
+  requirements : Speccc_translate.Translate.requirement list;
+  formulas : Speccc_logic.Ltl.t list;
+      (** after time abstraction, in requirement order *)
+  time_solution : Speccc_timeabs.Timeabs.solution option;
+  partition : Speccc_partition.Partition.analysis;
+  report : Speccc_synthesis.Realizability.report;
+  times : stage_times;
+}
+
+val run : ?options:options -> string list -> outcome
+(** Full pipeline from requirement sentences. *)
+
+val run_document : ?options:options -> Document.t -> outcome
+(** Like {!run}, but items whose identifier marks them as environment
+    assumptions ({!Document.is_assumption}) become the antecedent of
+    the realizability check ([∧A → ∧G]) instead of system obligations.
+    Translation, time abstraction and partitioning still treat the
+    whole document uniformly, so assumptions share the proposition
+    space.  [outcome.formulas] lists every formula in document
+    order. *)
+
+val check_formulas :
+  ?options:options ->
+  ?partition:Speccc_partition.Partition.t ->
+  Speccc_logic.Ltl.t list ->
+  Speccc_partition.Partition.t * Speccc_synthesis.Realizability.report
+(** Stage 2 only: partition (unless given) and synthesis over formulas
+    that are already in LTL.  Used by the localization loop and by
+    specifications authored directly in LTL. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/lint/lint.ml: Array Format List Ltl Nbw Printf Speccc_automata Speccc_logic Trace

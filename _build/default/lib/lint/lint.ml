@@ -1,0 +1,93 @@
+open Speccc_logic
+open Speccc_automata
+
+type finding =
+  | Unsatisfiable of int
+  | Valid of int
+  | Pair_conflict of int * int * Trace.t
+  | Vacuous_guard of int
+
+let satisfiable formula = Nbw.find_word (Nbw.of_ltl formula)
+let valid formula = satisfiable (Ltl.neg formula) = None
+let equivalent f g = valid (Ltl.iff f g)
+
+(* The guard of a translated requirement: □(guard → _). *)
+let guard_of = function
+  | Ltl.Always (Ltl.Implies (guard, _)) -> Some guard
+  | Ltl.True | Ltl.False | Ltl.Prop _ | Ltl.Not _ | Ltl.And _ | Ltl.Or _
+  | Ltl.Implies _ | Ltl.Iff _ | Ltl.Next _ | Ltl.Eventually _ | Ltl.Always _
+  | Ltl.Until _ | Ltl.Weak_until _ | Ltl.Release _ ->
+    None
+
+let check formulas =
+  let formulas = Array.of_list formulas in
+  let n = Array.length formulas in
+  let findings = ref [] in
+  let unsat = Array.make n false in
+  (* per-requirement checks *)
+  for i = 0 to n - 1 do
+    if satisfiable formulas.(i) = None then begin
+      unsat.(i) <- true;
+      findings := Unsatisfiable i :: !findings
+    end
+    else if valid formulas.(i) then findings := Valid i :: !findings
+  done;
+  (* pairwise conflicts — only meaningful when both sides are
+     individually satisfiable, and bounded to keep the pass cheap *)
+  if n <= 60 then
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if (not unsat.(i)) && not unsat.(j) then
+          if satisfiable (Ltl.conj formulas.(i) formulas.(j)) = None then begin
+            let witness =
+              match satisfiable formulas.(i) with
+              | Some word -> word
+              | None -> assert false
+            in
+            findings := Pair_conflict (i, j, witness) :: !findings
+          end
+      done
+    done;
+  (* Vacuous guards.  The tableau is exponential in the number of
+     conjuncts, so the precise spec-relative check (can the guard ever
+     fire while the whole specification holds?) is reserved for small
+     specifications; beyond that the guard is only checked on its own
+     (a contradictory guard is vacuous under any context). *)
+  let context =
+    if n <= 10 then
+      let whole = Ltl.conj_list (Array.to_list formulas) in
+      if satisfiable whole <> None then Some whole else None
+    else Some Ltl.tt
+  in
+  (match context with
+   | None -> ()  (* the whole spec is unsatisfiable; pairs already blame *)
+   | Some context ->
+     for i = 0 to n - 1 do
+       match guard_of formulas.(i) with
+       | Some guard ->
+         if satisfiable (Ltl.conj context (Ltl.eventually guard)) = None then
+           findings := Vacuous_guard i :: !findings
+       | None -> ()
+     done);
+  List.rev !findings
+
+let pp_finding ~requirement_text ppf finding =
+  let describe i =
+    match requirement_text i with
+    | Some text -> Printf.sprintf "requirement %d (%s)" i text
+    | None -> Printf.sprintf "requirement %d" i
+  in
+  match finding with
+  | Unsatisfiable i ->
+    Format.fprintf ppf "%s is self-contradictory (unsatisfiable)"
+      (describe i)
+  | Valid i ->
+    Format.fprintf ppf "%s is a tautology — it constrains nothing"
+      (describe i)
+  | Pair_conflict (i, j, _) ->
+    Format.fprintf ppf "%s and %s cannot hold together" (describe i)
+      (describe j)
+  | Vacuous_guard i ->
+    Format.fprintf ppf
+      "%s never fires: its guard is unreachable under the specification"
+      (describe i)

@@ -1,0 +1,1 @@
+lib/logic/ltl.ml: Hashtbl Int List Map Set Stdlib String

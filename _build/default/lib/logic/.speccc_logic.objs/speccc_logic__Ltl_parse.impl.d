@@ -1,0 +1,1 @@
+lib/logic/ltl_parse.ml: List Ltl Printf String

@@ -1,0 +1,1 @@
+lib/logic/ltl_print.ml: Format Ltl

@@ -1,0 +1,1 @@
+lib/logic/nnf.mli: Ltl

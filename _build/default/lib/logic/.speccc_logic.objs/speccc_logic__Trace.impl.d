@@ -1,0 +1,1 @@
+lib/logic/trace.ml: Array Format List Ltl String

@@ -1,0 +1,44 @@
+let rec nnf_has_until = function
+  | Ltl.True | Ltl.False | Ltl.Prop _ | Ltl.Not _ -> false
+  | Ltl.Until _ | Ltl.Eventually _ -> true
+  | Ltl.And (f, g) | Ltl.Or (f, g) | Ltl.Release (f, g)
+  | Ltl.Implies (f, g) | Ltl.Iff (f, g) | Ltl.Weak_until (f, g) ->
+    nnf_has_until f || nnf_has_until g
+  | Ltl.Next f | Ltl.Always f -> nnf_has_until f
+
+let rec nnf_has_release = function
+  | Ltl.True | Ltl.False | Ltl.Prop _ | Ltl.Not _ -> false
+  | Ltl.Release _ | Ltl.Always _ | Ltl.Weak_until _ -> true
+  | Ltl.And (f, g) | Ltl.Or (f, g) | Ltl.Until (f, g)
+  | Ltl.Implies (f, g) | Ltl.Iff (f, g) ->
+    nnf_has_release f || nnf_has_release g
+  | Ltl.Next f | Ltl.Eventually f -> nnf_has_release f
+
+let is_syntactic_safety f = not (nnf_has_until (Nnf.of_formula f))
+let is_syntactic_cosafety f = not (nnf_has_release (Nnf.of_formula f))
+let has_liveness f = nnf_has_until (Nnf.of_formula f)
+
+let bound_liveness ~bound f =
+  if bound < 1 then invalid_arg "Classify.bound_liveness: bound < 1";
+  (* Bounded until: h ∨ (g ∧ X (h ∨ (g ∧ X ...))), [bound] layers. *)
+  let bounded_until g h =
+    let rec layers k = if k = 1 then h else Ltl.disj h (Ltl.conj g (Ltl.next (layers (k - 1)))) in
+    layers bound
+  in
+  let rec rewrite = function
+    | Ltl.True -> Ltl.True
+    | Ltl.False -> Ltl.False
+    | (Ltl.Prop _ | Ltl.Not _) as leaf -> leaf
+    | Ltl.And (g, h) -> Ltl.conj (rewrite g) (rewrite h)
+    | Ltl.Or (g, h) -> Ltl.disj (rewrite g) (rewrite h)
+    | Ltl.Next g -> Ltl.next (rewrite g)
+    | Ltl.Eventually g -> bounded_until Ltl.tt (rewrite g)
+    | Ltl.Always g -> Ltl.always (rewrite g)
+    | Ltl.Until (g, h) -> bounded_until (rewrite g) (rewrite h)
+    | Ltl.Release (g, h) -> Ltl.release (rewrite g) (rewrite h)
+    | (Ltl.Implies _ | Ltl.Iff _ | Ltl.Weak_until _) as unexpected ->
+      (* NNF never contains these. *)
+      assert (not (Nnf.is_nnf unexpected));
+      rewrite (Nnf.of_formula unexpected)
+  in
+  rewrite (Nnf.of_formula f)

@@ -1,0 +1,25 @@
+(** Syntactic fragment classification and the bounded-liveness
+    strengthening used by the symbolic engine (the counterpart of
+    G4LTL's look-ahead parameter).
+
+    Classification is performed on the negation normal form: a formula
+    is {e syntactically safe} when its NNF contains neither [Until] nor
+    [Eventually]; {e syntactically co-safe} when it contains neither
+    [Release] nor [Always].  Syntactic safety implies semantic safety. *)
+
+val is_syntactic_safety : Ltl.t -> bool
+val is_syntactic_cosafety : Ltl.t -> bool
+
+val has_liveness : Ltl.t -> bool
+(** True when the NNF contains [Until] or [Eventually] (so the bounded
+    strengthening below is not the identity). *)
+
+val bound_liveness : bound:int -> Ltl.t -> Ltl.t
+(** [bound_liveness ~bound f] puts [f] in NNF and replaces every
+    eventuality by its [bound]-step unrolling:
+    [F g ↦ g ∨ Xg ∨ … ∨ X^(bound-1) g] and
+    [g U h ↦ h ∨ (g ∧ X(h ∨ (g ∧ X …)))] with [bound] disjuncts.
+    The result is a syntactic-safety formula that {e implies} [f]
+    (a strengthening): realizability of the result is sound evidence
+    for realizability of [f].  Raises [Invalid_argument] when
+    [bound < 1]. *)

@@ -1,0 +1,204 @@
+type t =
+  | True
+  | False
+  | Prop of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Next of t
+  | Eventually of t
+  | Always of t
+  | Until of t * t
+  | Weak_until of t * t
+  | Release of t * t
+
+let tt = True
+let ff = False
+let prop name = Prop name
+
+let neg = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let conj f g =
+  match f, g with
+  | True, h | h, True -> h
+  | False, _ | _, False -> False
+  | _ -> And (f, g)
+
+let disj f g =
+  match f, g with
+  | False, h | h, False -> h
+  | True, _ | _, True -> True
+  | _ -> Or (f, g)
+
+let implies f g =
+  match f, g with
+  | True, h -> h
+  | False, _ -> True
+  | _, True -> True
+  | h, False -> neg h
+  | _ -> Implies (f, g)
+
+let iff f g =
+  match f, g with
+  | True, h | h, True -> h
+  | False, h | h, False -> neg h
+  | _ -> Iff (f, g)
+
+let next f = Next f
+
+let eventually = function
+  | True -> True
+  | False -> False
+  | Eventually f -> Eventually f
+  | f -> Eventually f
+
+let always = function
+  | True -> True
+  | False -> False
+  | Always f -> Always f
+  | f -> Always f
+
+let until f g =
+  match f, g with
+  | _, True -> True
+  | _, False -> False
+  | True, h -> eventually h
+  | False, h -> h
+  | _ -> Until (f, g)
+
+let weak_until f g =
+  match f, g with
+  | _, True -> True
+  | True, _ -> True
+  | False, h -> h
+  | f, False -> always f
+  | _ -> Weak_until (f, g)
+
+let release f g =
+  match f, g with
+  | _, True -> True
+  | _, False -> False
+  | True, h -> h
+  | False, h -> always h
+  | _ -> Release (f, g)
+
+let conj_list fs = List.fold_left conj True fs
+let disj_list fs = List.fold_left disj False fs
+
+let next_n k f =
+  if k < 0 then invalid_arg "Ltl.next_n: negative count";
+  let rec loop k f = if k = 0 then f else loop (k - 1) (Next f) in
+  loop k f
+
+let equal = ( = )
+let compare = Stdlib.compare
+let hash = Hashtbl.hash
+
+let rec size = function
+  | True | False | Prop _ -> 1
+  | Not f | Next f | Eventually f | Always f -> 1 + size f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g)
+  | Until (f, g) | Weak_until (f, g) | Release (f, g) ->
+    1 + size f + size g
+
+module String_set = Set.Make (String)
+
+let props formula =
+  let rec collect acc = function
+    | True | False -> acc
+    | Prop p -> String_set.add p acc
+    | Not f | Next f | Eventually f | Always f -> collect acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g)
+    | Until (f, g) | Weak_until (f, g) | Release (f, g) ->
+      collect (collect acc f) g
+  in
+  String_set.elements (collect String_set.empty formula)
+
+let rec next_depth = function
+  | True | False | Prop _ -> 0
+  | Next f -> 1 + next_depth f
+  | Not f | Eventually f | Always f -> next_depth f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g)
+  | Until (f, g) | Weak_until (f, g) | Release (f, g) ->
+    max (next_depth f) (next_depth g)
+
+module Int_set = Set.Make (Int)
+
+(* A maximal chain is a run of [Next] whose parent is not a [Next]. *)
+let next_chains formula =
+  let rec chain_length = function Next f -> 1 + chain_length f | _ -> 0 in
+  let rec below = function Next f -> below f | f -> f in
+  let rec collect acc = function
+    | True | False | Prop _ -> acc
+    | Next _ as f ->
+      let acc = Int_set.add (chain_length f) acc in
+      collect acc (below f)
+    | Not f | Eventually f | Always f -> collect acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g)
+    | Until (f, g) | Weak_until (f, g) | Release (f, g) ->
+      collect (collect acc f) g
+  in
+  List.rev (Int_set.elements (collect Int_set.empty formula))
+
+let rec map_props subst = function
+  | True -> True
+  | False -> False
+  | Prop p -> subst p
+  | Not f -> neg (map_props subst f)
+  | And (f, g) -> conj (map_props subst f) (map_props subst g)
+  | Or (f, g) -> disj (map_props subst f) (map_props subst g)
+  | Implies (f, g) -> implies (map_props subst f) (map_props subst g)
+  | Iff (f, g) -> iff (map_props subst f) (map_props subst g)
+  | Next f -> next (map_props subst f)
+  | Eventually f -> eventually (map_props subst f)
+  | Always f -> always (map_props subst f)
+  | Until (f, g) -> until (map_props subst f) (map_props subst g)
+  | Weak_until (f, g) -> weak_until (map_props subst f) (map_props subst g)
+  | Release (f, g) -> release (map_props subst f) (map_props subst g)
+
+let rename_props rename = map_props (fun p -> Prop (rename p))
+
+module Self = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Self)
+module Map = Map.Make (Self)
+
+let subformulas formula =
+  let seen = ref Set.empty in
+  let order = ref [] in
+  let visit_node f =
+    if not (Set.mem f !seen) then begin
+      seen := Set.add f !seen;
+      order := f :: !order
+    end
+  in
+  let rec visit f =
+    (match f with
+     | True | False | Prop _ -> ()
+     | Not g | Next g | Eventually g | Always g -> visit g
+     | And (g, h) | Or (g, h) | Implies (g, h) | Iff (g, h)
+     | Until (g, h) | Weak_until (g, h) | Release (g, h) ->
+       visit g;
+       visit h);
+    visit_node f
+  in
+  visit formula;
+  List.rev !order
+
+let rec is_propositional = function
+  | True | False | Prop _ -> true
+  | Not f -> is_propositional f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+    is_propositional f && is_propositional g
+  | Next _ | Eventually _ | Always _ | Until _ | Weak_until _ | Release _ ->
+    false

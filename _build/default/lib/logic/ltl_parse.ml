@@ -1,0 +1,192 @@
+exception Error of string
+
+type token =
+  | Tok_true
+  | Tok_false
+  | Tok_not
+  | Tok_and
+  | Tok_or
+  | Tok_implies
+  | Tok_iff
+  | Tok_next
+  | Tok_eventually
+  | Tok_always
+  | Tok_until
+  | Tok_weak_until
+  | Tok_release
+  | Tok_lparen
+  | Tok_rparen
+  | Tok_ident of string
+  | Tok_eof
+
+let describe = function
+  | Tok_true -> "'true'"
+  | Tok_false -> "'false'"
+  | Tok_not -> "'!'"
+  | Tok_and -> "'&&'"
+  | Tok_or -> "'||'"
+  | Tok_implies -> "'->'"
+  | Tok_iff -> "'<->'"
+  | Tok_next -> "'X'"
+  | Tok_eventually -> "'F'"
+  | Tok_always -> "'G'"
+  | Tok_until -> "'U'"
+  | Tok_weak_until -> "'W'"
+  | Tok_release -> "'R'"
+  | Tok_lparen -> "'('"
+  | Tok_rparen -> "')'"
+  | Tok_ident name -> Printf.sprintf "identifier %S" name
+  | Tok_eof -> "end of input"
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\'' || c = '-'
+
+let keyword_token = function
+  | "true" -> Some Tok_true
+  | "false" -> Some Tok_false
+  | "not" -> Some Tok_not
+  | "and" -> Some Tok_and
+  | "or" -> Some Tok_or
+  | "X" -> Some Tok_next
+  | "F" -> Some Tok_eventually
+  | "G" -> Some Tok_always
+  | "U" -> Some Tok_until
+  | "W" -> Some Tok_weak_until
+  | "R" -> Some Tok_release
+  | _ -> None
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let rec scan i =
+    if i >= n then ()
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1)
+      | '(' -> emit Tok_lparen; scan (i + 1)
+      | ')' -> emit Tok_rparen; scan (i + 1)
+      | '!' | '~' -> emit Tok_not; scan (i + 1)
+      | '&' ->
+        let next = if i + 1 < n && input.[i + 1] = '&' then i + 2 else i + 1 in
+        emit Tok_and; scan next
+      | '|' ->
+        let next = if i + 1 < n && input.[i + 1] = '|' then i + 2 else i + 1 in
+        emit Tok_or; scan next
+      | '1' -> emit Tok_true; scan (i + 1)
+      | '0' -> emit Tok_false; scan (i + 1)
+      | '-' when i + 1 < n && input.[i + 1] = '>' ->
+        emit Tok_implies; scan (i + 2)
+      | '=' when i + 1 < n && input.[i + 1] = '>' ->
+        emit Tok_implies; scan (i + 2)
+      | '<' when i + 2 < n && input.[i + 1] = '-' && input.[i + 2] = '>' ->
+        emit Tok_iff; scan (i + 3)
+      | '<' when i + 2 < n && input.[i + 1] = '=' && input.[i + 2] = '>' ->
+        emit Tok_iff; scan (i + 3)
+      | '<' when i + 1 < n && input.[i + 1] = '>' ->
+        emit Tok_eventually; scan (i + 2)
+      | '[' when i + 1 < n && input.[i + 1] = ']' ->
+        emit Tok_always; scan (i + 2)
+      | c when is_ident_start c ->
+        let j = ref (i + 1) in
+        while !j < n && is_ident_char input.[!j] do incr j done;
+        let word = String.sub input i (!j - i) in
+        (match keyword_token word with
+         | Some tok -> emit tok
+         | None -> emit (Tok_ident word));
+        scan !j
+      | c -> fail "unexpected character %C at offset %d" c i
+  in
+  scan 0;
+  List.rev (Tok_eof :: !tokens)
+
+(* Recursive-descent parser over the token list.  Grammar, loosest
+   binding first:
+     iff     ::= implies ('<->' implies)*          (right assoc)
+     implies ::= or ('->' implies)?                (right assoc)
+     or      ::= and ('||' and)*
+     and     ::= until ('&&' until)*
+     until   ::= unary (('U'|'W'|'R') until)?      (right assoc)
+     unary   ::= ('!'|'X'|'F'|'G') unary | atom
+     atom    ::= 'true' | 'false' | ident | '(' iff ')' *)
+let parse tokens =
+  let stream = ref tokens in
+  let peek () = match !stream with tok :: _ -> tok | [] -> Tok_eof in
+  let advance () =
+    match !stream with _ :: rest -> stream := rest | [] -> ()
+  in
+  let expect tok =
+    if peek () = tok then advance ()
+    else fail "expected %s but found %s" (describe tok) (describe (peek ()))
+  in
+  let rec parse_iff () =
+    let lhs = parse_implies () in
+    if peek () = Tok_iff then begin
+      advance ();
+      Ltl.iff lhs (parse_iff ())
+    end
+    else lhs
+  and parse_implies () =
+    let lhs = parse_or () in
+    if peek () = Tok_implies then begin
+      advance ();
+      Ltl.implies lhs (parse_implies ())
+    end
+    else lhs
+  and parse_or () =
+    let lhs = ref (parse_and ()) in
+    while peek () = Tok_or do
+      advance ();
+      lhs := Ltl.disj !lhs (parse_and ())
+    done;
+    !lhs
+  and parse_and () =
+    let lhs = ref (parse_until ()) in
+    while peek () = Tok_and do
+      advance ();
+      lhs := Ltl.conj !lhs (parse_until ())
+    done;
+    !lhs
+  and parse_until () =
+    let lhs = parse_unary () in
+    match peek () with
+    | Tok_until -> advance (); Ltl.until lhs (parse_until ())
+    | Tok_weak_until -> advance (); Ltl.weak_until lhs (parse_until ())
+    | Tok_release -> advance (); Ltl.release lhs (parse_until ())
+    | Tok_true | Tok_false | Tok_not | Tok_and | Tok_or | Tok_implies
+    | Tok_iff | Tok_next | Tok_eventually | Tok_always | Tok_lparen
+    | Tok_rparen | Tok_ident _ | Tok_eof ->
+      lhs
+  and parse_unary () =
+    match peek () with
+    | Tok_not -> advance (); Ltl.neg (parse_unary ())
+    | Tok_next -> advance (); Ltl.next (parse_unary ())
+    | Tok_eventually -> advance (); Ltl.eventually (parse_unary ())
+    | Tok_always -> advance (); Ltl.always (parse_unary ())
+    | Tok_true | Tok_false | Tok_and | Tok_or | Tok_implies | Tok_iff
+    | Tok_until | Tok_weak_until | Tok_release | Tok_lparen | Tok_rparen
+    | Tok_ident _ | Tok_eof ->
+      parse_atom ()
+  and parse_atom () =
+    match peek () with
+    | Tok_true -> advance (); Ltl.tt
+    | Tok_false -> advance (); Ltl.ff
+    | Tok_ident name -> advance (); Ltl.prop name
+    | Tok_lparen ->
+      advance ();
+      let inner = parse_iff () in
+      expect Tok_rparen;
+      inner
+    | tok -> fail "expected a formula but found %s" (describe tok)
+  in
+  let result = parse_iff () in
+  expect Tok_eof;
+  result
+
+let formula input = parse (tokenize input)
+let formula_opt input = try Some (formula input) with Error _ -> None

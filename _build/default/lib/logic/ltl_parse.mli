@@ -1,0 +1,23 @@
+(** Parsing of textual LTL formulas.
+
+    The accepted syntax covers the printer's [Ascii] and [Paper] modes
+    plus common aliases:
+    - constants: [true], [false], [1], [0];
+    - negation: [!], [~], [not];
+    - conjunction: [&&], [&], [and];  disjunction: [||], [|], [or];
+    - implication: [->], [=>];  equivalence: [<->], [<=>];
+    - temporal: [X], [F], [<>], [G], [[]], [U], [W], [R];
+    - identifiers: [[A-Za-z_][A-Za-z0-9_'-]*] (minus the keywords).
+
+    Operator precedence, loosest first: [<->], [->] (right
+    associative), [||], [&&], then [U]/[W]/[R] (right associative),
+    then unary. *)
+
+exception Error of string
+(** Raised with a human-readable message pointing at the offending
+    token. *)
+
+val formula : string -> Ltl.t
+(** Parse a formula; raises {!Error} on malformed input. *)
+
+val formula_opt : string -> Ltl.t option

@@ -1,0 +1,116 @@
+type syntax = Unicode | Ascii | Paper
+
+type tokens = {
+  tok_true : string;
+  tok_false : string;
+  tok_not : string;
+  tok_and : string;
+  tok_or : string;
+  tok_implies : string;
+  tok_iff : string;
+  tok_next : string;
+  tok_eventually : string;
+  tok_always : string;
+  tok_until : string;
+  tok_weak_until : string;
+  tok_release : string;
+}
+
+let unicode_tokens = {
+  tok_true = "true";
+  tok_false = "false";
+  tok_not = "\xc2\xac";                      (* ¬ *)
+  tok_and = "\xe2\x88\xa7";                  (* ∧ *)
+  tok_or = "\xe2\x88\xa8";                   (* ∨ *)
+  tok_implies = "\xe2\x86\x92";              (* → *)
+  tok_iff = "\xe2\x86\x94";                  (* ↔ *)
+  tok_next = "X";
+  tok_eventually = "\xe2\x99\xa6";           (* ♦ *)
+  tok_always = "\xe2\x96\xa1";               (* □ *)
+  tok_until = "U";
+  tok_weak_until = "W";
+  tok_release = "R";
+}
+
+let ascii_tokens = {
+  tok_true = "true";
+  tok_false = "false";
+  tok_not = "!";
+  tok_and = "&&";
+  tok_or = "||";
+  tok_implies = "->";
+  tok_iff = "<->";
+  tok_next = "X";
+  tok_eventually = "F";
+  tok_always = "G";
+  tok_until = "U";
+  tok_weak_until = "W";
+  tok_release = "R";
+}
+
+let paper_tokens = {
+  ascii_tokens with
+  tok_not = "!";
+  tok_eventually = "<>";
+  tok_always = "[]";
+}
+
+let tokens_of_syntax = function
+  | Unicode -> unicode_tokens
+  | Ascii -> ascii_tokens
+  | Paper -> paper_tokens
+
+(* Binding strength, loosest first.  Unary operators and atoms are
+   tightest.  [U]/[W]/[R] sit between [||] and the unary level, and are
+   treated as non-associative: nested occurrences are parenthesized. *)
+let prec = function
+  | Ltl.Iff _ -> 1
+  | Ltl.Implies _ -> 2
+  | Ltl.Or _ -> 3
+  | Ltl.And _ -> 4
+  | Ltl.Until _ | Ltl.Weak_until _ | Ltl.Release _ -> 5
+  | Ltl.Not _ | Ltl.Next _ | Ltl.Eventually _ | Ltl.Always _ -> 6
+  | Ltl.True | Ltl.False | Ltl.Prop _ -> 7
+
+let pp ?(syntax = Ascii) ppf formula =
+  let tok = tokens_of_syntax syntax in
+  let rec go ctx ppf f =
+    let p = prec f in
+    let atomically pp_body =
+      if p < ctx then Format.fprintf ppf "(%t)" pp_body else pp_body ppf
+    in
+    match f with
+    | Ltl.True -> Format.pp_print_string ppf tok.tok_true
+    | Ltl.False -> Format.pp_print_string ppf tok.tok_false
+    | Ltl.Prop name -> Format.pp_print_string ppf name
+    | Ltl.Not g ->
+      atomically (fun ppf ->
+          Format.fprintf ppf "%s%a" tok.tok_not (go (p + 1)) g)
+    | Ltl.Next g -> unary ppf ctx p tok.tok_next g
+    | Ltl.Eventually g -> unary ppf ctx p tok.tok_eventually g
+    | Ltl.Always g -> unary ppf ctx p tok.tok_always g
+    | Ltl.And (g, h) -> binary ppf ctx p tok.tok_and g h `Left
+    | Ltl.Or (g, h) -> binary ppf ctx p tok.tok_or g h `Left
+    | Ltl.Implies (g, h) -> binary ppf ctx p tok.tok_implies g h `Right
+    | Ltl.Iff (g, h) -> binary ppf ctx p tok.tok_iff g h `Right
+    | Ltl.Until (g, h) -> binary ppf ctx p tok.tok_until g h `None
+    | Ltl.Weak_until (g, h) -> binary ppf ctx p tok.tok_weak_until g h `None
+    | Ltl.Release (g, h) -> binary ppf ctx p tok.tok_release g h `None
+  and unary ppf ctx p op g =
+    let body ppf = Format.fprintf ppf "%s %a" op (go p) g in
+    if p < ctx then Format.fprintf ppf "(%t)" body else body ppf
+  and binary ppf ctx p op g h assoc =
+    let left_ctx, right_ctx =
+      match assoc with
+      | `Left -> p, p + 1
+      | `Right -> p + 1, p
+      | `None -> p + 1, p + 1
+    in
+    let body ppf =
+      Format.fprintf ppf "%a %s %a" (go left_ctx) g op (go right_ctx) h
+    in
+    if p < ctx then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  go 0 ppf formula
+
+let to_string ?syntax formula = Format.asprintf "%a" (pp ?syntax) formula

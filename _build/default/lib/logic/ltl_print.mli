@@ -1,0 +1,15 @@
+(** Pretty-printing of LTL formulas.
+
+    Three concrete syntaxes are supported:
+    - {e unicode}: ¬ ∧ ∨ → ↔ X ♦ □ U W R (as in the paper body);
+    - {e ascii}: ! && || -> <-> X F G U W R (parseable by
+      {!Ltl_parse.formula});
+    - {e paper}: the appendix style, e.g.
+      [[] (run_auto_control_mode -> (<> (inflate_cuff)))]. *)
+
+type syntax = Unicode | Ascii | Paper
+
+val pp : ?syntax:syntax -> Format.formatter -> Ltl.t -> unit
+(** Minimal parentheses; default syntax is [Ascii]. *)
+
+val to_string : ?syntax:syntax -> Ltl.t -> string

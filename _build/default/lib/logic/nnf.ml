@@ -1,0 +1,101 @@
+let rec of_formula f = positive f
+
+and positive = function
+  | Ltl.True -> Ltl.True
+  | Ltl.False -> Ltl.False
+  | Ltl.Prop _ as p -> p
+  | Ltl.Not g -> negative g
+  | Ltl.And (g, h) -> Ltl.conj (positive g) (positive h)
+  | Ltl.Or (g, h) -> Ltl.disj (positive g) (positive h)
+  | Ltl.Implies (g, h) -> Ltl.disj (negative g) (positive h)
+  | Ltl.Iff (g, h) ->
+    (* (g ∧ h) ∨ (¬g ∧ ¬h) *)
+    Ltl.disj
+      (Ltl.conj (positive g) (positive h))
+      (Ltl.conj (negative g) (negative h))
+  | Ltl.Next g -> Ltl.next (positive g)
+  | Ltl.Eventually g -> Ltl.eventually (positive g)
+  | Ltl.Always g -> Ltl.always (positive g)
+  | Ltl.Until (g, h) -> Ltl.until (positive g) (positive h)
+  | Ltl.Weak_until (g, h) ->
+    (* φ W ψ ≡ ψ R (φ ∨ ψ) *)
+    let phi = positive g and psi = positive h in
+    Ltl.release psi (Ltl.disj phi psi)
+  | Ltl.Release (g, h) -> Ltl.release (positive g) (positive h)
+
+and negative = function
+  | Ltl.True -> Ltl.False
+  | Ltl.False -> Ltl.True
+  | Ltl.Prop _ as p -> Ltl.neg p
+  | Ltl.Not g -> positive g
+  | Ltl.And (g, h) -> Ltl.disj (negative g) (negative h)
+  | Ltl.Or (g, h) -> Ltl.conj (negative g) (negative h)
+  | Ltl.Implies (g, h) -> Ltl.conj (positive g) (negative h)
+  | Ltl.Iff (g, h) ->
+    Ltl.disj
+      (Ltl.conj (positive g) (negative h))
+      (Ltl.conj (negative g) (positive h))
+  | Ltl.Next g -> Ltl.next (negative g)
+  | Ltl.Eventually g -> Ltl.always (negative g)
+  | Ltl.Always g -> Ltl.eventually (negative g)
+  | Ltl.Until (g, h) -> Ltl.release (negative g) (negative h)
+  | Ltl.Weak_until (g, h) ->
+    (* ¬(φ W ψ) ≡ ¬ψ U (¬φ ∧ ¬ψ) *)
+    let nphi = negative g and npsi = negative h in
+    Ltl.until npsi (Ltl.conj nphi npsi)
+  | Ltl.Release (g, h) -> Ltl.until (negative g) (negative h)
+
+let rec is_nnf = function
+  | Ltl.True | Ltl.False | Ltl.Prop _ -> true
+  | Ltl.Not (Ltl.Prop _) -> true
+  | Ltl.Not _ -> false
+  | Ltl.Implies _ | Ltl.Iff _ | Ltl.Weak_until _ -> false
+  | Ltl.And (g, h) | Ltl.Or (g, h) | Ltl.Until (g, h) | Ltl.Release (g, h) ->
+    is_nnf g && is_nnf h
+  | Ltl.Next g | Ltl.Eventually g | Ltl.Always g -> is_nnf g
+
+let rec simplify f =
+  let f' = simplify_once f in
+  if Ltl.equal f f' then f else simplify f'
+
+and simplify_once = function
+  | Ltl.True -> Ltl.True
+  | Ltl.False -> Ltl.False
+  | Ltl.Prop _ as p -> p
+  | Ltl.Not g -> Ltl.neg (simplify_once g)
+  | Ltl.And (g, h) ->
+    let g = simplify_once g and h = simplify_once h in
+    if Ltl.equal g h then g
+    else if Ltl.equal g (Ltl.neg h) then Ltl.False
+    else Ltl.conj g h
+  | Ltl.Or (g, h) ->
+    let g = simplify_once g and h = simplify_once h in
+    if Ltl.equal g h then g
+    else if Ltl.equal g (Ltl.neg h) then Ltl.True
+    else Ltl.disj g h
+  | Ltl.Implies (g, h) ->
+    let g = simplify_once g and h = simplify_once h in
+    if Ltl.equal g h then Ltl.True else Ltl.implies g h
+  | Ltl.Iff (g, h) ->
+    let g = simplify_once g and h = simplify_once h in
+    if Ltl.equal g h then Ltl.True else Ltl.iff g h
+  | Ltl.Next g -> Ltl.next (simplify_once g)
+  | Ltl.Eventually g ->
+    (match simplify_once g with
+     | Ltl.Eventually _ as inner -> inner
+     | Ltl.Or (a, b) -> Ltl.disj (Ltl.eventually a) (Ltl.eventually b)
+     | inner -> Ltl.eventually inner)
+  | Ltl.Always g ->
+    (match simplify_once g with
+     | Ltl.Always _ as inner -> inner
+     | Ltl.And (a, b) -> Ltl.conj (Ltl.always a) (Ltl.always b)
+     | inner -> Ltl.always inner)
+  | Ltl.Until (g, h) ->
+    let g = simplify_once g and h = simplify_once h in
+    if Ltl.equal g h then g else Ltl.until g h
+  | Ltl.Weak_until (g, h) ->
+    let g = simplify_once g and h = simplify_once h in
+    if Ltl.equal g h then g else Ltl.weak_until g h
+  | Ltl.Release (g, h) ->
+    let g = simplify_once g and h = simplify_once h in
+    if Ltl.equal g h then g else Ltl.release g h

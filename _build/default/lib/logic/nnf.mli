@@ -1,0 +1,18 @@
+(** Negation normal form and basic rewriting.
+
+    In NNF, negation occurs only in front of propositions; [Implies]
+    and [Iff] are expanded; [Eventually]/[Always] are kept (they are
+    their own duals' arguments) and [Weak_until] is rewritten using
+    [Release] ([φ W ψ ≡ ψ R (φ ∨ ψ)]). *)
+
+val of_formula : Ltl.t -> Ltl.t
+(** Equivalent formula in negation normal form. *)
+
+val is_nnf : Ltl.t -> bool
+
+val simplify : Ltl.t -> Ltl.t
+(** Cheap semantic-preserving rewriting: constant folding, idempotence
+    ([f ∧ f → f]), absorption of double temporal operators
+    ([G G f → G f], [F F f → F f]), [X]-distribution is {e not}
+    performed (it would destroy the θ chains the time abstraction
+    reads). *)

@@ -1,0 +1,134 @@
+type letter = (string * bool) list
+
+type t = {
+  prefix : letter list;
+  loop : letter list;
+  letters : letter array;   (* prefix @ loop *)
+  loop_start : int;
+}
+
+let make ~prefix ~loop =
+  if loop = [] then invalid_arg "Trace.make: empty loop";
+  {
+    prefix;
+    loop;
+    letters = Array.of_list (prefix @ loop);
+    loop_start = List.length prefix;
+  }
+
+let constant letter = make ~prefix:[] ~loop:[ letter ]
+let length word = Array.length word.letters
+let loop_start word = word.loop_start
+
+(* Position after folding into the stored range. *)
+let fold_position word i =
+  let n = Array.length word.letters in
+  if i < n then i
+  else
+    let loop_len = n - word.loop_start in
+    word.loop_start + ((i - word.loop_start) mod loop_len)
+
+let letter_at word i =
+  if i < 0 then invalid_arg "Trace.letter_at: negative position";
+  word.letters.(fold_position word i)
+
+let successor word i =
+  let n = Array.length word.letters in
+  if i + 1 < n then i + 1 else word.loop_start
+
+let prop_true letter name =
+  match List.assoc_opt name letter with Some b -> b | None -> false
+
+(* Evaluate a formula over all stored positions.  Boolean connectives
+   and [Next] are direct; [Until] is a least fixpoint (init false) and
+   [Release] a greatest fixpoint (init true), iterated to stability,
+   which takes at most [length] rounds. *)
+let rec values word formula : bool array =
+  let n = Array.length word.letters in
+  let pointwise op a b = Array.init n (fun i -> op a.(i) b.(i)) in
+  match formula with
+  | Ltl.True -> Array.make n true
+  | Ltl.False -> Array.make n false
+  | Ltl.Prop p -> Array.init n (fun i -> prop_true word.letters.(i) p)
+  | Ltl.Not f -> Array.map not (values word f)
+  | Ltl.And (f, g) -> pointwise ( && ) (values word f) (values word g)
+  | Ltl.Or (f, g) -> pointwise ( || ) (values word f) (values word g)
+  | Ltl.Implies (f, g) ->
+    pointwise (fun a b -> (not a) || b) (values word f) (values word g)
+  | Ltl.Iff (f, g) ->
+    pointwise (fun a b -> a = b) (values word f) (values word g)
+  | Ltl.Next f ->
+    let inner = values word f in
+    Array.init n (fun i -> inner.(successor word i))
+  | Ltl.Eventually f -> fixpoint word ~init:false (Array.make n true)
+                          (values word f)
+  | Ltl.Always f ->
+    fixpoint word ~init:true (values word f) (Array.make n false)
+  | Ltl.Until (f, g) -> fixpoint word ~init:false (values word f)
+                          (values word g)
+  | Ltl.Weak_until (f, g) ->
+    (* φ W ψ = (φ U ψ) ∨ G φ *)
+    let hold = values word f and target = values word g in
+    let until_vals = fixpoint word ~init:false hold target in
+    let always_vals =
+      fixpoint word ~init:true hold (Array.make n false)
+    in
+    pointwise ( || ) until_vals always_vals
+  | Ltl.Release (f, g) ->
+    (* ψ R φ: φ holds until (and including when) ψ holds; greatest
+       fixpoint of  v(i) = φ(i) ∧ (ψ(i) ∨ v(succ i)). *)
+    let release_vals = Array.make n true in
+    let trigger = values word f and hold = values word g in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = n - 1 downto 0 do
+        let v =
+          hold.(i) && (trigger.(i) || release_vals.(successor word i))
+        in
+        if v <> release_vals.(i) then begin
+          release_vals.(i) <- v;
+          changed := true
+        end
+      done
+    done;
+    release_vals
+
+(* Least fixpoint of  v(i) = target(i) ∨ (hold(i) ∧ v(succ i))
+   when [init] is false (Until-style); greatest fixpoint of
+   v(i) = hold(i) ∧ v(succ i)  when [init] is true (Always-style,
+   [target] ignored as always-false). *)
+and fixpoint word ~init hold target =
+  let n = Array.length hold in
+  let vals = Array.make n init in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let v =
+        if init then hold.(i) && vals.(successor word i)
+        else target.(i) || (hold.(i) && vals.(successor word i))
+      in
+      if v <> vals.(i) then begin
+        vals.(i) <- v;
+        changed := true
+      end
+    done
+  done;
+  vals
+
+let holds_at word i formula =
+  let vals = values word formula in
+  vals.(fold_position word i)
+
+let holds word formula = holds_at word 0 formula
+
+let pp ppf word =
+  let pp_letter ppf letter =
+    let trues =
+      List.filter_map (fun (p, b) -> if b then Some p else None) letter
+    in
+    Format.fprintf ppf "{%s}" (String.concat "," trues)
+  in
+  let pp_list = Format.pp_print_list ~pp_sep:Format.pp_print_space pp_letter in
+  Format.fprintf ppf "@[%a@ (%a)^w@]" pp_list word.prefix pp_list word.loop

@@ -1,0 +1,39 @@
+(** Exact LTL semantics over ultimately periodic words (lassos).
+
+    A lasso [u · v^ω] is given by a finite prefix [u] and a non-empty
+    loop [v]; each letter is the set of propositions true at that
+    instant.  Evaluation is by least/greatest fixpoint over the lasso
+    positions, so [Until] and [Release] get their standard infinite-word
+    semantics.  This module is the semantic reference the synthesis
+    engines are tested against. *)
+
+type letter = (string * bool) list
+(** Truth assignment at one instant; propositions absent from the list
+    are false. *)
+
+type t
+(** A lasso word. *)
+
+val make : prefix:letter list -> loop:letter list -> t
+(** Raises [Invalid_argument] if [loop] is empty. *)
+
+val constant : letter -> t
+(** The word repeating one letter forever. *)
+
+val length : t -> int
+(** Total number of stored positions, [|prefix| + |loop|]. *)
+
+val loop_start : t -> int
+(** Index of the first loop position ([|prefix|]). *)
+
+val letter_at : t -> int -> letter
+(** Letter at any position [i >= 0] (wrapping inside the loop). *)
+
+val holds : t -> Ltl.t -> bool
+(** [holds w f]: does [w, 0 ⊨ f]? *)
+
+val holds_at : t -> int -> Ltl.t -> bool
+(** [holds_at w i f]: does [w, i ⊨ f]?  [i] may exceed the stored
+    length; it is folded into the loop. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/monitor/monitor.ml: List Ltl Nnf Speccc_logic

@@ -1,0 +1,80 @@
+open Speccc_logic
+
+type status =
+  | Running of Ltl.t
+  | Violated of int
+  | Satisfied of int
+
+type t = {
+  original : Ltl.t;
+  mutable residual : Ltl.t;
+  mutable position : int;
+  mutable verdict : status;
+}
+
+let prop_value letter p =
+  match List.assoc_opt p letter with Some b -> b | None -> false
+
+(* Bacchus–Kabanza progression: prog(φ, σ) holds on w iff φ holds on
+   σ·w. *)
+let rec progress formula letter =
+  match formula with
+  | Ltl.True -> Ltl.True
+  | Ltl.False -> Ltl.False
+  | Ltl.Prop p -> if prop_value letter p then Ltl.True else Ltl.False
+  | Ltl.Not f -> Ltl.neg (progress f letter)
+  | Ltl.And (f, g) -> Ltl.conj (progress f letter) (progress g letter)
+  | Ltl.Or (f, g) -> Ltl.disj (progress f letter) (progress g letter)
+  | Ltl.Implies (f, g) -> Ltl.implies (progress f letter) (progress g letter)
+  | Ltl.Iff (f, g) -> Ltl.iff (progress f letter) (progress g letter)
+  | Ltl.Next f -> f
+  | Ltl.Eventually f -> Ltl.disj (progress f letter) (Ltl.eventually f)
+  | Ltl.Always f -> Ltl.conj (progress f letter) (Ltl.always f)
+  | Ltl.Until (f, g) ->
+    Ltl.disj (progress g letter)
+      (Ltl.conj (progress f letter) formula)
+  | Ltl.Weak_until (f, g) ->
+    Ltl.disj (progress g letter)
+      (Ltl.conj (progress f letter) formula)
+  | Ltl.Release (f, g) ->
+    Ltl.conj (progress g letter)
+      (Ltl.disj (progress f letter) formula)
+
+let create formula =
+  let simplified = Nnf.simplify formula in
+  {
+    original = formula;
+    residual = simplified;
+    position = 0;
+    verdict =
+      (match simplified with
+       | Ltl.True -> Satisfied 0
+       | Ltl.False -> Violated 0
+       | other -> Running other);
+  }
+
+let status monitor = monitor.verdict
+
+let step monitor letter =
+  (match monitor.verdict with
+   | Violated _ | Satisfied _ -> ()
+   | Running _ ->
+     let residual = Nnf.simplify (progress monitor.residual letter) in
+     monitor.residual <- residual;
+     monitor.verdict <-
+       (match residual with
+        | Ltl.True -> Satisfied monitor.position
+        | Ltl.False -> Violated monitor.position
+        | other -> Running other);
+     monitor.position <- monitor.position + 1);
+  monitor.verdict
+
+let run monitor letters =
+  List.iter (fun letter -> ignore (step monitor letter)) letters;
+  monitor.verdict
+
+let reset monitor =
+  let fresh = create monitor.original in
+  monitor.residual <- fresh.residual;
+  monitor.position <- 0;
+  monitor.verdict <- fresh.verdict

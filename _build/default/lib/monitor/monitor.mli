@@ -1,0 +1,41 @@
+(** Runtime verification of LTL requirements by formula progression
+    (Bacchus–Kabanza rewriting).
+
+    A monitor carries the residual obligation as a formula; each
+    observed letter rewrites it.  Reaching [False] means the observed
+    prefix is {e bad} — no continuation can satisfy the requirement;
+    reaching [True] means every continuation does.  This is the
+    "monitor the implementation against the specification" use of the
+    translated requirements, complementing synthesis (which builds the
+    implementation) and {!Speccc_synthesis.Verify} (which checks a
+    model offline).
+
+    Detection is syntactic: progression plus formula simplification.
+    [Violated]/[Satisfied] verdicts are always sound; for formulas
+    whose residuals the simplifier cannot collapse, a bad prefix may
+    be reported late or (for non-safety obligations such as a bare
+    [♦p]) not at all. *)
+
+type t
+
+type status =
+  | Running of Speccc_logic.Ltl.t   (** the residual obligation *)
+  | Violated of int                 (** index of the violating letter *)
+  | Satisfied of int                (** index from which anything goes *)
+
+val create : Speccc_logic.Ltl.t -> t
+
+val step : t -> (string * bool) list -> status
+(** Feed one letter (absent propositions are false).  Once [Violated]
+    or [Satisfied], further steps do not change the verdict. *)
+
+val run : t -> (string * bool) list list -> status
+(** Feed a whole prefix. *)
+
+val status : t -> status
+val reset : t -> unit
+
+val progress :
+  Speccc_logic.Ltl.t -> (string * bool) list -> Speccc_logic.Ltl.t
+(** One progression step as a pure function (exposed for tests and for
+    building derived tools). *)

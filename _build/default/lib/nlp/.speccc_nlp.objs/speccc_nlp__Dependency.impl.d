@@ -1,0 +1,1 @@
+lib/nlp/dependency.ml: Hashtbl List String Syntax

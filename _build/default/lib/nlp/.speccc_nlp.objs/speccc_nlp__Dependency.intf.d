@@ -1,0 +1,1 @@
+lib/nlp/dependency.mli: Syntax

@@ -1,0 +1,1 @@
+lib/nlp/morphology.ml: Lexicon List String

@@ -1,0 +1,1 @@
+lib/nlp/parser.ml: Array Lexicon List Morphology Printf String Syntax Tokenizer

@@ -1,0 +1,1 @@
+lib/nlp/parser.mli: Lexicon Syntax

@@ -1,0 +1,1 @@
+lib/nlp/syntax.ml: Format List String

@@ -1,0 +1,39 @@
+type relation = {
+  subject : string;
+  dependents : string list;
+}
+
+let subject_key words = String.concat "_" words
+
+let clause_pairs clause =
+  match clause.Syntax.predicate.Syntax.complement with
+  | None -> []
+  | Some dependent ->
+    List.map
+      (fun substantive -> (subject_key substantive, dependent))
+      clause.Syntax.subject.Syntax.nouns
+
+let group_pairs group =
+  List.concat_map clause_pairs group.Syntax.clauses
+
+let sentence_pairs s =
+  List.concat_map (fun sub -> group_pairs sub.Syntax.body) s.Syntax.leading
+  @ group_pairs s.Syntax.main
+  @ List.concat_map (fun sub -> group_pairs sub.Syntax.body) s.Syntax.trailing
+
+let of_sentences sentences =
+  let order = ref [] in
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun (subject, dependent) ->
+       match Hashtbl.find_opt table subject with
+       | None ->
+         order := subject :: !order;
+         Hashtbl.add table subject [ dependent ]
+       | Some dependents ->
+         if not (List.mem dependent dependents) then
+           Hashtbl.replace table subject (dependents @ [ dependent ]))
+    (List.concat_map sentence_pairs sentences);
+  List.rev_map
+    (fun subject -> { subject; dependents = Hashtbl.find table subject })
+    !order

@@ -1,0 +1,19 @@
+(** Dependency extraction: the ⟨subject, dependent⟩ relation the
+    paper's Algorithm 1 consumes (Sec. IV-D).
+
+    For every clause, the subject key is the underscore-joined
+    substantive and the dependents are the adjective/adverb complements
+    attached to it (the antonym candidates). *)
+
+type relation = {
+  subject : string;       (** e.g. ["pulse_wave"] *)
+  dependents : string list;
+      (** adjectives/adverbs seen with this subject, in first-seen
+          order, without duplicates *)
+}
+
+val subject_key : string list -> string
+(** Join a substantive's words with ["_"]. *)
+
+val of_sentences : Syntax.sentence list -> relation list
+(** Grouped by subject, subjects in first-seen order. *)

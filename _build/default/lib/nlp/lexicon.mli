@@ -1,0 +1,43 @@
+(** Part-of-speech lexicon for the structured English subset
+    (Sec. IV-B).
+
+    Closed word classes (modals, subordinators, modifiers,
+    conjunctions, determiners, copulas, prepositions, negations) are
+    fixed by the paper's grammar.  Open classes (nouns, verbs,
+    adjectives, adverbs) ship with the vocabulary of the three case
+    studies and can be extended at runtime — the analogue of feeding
+    the Stanford parser a domain model. *)
+
+type part_of_speech =
+  | Noun
+  | Verb
+  | Adjective
+  | Adverb
+  | Modal
+  | Subordinator
+  | Modifier        (** globally / always / sometimes / eventually *)
+  | Conjunction     (** and / or *)
+  | Determiner
+  | Copula          (** be / is / are / was / were / been / being *)
+  | Preposition
+  | Negation        (** not / never / no *)
+  | Number of int
+  | Unknown
+
+type t
+
+val default : unit -> t
+(** Fresh lexicon preloaded with the case-study vocabulary. *)
+
+val add : t -> string -> part_of_speech -> unit
+(** Teach one word.  Later additions take priority over built-ins. *)
+
+val lookup : t -> string -> part_of_speech list
+(** All classes a (lowercase) word belongs to, most specific first;
+    [[Unknown]] if the word is not known.  Numerals return
+    [Number n]. *)
+
+val has_class : t -> string -> part_of_speech -> bool
+
+val known_verbs : t -> string list
+val known_adjectives : t -> string list

@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the structured English grammar
+    (Sec. IV-B), producing {!Syntax.sentence} trees and replacing the
+    role the Stanford parser plays in the paper's prototype.
+
+    Segmentation rules (derived from the appendix corpus):
+    - a segment starting with a subordinator (if, when, whenever, once,
+      while, after, before, until) is a subordinate clause group;
+    - a comma followed by a conjunction continues the current clause
+      group with a further clause;
+    - a comma followed by anything else closes the current segment;
+    - "until"/"before" occurring mid-segment opens a trailing
+      subordinate clause even without a comma;
+    - "next" is treated as a clause modifier (its use throughout the
+      appendix), not as a segment opener. *)
+
+exception Error of string
+
+val sentence : Lexicon.t -> string -> Syntax.sentence
+(** Parse one requirement sentence.  Raises {!Error} with a diagnostic
+    when the text falls outside the grammar. *)
+
+val sentence_opt : Lexicon.t -> string -> Syntax.sentence option
+
+val specification : Lexicon.t -> string -> Syntax.sentence list
+(** Parse a multi-sentence specification (split on periods). *)

@@ -1,0 +1,93 @@
+type conjunction = And | Or
+
+type predicate = {
+  verb : string;
+  negated : bool;
+  modality : string option;
+  passive : bool;
+  complement : string option;
+  objects : string list;
+}
+
+type noun_phrase = {
+  nouns : string list list;
+  noun_conj : conjunction;
+}
+
+type clause = {
+  modifier : string option;
+  subject : noun_phrase;
+  predicate : predicate;
+  time_bound : int option;
+}
+
+type clause_group = {
+  clauses : clause list;
+  clause_conjs : conjunction list;
+}
+
+type subclause = {
+  subordinator : string;
+  body : clause_group;
+}
+
+type sentence = {
+  leading : subclause list;
+  main : clause_group;
+  trailing : subclause list;
+}
+
+let subject_words clause = clause.subject.nouns
+
+let pp_conj ppf = function
+  | And -> Format.pp_print_string ppf "and"
+  | Or -> Format.pp_print_string ppf "or"
+
+let pp_predicate ppf p =
+  Format.fprintf ppf "predicate(%s%s%s%s%s)"
+    (if p.negated then "not " else "")
+    p.verb
+    (match p.modality with Some m -> " modality:" ^ m | None -> "")
+    (if p.passive then " passive" else "")
+    (match p.complement with Some c -> " complement:" ^ c | None -> "")
+
+let pp_clause ppf c =
+  Format.fprintf ppf "@[<v 2>clause@,";
+  (match c.modifier with
+   | Some m -> Format.fprintf ppf "modifier: %s@," m
+   | None -> ());
+  Format.fprintf ppf "subject: %s"
+    (String.concat
+       (Format.asprintf " %a " pp_conj c.subject.noun_conj)
+       (List.map (String.concat " ") c.subject.nouns));
+  Format.fprintf ppf "@,%a" pp_predicate c.predicate;
+  (match c.time_bound with
+   | Some t -> Format.fprintf ppf "@,constraint: in %d" t
+   | None -> ());
+  Format.fprintf ppf "@]"
+
+let pp_clause_group ppf group =
+  let rec go clauses conjs =
+    match clauses, conjs with
+    | [], _ -> ()
+    | [ c ], _ -> pp_clause ppf c
+    | c :: rest, conj :: conjs ->
+      Format.fprintf ppf "%a@,%a@," pp_clause c pp_conj conj;
+      go rest conjs
+    | c :: rest, [] ->
+      Format.fprintf ppf "%a@," pp_clause c;
+      go rest []
+  in
+  go group.clauses group.clause_conjs
+
+let pp_subclause ppf sub =
+  Format.fprintf ppf "@[<v 2>subclause@,subordinator: %s@,%a@]"
+    sub.subordinator pp_clause_group sub.body
+
+let pp_sentence ppf s =
+  Format.fprintf ppf "@[<v 2>sentence@,";
+  List.iter (fun sub -> Format.fprintf ppf "%a@," pp_subclause sub) s.leading;
+  Format.fprintf ppf "@[<v 2>main@,%a@]" pp_clause_group s.main;
+  List.iter (fun sub -> Format.fprintf ppf "@,%a" pp_subclause sub)
+    s.trailing;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,63 @@
+(** Syntax trees of the structured English grammar (Sec. IV-B) —
+    Figure 2 of the paper shows the tree for Req-17.
+
+    A sentence is a main clause group with optional subordinate clause
+    groups before and after; a clause group is one or more clauses
+    joined by conjunctions; a clause has an optional modifier, a
+    subject (possibly several substantives joined by a conjunction), a
+    predicate, and an optional time constraint ("in t seconds"). *)
+
+type conjunction = And | Or
+
+type predicate = {
+  verb : string;
+      (** lemma, tense removed (e.g. [enter] for "is entered") *)
+  negated : bool;           (** "is not valid", "cannot be started" *)
+  modality : string option; (** shall / should / will / ... *)
+  passive : bool;           (** "is entered" vs "enters" *)
+  complement : string option;
+      (** adjective/adverb complement of a copula: "remains low" *)
+  objects : string list;
+      (** object words of an active verb ("the control goes to a
+          backup battery" -> [["backup"; "battery"]] flattened);
+          ignored by proposition formation, kept for diagnostics *)
+}
+
+type noun_phrase = {
+  nouns : string list list;
+      (** each substantive is the list of its words, e.g.
+          [[["auto-control"; "mode"]]]; several substantives when
+          joined by a conjunction *)
+  noun_conj : conjunction;  (** how the substantives combine *)
+}
+
+type clause = {
+  modifier : string option;     (** always / eventually / next / ... *)
+  subject : noun_phrase;
+  predicate : predicate;
+  time_bound : int option;      (** "in 3 seconds" -> [Some 3] *)
+}
+
+type clause_group = {
+  clauses : clause list;        (** non-empty *)
+  clause_conjs : conjunction list;
+      (** length = |clauses| - 1, the glue between consecutive
+          clauses *)
+}
+
+type subclause = {
+  subordinator : string;        (** if / when / until / ... *)
+  body : clause_group;
+}
+
+type sentence = {
+  leading : subclause list;     (** subordinate clauses before the main *)
+  main : clause_group;
+  trailing : subclause list;    (** subordinate clauses after the main *)
+}
+
+val subject_words : clause -> string list list
+(** The substantives of the clause's subject. *)
+
+val pp_sentence : Format.formatter -> sentence -> unit
+(** Indented tree rendering in the style of the paper's Figure 2. *)

@@ -1,0 +1,19 @@
+(** Tokenization of requirement sentences.
+
+    Words are lowercased; hyphens and underscores are kept inside
+    words ([auto-control] is one token); commas and periods become
+    punctuation tokens; everything else splits on whitespace. *)
+
+type token =
+  | Word of string
+  | Comma
+  | Period
+
+val tokenize : string -> token list
+(** Raises [Failure] on characters outside the structured subset. *)
+
+val split_sentences : string -> string list
+(** Split a multi-sentence specification text on periods, dropping
+    blank segments. *)
+
+val pp_token : Format.formatter -> token -> unit

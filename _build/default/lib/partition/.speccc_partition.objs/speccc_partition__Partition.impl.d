@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Format Hashtbl List Ltl Set Speccc_logic String

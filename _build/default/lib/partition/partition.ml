@@ -1,0 +1,139 @@
+open Speccc_logic
+
+type t = {
+  inputs : string list;
+  outputs : string list;
+}
+
+type conflict = {
+  prop : string;
+  input_in : int list;
+  output_in : int list;
+}
+
+type analysis = {
+  partition : t;
+  conflicts : conflict list;
+  forced_input : string option;
+}
+
+module String_set = Set.Make (String)
+
+(* Collect propositions by position: [Trigger] covers implication
+   antecedents and Until right-hand sides (environment events),
+   [Response] everything else. *)
+type position = Trigger | Response
+
+let of_formula formula =
+  let triggers = ref String_set.empty in
+  let responses = ref String_set.empty in
+  let record position p =
+    match position with
+    | Trigger -> triggers := String_set.add p !triggers
+    | Response -> responses := String_set.add p !responses
+  in
+  let rec walk position = function
+    | Ltl.True | Ltl.False -> ()
+    | Ltl.Prop p -> record position p
+    | Ltl.Not f | Ltl.Next f | Ltl.Eventually f | Ltl.Always f ->
+      walk position f
+    | Ltl.And (f, g) | Ltl.Or (f, g) ->
+      walk position f;
+      walk position g
+    | Ltl.Implies (f, g) ->
+      walk Trigger f;
+      walk position g
+    | Ltl.Iff (f, g) ->
+      (* both sides constrain each other: responses *)
+      walk position f;
+      walk position g
+    | Ltl.Until (f, g) | Ltl.Weak_until (f, g) ->
+      walk position f;
+      walk Trigger g
+    | Ltl.Release (f, g) ->
+      walk Trigger f;
+      walk position g
+  in
+  walk Response formula;
+  (* A proposition on both sides is an output. *)
+  let inputs = String_set.diff !triggers !responses in
+  let outputs = String_set.union !responses
+      (String_set.inter !triggers !responses)
+  in
+  (String_set.elements inputs, String_set.elements outputs)
+
+let of_requirements formulas =
+  let votes = Hashtbl.create 64 in
+  let vote prop index kind =
+    let input_votes, output_votes =
+      match Hashtbl.find_opt votes prop with
+      | Some entry -> entry
+      | None -> ([], [])
+    in
+    let entry =
+      match kind with
+      | `Input -> (index :: input_votes, output_votes)
+      | `Output -> (input_votes, index :: output_votes)
+    in
+    Hashtbl.replace votes prop entry
+  in
+  List.iteri
+    (fun index formula ->
+       let inputs, outputs = of_formula formula in
+       List.iter (fun p -> vote p index `Input) inputs;
+       List.iter (fun p -> vote p index `Output) outputs)
+    formulas;
+  let conflicts = ref [] in
+  let inputs = ref [] in
+  let outputs = ref [] in
+  Hashtbl.iter
+    (fun prop (input_votes, output_votes) ->
+       match input_votes, output_votes with
+       | _ :: _, [] -> inputs := prop :: !inputs
+       | [], _ -> outputs := prop :: !outputs
+       | _ :: _, _ :: _ ->
+         (* conflict: output wins (paper rule) *)
+         conflicts :=
+           {
+             prop;
+             input_in = List.rev input_votes;
+             output_in = List.rev output_votes;
+           }
+           :: !conflicts;
+         outputs := prop :: !outputs)
+    votes;
+  let inputs = List.sort compare !inputs in
+  let outputs = List.sort compare !outputs in
+  let inputs, outputs, forced_input =
+    match inputs, outputs with
+    | [], first :: rest -> ([ first ], rest, Some first)
+    | _ -> (inputs, outputs, None)
+  in
+  {
+    partition = { inputs; outputs };
+    conflicts = List.sort compare !conflicts;
+    forced_input;
+  }
+
+let adjust partition ?(to_input = []) ?(to_output = []) () =
+  let known = partition.inputs @ partition.outputs in
+  let to_input = List.filter (fun p -> List.mem p known) to_input in
+  let to_output = List.filter (fun p -> List.mem p known) to_output in
+  let inputs =
+    List.sort_uniq compare
+      (List.filter (fun p -> not (List.mem p to_output)) partition.inputs
+       @ to_input)
+  in
+  let outputs =
+    List.sort_uniq compare
+      (List.filter (fun p -> not (List.mem p to_input)) partition.outputs
+       @ to_output)
+  in
+  { inputs; outputs }
+
+let pp ppf { inputs; outputs } =
+  Format.fprintf ppf "@[<v>inputs (%d): %s@,outputs (%d): %s@]"
+    (List.length inputs)
+    (String.concat ", " inputs)
+    (List.length outputs)
+    (String.concat ", " outputs)

@@ -1,0 +1,42 @@
+(** Heuristic partition of propositions into input and output
+    variables (Sec. IV-F).
+
+    Per requirement: propositions under the left-hand side of an
+    implication, or the right-hand side of an Until/Weak-until, are
+    input candidates; a proposition also appearing on the response
+    side of the same requirement is demoted to output.  Requirements
+    are then unified: any input/output conflict across requirements
+    resolves to output; if no input remains, one output is promoted
+    (the paper picks randomly — we deterministically take the first in
+    alphabetical order and record that it was forced). *)
+
+type t = {
+  inputs : string list;
+  outputs : string list;
+}
+
+type conflict = {
+  prop : string;
+  input_in : int list;   (** requirement indices voting "input" *)
+  output_in : int list;  (** requirement indices voting "output" *)
+}
+
+type analysis = {
+  partition : t;
+  conflicts : conflict list;
+  forced_input : string option;
+      (** set when the no-input fallback promoted an output *)
+}
+
+val of_formula : Speccc_logic.Ltl.t -> string list * string list
+(** Per-requirement [(inputs, outputs)], disjoint, sorted. *)
+
+val of_requirements : Speccc_logic.Ltl.t list -> analysis
+(** The full heuristic with unification. *)
+
+val adjust :
+  t -> ?to_input:string list -> ?to_output:string list -> unit -> t
+(** Manual refinement (stage 3 of the workflow): move propositions
+    between the classes.  Unknown propositions are ignored. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/patterns/patterns.ml: Format List Ltl Ltl_print Printf Speccc_logic

@@ -1,0 +1,1 @@
+lib/patterns/patterns.mli: Format Speccc_logic

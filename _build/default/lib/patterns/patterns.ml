@@ -1,0 +1,143 @@
+open Speccc_logic
+
+type pattern =
+  | Absence
+  | Universality
+  | Existence
+  | Response
+  | Precedence
+
+type scope =
+  | Globally
+  | Before of Ltl.t
+  | After of Ltl.t
+  | Between of Ltl.t * Ltl.t
+  | After_until of Ltl.t * Ltl.t
+
+let pattern_name = function
+  | Absence -> "absence"
+  | Universality -> "universality"
+  | Existence -> "existence"
+  | Response -> "response"
+  | Precedence -> "precedence"
+
+(* The standard LTL mappings from the pattern catalogue (Dwyer et al.,
+   FMSP'98 / the SPIN'05 validation by Salamah et al., the paper's
+   [19]). *)
+let instantiate pattern ~p ?s scope =
+  let s_required () =
+    match s with
+    | Some s -> s
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Patterns.instantiate: %s needs a second formula"
+           (pattern_name pattern))
+  in
+  let open Ltl in
+  match pattern, scope with
+  (* --- absence --- *)
+  | Absence, Globally -> always (neg p)
+  | Absence, Before r -> implies (eventually r) (until (neg p) r)
+  | Absence, After q -> always (implies q (always (neg p)))
+  | Absence, Between (q, r) ->
+    always
+      (implies
+         (conj_list [ q; neg r; eventually r ])
+         (until (neg p) r))
+  | Absence, After_until (q, r) ->
+    always (implies (conj q (neg r)) (weak_until (neg p) r))
+  (* --- universality --- *)
+  | Universality, Globally -> always p
+  | Universality, Before r -> implies (eventually r) (until p r)
+  | Universality, After q -> always (implies q (always p))
+  | Universality, Between (q, r) ->
+    always (implies (conj_list [ q; neg r; eventually r ]) (until p r))
+  | Universality, After_until (q, r) ->
+    always (implies (conj q (neg r)) (weak_until p r))
+  (* --- existence --- *)
+  | Existence, Globally -> eventually p
+  | Existence, Before r -> weak_until (neg r) (conj p (neg r))
+  | Existence, After q ->
+    disj (always (neg q)) (eventually (conj q (eventually p)))
+  | Existence, Between (q, r) ->
+    always
+      (implies (conj q (neg r)) (weak_until (neg r) (conj p (neg r))))
+  | Existence, After_until (q, r) ->
+    always (implies (conj q (neg r)) (until (neg r) (conj p (neg r))))
+  (* --- response: s responds to p --- *)
+  | Response, Globally ->
+    let s = s_required () in
+    always (implies p (eventually s))
+  | Response, Before r ->
+    let s = s_required () in
+    implies (eventually r)
+      (until (implies p (until (neg r) (conj s (neg r)))) r)
+  | Response, After q ->
+    let s = s_required () in
+    always (implies q (always (implies p (eventually s))))
+  | Response, Between (q, r) ->
+    let s = s_required () in
+    always
+      (implies
+         (conj_list [ q; neg r; eventually r ])
+         (until (implies p (until (neg r) (conj s (neg r)))) r))
+  | Response, After_until (q, r) ->
+    let s = s_required () in
+    always
+      (implies (conj q (neg r))
+         (weak_until (implies p (until (neg r) (conj s (neg r)))) r))
+  (* --- precedence: s precedes p --- *)
+  | Precedence, Globally ->
+    let s = s_required () in
+    weak_until (neg p) s
+  | Precedence, Before r ->
+    let s = s_required () in
+    implies (eventually r) (until (neg p) (disj s r))
+  | Precedence, After q ->
+    let s = s_required () in
+    disj (always (neg q)) (eventually (conj q (weak_until (neg p) s)))
+  | Precedence, Between (q, r) ->
+    let s = s_required () in
+    always
+      (implies
+         (conj_list [ q; neg r; eventually r ])
+         (until (neg p) (disj s r)))
+  | Precedence, After_until (q, r) ->
+    let s = s_required () in
+    always (implies (conj q (neg r)) (weak_until (neg p) (disj s r)))
+
+type instance = {
+  pattern : pattern;
+  scope_name : string;
+  p : Ltl.t;
+  s : Ltl.t option;
+}
+
+(* Recognition of the Globally-scope shapes the translator emits. *)
+let recognize formula =
+  let globally pattern p s = Some { pattern; scope_name = "globally"; p; s } in
+  match formula with
+  | Ltl.Always (Ltl.Implies (guard, Ltl.Eventually response)) ->
+    globally Response guard (Some response)
+  | Ltl.Always (Ltl.Not p) -> globally Absence p None
+  | Ltl.Always (Ltl.Implies (_, _) as body) ->
+    (* the translator's guarded requirements are universality of an
+       implication *)
+    globally Universality body None
+  | Ltl.Always p -> globally Universality p None
+  | Ltl.Eventually p -> globally Existence p None
+  | Ltl.Weak_until (Ltl.Not p, s) ->
+    globally Precedence p (Some s)
+  | Ltl.True | Ltl.False | Ltl.Prop _ | Ltl.Not _ | Ltl.And _ | Ltl.Or _
+  | Ltl.Implies _ | Ltl.Iff _ | Ltl.Next _ | Ltl.Until _ | Ltl.Weak_until _
+  | Ltl.Release _ ->
+    None
+
+let classify formulas = List.mapi (fun i f -> (i, recognize f)) formulas
+
+let pp_instance ppf { pattern; scope_name; p; s } =
+  Format.fprintf ppf "%s (%s): P = %s%s" (pattern_name pattern) scope_name
+    (Ltl_print.to_string p)
+    (match s with
+     | Some s -> ", S = " ^ Ltl_print.to_string s
+     | None -> "")

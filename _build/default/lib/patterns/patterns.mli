@@ -1,0 +1,57 @@
+(** The property-specification pattern system of Dwyer, Avrunin and
+    Corbett — the template catalogue behind the paper's translation
+    (Sec. IV-C cites the pattern/scope study [6] and the LTL templates
+    of [19]; the translator instantiates the Universality and Existence
+    families).
+
+    Each pattern is parameterized by one or two state formulas and a
+    scope; {!instantiate} produces the standard LTL mapping.
+    {!recognize} performs the reverse analysis — which template a
+    translated requirement instantiates — used for reporting which
+    patterns a specification exercises. *)
+
+type pattern =
+  | Absence        (** P never holds *)
+  | Universality   (** P always holds *)
+  | Existence      (** P eventually holds *)
+  | Response       (** S follows P *)
+  | Precedence     (** S precedes P *)
+
+type scope =
+  | Globally
+  | Before of Speccc_logic.Ltl.t          (** up to the first [r] *)
+  | After of Speccc_logic.Ltl.t           (** from the first [q] on *)
+  | Between of Speccc_logic.Ltl.t * Speccc_logic.Ltl.t
+      (** in every closed [q]…[r] interval *)
+  | After_until of Speccc_logic.Ltl.t * Speccc_logic.Ltl.t
+      (** from every [q] until the next [r], even if [r] never comes *)
+
+val instantiate :
+  pattern ->
+  p:Speccc_logic.Ltl.t ->
+  ?s:Speccc_logic.Ltl.t ->
+  scope ->
+  Speccc_logic.Ltl.t
+(** Standard LTL mapping.  [s] is required for [Response] and
+    [Precedence] (raises [Invalid_argument] if missing) and ignored
+    otherwise. *)
+
+type instance = {
+  pattern : pattern;
+  scope_name : string;   (** "globally", "before", ... *)
+  p : Speccc_logic.Ltl.t;
+  s : Speccc_logic.Ltl.t option;
+}
+
+val recognize : Speccc_logic.Ltl.t -> instance option
+(** Structural recognition of the Globally-scope templates (the ones
+    the paper's translator emits), including the guarded-response
+    shape [□(guard → ♦response)], the universality shape
+    [□(guard → response)] read as Universality of an implication, and
+    bare [♦]/[□]/[□¬] formulas. *)
+
+val classify : Speccc_logic.Ltl.t list -> (int * instance option) list
+(** Recognize every requirement of a specification. *)
+
+val pattern_name : pattern -> string
+val pp_instance : Format.formatter -> instance -> unit

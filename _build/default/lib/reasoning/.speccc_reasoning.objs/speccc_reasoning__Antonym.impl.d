@@ -1,0 +1,1 @@
+lib/reasoning/antonym.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/reasoning/semantic.ml: Antonym Dependency List Speccc_nlp

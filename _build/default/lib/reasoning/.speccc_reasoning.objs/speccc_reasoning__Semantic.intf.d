@@ -1,0 +1,1 @@
+lib/reasoning/semantic.mli: Antonym Speccc_nlp

@@ -1,0 +1,37 @@
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let handle_line line =
+    let line = String.trim line in
+    if line = "" || line.[0] = 'c' then ()
+    else if line.[0] = 'p' then begin
+      match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+      | [ "p"; "cnf"; vars; _clauses ] ->
+        (try nvars := int_of_string vars
+         with Failure _ -> failwith "Dimacs.parse: bad header")
+      | _ -> failwith "Dimacs.parse: bad header"
+    end
+    else
+      String.split_on_char ' ' line
+      |> List.filter (( <> ) "")
+      |> List.iter (fun token ->
+          match int_of_string_opt token with
+          | None -> failwith ("Dimacs.parse: bad literal " ^ token)
+          | Some 0 ->
+            clauses := List.rev !current :: !clauses;
+            current := []
+          | Some lit -> current := lit :: !current)
+  in
+  List.iter handle_line lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  (!nvars, List.rev !clauses)
+
+let print ppf ~nvars clauses =
+  Format.fprintf ppf "p cnf %d %d@\n" nvars (List.length clauses);
+  List.iter
+    (fun clause ->
+       List.iter (fun lit -> Format.fprintf ppf "%d " lit) clause;
+       Format.fprintf ppf "0@\n")
+    clauses

@@ -1,0 +1,8 @@
+(** DIMACS CNF reading and writing (for interoperability and for
+    debugging the solver against external tools). *)
+
+val parse : string -> int * int list list
+(** [parse text] returns [(num_vars, clauses)].  Raises [Failure] on
+    malformed input. *)
+
+val print : Format.formatter -> nvars:int -> int list list -> unit

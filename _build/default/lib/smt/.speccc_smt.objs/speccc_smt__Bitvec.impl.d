@@ -1,0 +1,1 @@
+lib/smt/bitvec.ml: List Speccc_sat Tseitin

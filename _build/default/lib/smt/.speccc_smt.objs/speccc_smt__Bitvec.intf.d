@@ -1,0 +1,1 @@
+lib/smt/bitvec.mli: Speccc_sat Tseitin

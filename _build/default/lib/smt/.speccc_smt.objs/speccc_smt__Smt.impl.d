@@ -1,0 +1,1 @@
+lib/smt/smt.ml: Bitvec List Sat Speccc_sat Tseitin

@@ -1,0 +1,122 @@
+open Speccc_sat
+
+type t = Tseitin.lit list
+
+let width = List.length
+
+let width_for lo hi =
+  if lo > hi then invalid_arg "Bitvec.width_for: empty range";
+  let rec fits w =
+    let min_val = -(1 lsl (w - 1)) and max_val = (1 lsl (w - 1)) - 1 in
+    if lo >= min_val && hi <= max_val then w else fits (w + 1)
+  in
+  fits 1
+
+let of_int ctx ~width:w value =
+  let min_val = -(1 lsl (w - 1)) and max_val = (1 lsl (w - 1)) - 1 in
+  if value < min_val || value > max_val then
+    invalid_arg "Bitvec.of_int: value out of range";
+  let tt = Tseitin.true_lit ctx and ff = Tseitin.false_lit ctx in
+  List.init w (fun i -> if (value lsr i) land 1 = 1 then tt else ff)
+
+let fresh ctx ~width:w = List.init w (fun _ -> Tseitin.fresh ctx)
+
+let sign_extend vec ~width:w =
+  let current = List.length vec in
+  if w <= current then vec
+  else
+    let sign = List.nth vec (current - 1) in
+    vec @ List.init (w - current) (fun _ -> sign)
+
+(* Full adder over literals. *)
+let full_adder ctx a b carry_in =
+  let sum = Tseitin.mk_xor ctx (Tseitin.mk_xor ctx a b) carry_in in
+  let carry_out =
+    Tseitin.mk_or ctx
+      [ Tseitin.mk_and ctx [ a; b ];
+        Tseitin.mk_and ctx [ a; carry_in ];
+        Tseitin.mk_and ctx [ b; carry_in ] ]
+  in
+  (sum, carry_out)
+
+(* Ripple-carry addition of equal-width vectors, producing [w+1] bits:
+   both operands are sign-extended one step so the result is exact. *)
+let add ctx a b =
+  let w = max (width a) (width b) + 1 in
+  let a = sign_extend a ~width:w and b = sign_extend b ~width:w in
+  let rec ripple acc carry = function
+    | [], [] -> List.rev acc
+    | bit_a :: rest_a, bit_b :: rest_b ->
+      let sum, carry' = full_adder ctx bit_a bit_b carry in
+      ripple (sum :: acc) carry' (rest_a, rest_b)
+    | _ -> assert false
+  in
+  ripple [] (Tseitin.false_lit ctx) (a, b)
+
+let neg ctx a =
+  (* -a = ~a + 1, computed at width+1 to accommodate -min_int. *)
+  let w = width a + 1 in
+  let a = sign_extend a ~width:w in
+  let inverted = List.map Tseitin.mk_not a in
+  let rec increment acc carry = function
+    | [] -> List.rev acc
+    | bit :: rest ->
+      let sum = Tseitin.mk_xor ctx bit carry in
+      let carry' = Tseitin.mk_and ctx [ bit; carry ] in
+      increment (sum :: acc) carry' rest
+  in
+  increment [] (Tseitin.true_lit ctx) inverted
+
+let sub ctx a b = add ctx a (neg ctx b)
+
+(* Shift-add signed multiplication: sign-extend both operands to the
+   full result width, add the partial products, truncate. *)
+let mul ctx a b =
+  let w = width a + width b in
+  let a = sign_extend a ~width:w and b = sign_extend b ~width:w in
+  let ff = Tseitin.false_lit ctx in
+  let partial i bit_a =
+    (* (a_i ? b : 0) << i, truncated to w bits *)
+    let shifted = List.init w (fun _ -> ff) in
+    let rec place idx acc = function
+      | [] -> List.rev acc
+      | bit_b :: rest ->
+        if idx >= w then List.rev acc
+        else place (idx + 1) (Tseitin.mk_and ctx [ bit_a; bit_b ] :: acc) rest
+    in
+    let row = place i [] b in
+    List.filteri (fun idx _ -> idx < i) shifted @ row
+  in
+  let rows = List.mapi partial a in
+  let truncate vec = List.filteri (fun idx _ -> idx < w) vec in
+  match rows with
+  | [] -> invalid_arg "Bitvec.mul: empty vector"
+  | first :: rest ->
+    List.fold_left (fun acc row -> truncate (add ctx acc row)) first rest
+
+let eq ctx a b =
+  let w = max (width a) (width b) in
+  let a = sign_extend a ~width:w and b = sign_extend b ~width:w in
+  Tseitin.mk_and ctx (List.map2 (fun x y -> Tseitin.mk_iff ctx x y) a b)
+
+(* a < b iff (a - b) is negative; the subtraction is exact because
+   [sub] widens. *)
+let lt ctx a b =
+  let difference = sub ctx a b in
+  List.nth difference (width difference - 1)
+
+let le ctx a b = Tseitin.mk_not (lt ctx b a)
+
+let decode model vec =
+  let w = List.length vec in
+  let magnitude =
+    List.fold_left
+      (fun (acc, i) lit ->
+         let bit = if Tseitin.lit_value model lit then 1 lsl i else 0 in
+         (acc + bit, i + 1))
+      (0, 0) vec
+    |> fst
+  in
+  (* Interpret as two's complement. *)
+  if magnitude land (1 lsl (w - 1)) <> 0 then magnitude - (1 lsl w)
+  else magnitude

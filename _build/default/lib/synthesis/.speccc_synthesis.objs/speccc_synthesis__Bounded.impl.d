@@ -1,0 +1,1 @@
+lib/synthesis/bounded.ml: Array Bytes Char Hashtbl List Ltl Mealy Nbw Printf Queue Speccc_automata Speccc_logic

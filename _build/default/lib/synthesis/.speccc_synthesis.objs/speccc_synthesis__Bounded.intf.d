@@ -1,0 +1,1 @@
+lib/synthesis/bounded.mli: Mealy Speccc_logic

@@ -1,0 +1,1 @@
+lib/synthesis/codegen.ml: Buffer Fun List Mealy Printf String

@@ -1,0 +1,1 @@
+lib/synthesis/codegen.mli: Mealy

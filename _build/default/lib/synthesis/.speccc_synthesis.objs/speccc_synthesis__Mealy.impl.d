@@ -1,0 +1,1 @@
+lib/synthesis/mealy.ml: Array Format Fun Hashtbl List Random Speccc_logic String Trace

@@ -1,0 +1,1 @@
+lib/synthesis/mealy.mli: Format Speccc_logic

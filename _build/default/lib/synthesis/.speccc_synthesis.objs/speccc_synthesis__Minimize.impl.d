@@ -1,0 +1,1 @@
+lib/synthesis/minimize.ml: Array Hashtbl List Mealy Queue

@@ -1,0 +1,1 @@
+lib/synthesis/minimize.mli: Mealy

@@ -1,0 +1,1 @@
+lib/synthesis/obligation.ml: Array Bdd Hashtbl List Ltl Ltl_print Mealy Nnf Printf Speccc_bdd Speccc_logic String Sys Unix

@@ -1,0 +1,1 @@
+lib/synthesis/obligation.mli: Mealy Speccc_logic

@@ -1,0 +1,1 @@
+lib/synthesis/realizability.ml: Bounded Classify List Ltl Mealy Minimize Nnf Obligation Option Printf Speccc_logic Unix

@@ -1,0 +1,1 @@
+lib/synthesis/realizability.mli: Bounded Mealy Speccc_logic

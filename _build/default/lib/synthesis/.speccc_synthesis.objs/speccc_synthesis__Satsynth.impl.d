@@ -1,0 +1,1 @@
+lib/synthesis/satsynth.ml: Array Fun Hashtbl List Ltl Mealy Nbw Printf Sat Speccc_automata Speccc_logic Speccc_sat Speccc_smt Tseitin

@@ -1,0 +1,1 @@
+lib/synthesis/satsynth.mli: Mealy Speccc_logic

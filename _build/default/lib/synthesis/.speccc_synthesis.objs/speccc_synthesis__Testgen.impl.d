@@ -1,0 +1,1 @@
+lib/synthesis/testgen.ml: Format Hashtbl List Mealy Queue String

@@ -1,0 +1,1 @@
+lib/synthesis/testgen.mli: Format Mealy

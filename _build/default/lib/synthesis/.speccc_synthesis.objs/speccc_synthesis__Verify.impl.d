@@ -1,0 +1,1 @@
+lib/synthesis/verify.ml: Array Hashtbl List Ltl Mealy Nbw Queue Speccc_automata Speccc_logic Trace

@@ -1,0 +1,1 @@
+lib/synthesis/verify.mli: Mealy Speccc_logic

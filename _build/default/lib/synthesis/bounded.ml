@@ -1,0 +1,398 @@
+open Speccc_logic
+open Speccc_automata
+
+type counterstrategy = {
+  cs_inputs : string list;
+  cs_outputs : string list;
+  cs_num_states : int;
+  cs_initial : int;
+  cs_move : int -> int;
+  cs_next : int -> int -> int;
+}
+
+type verdict =
+  | Realizable of Mealy.t
+  | Unrealizable of counterstrategy
+  | Unknown of int
+
+(* Transitions of the UCW, with guards compiled to (mask, value) pairs
+   over the combined input-then-output bit layout. *)
+type compiled_transition = {
+  dst : int;
+  guard_mask : int;
+  guard_value : int;
+  never : bool;  (* guard mentions an unknown proposition positively *)
+}
+
+let compile_automaton auto ~inputs ~outputs =
+  let bit_of =
+    let table = Hashtbl.create 16 in
+    List.iteri (fun i p -> Hashtbl.add table p i) inputs;
+    let base = List.length inputs in
+    List.iteri (fun i p -> Hashtbl.add table p (base + i)) outputs;
+    fun p -> Hashtbl.find_opt table p
+  in
+  let by_src = Array.make auto.Nbw.num_states [] in
+  List.iter
+    (fun (src, guard, dst) ->
+       let compiled =
+         List.fold_left
+           (fun acc (p, value) ->
+              match acc with
+              | None -> None
+              | Some t ->
+                (match bit_of p with
+                 | Some bit ->
+                   Some
+                     {
+                       t with
+                       guard_mask = t.guard_mask lor (1 lsl bit);
+                       guard_value =
+                         (if value then t.guard_value lor (1 lsl bit)
+                          else t.guard_value);
+                     }
+                 | None ->
+                   (* Unknown propositions are constant false. *)
+                   if value then None else Some t))
+           (Some { dst; guard_mask = 0; guard_value = 0; never = false })
+           guard
+       in
+       match compiled with
+       | Some t -> by_src.(src) <- t :: by_src.(src)
+       | None -> ())
+    auto.Nbw.transitions;
+  by_src
+
+(* Counting functions are arrays over UCW states: -1 inactive,
+   otherwise the maximal number of accepting states seen on a run
+   reaching this state.  Keys for hashing are byte strings. *)
+let key_of_counts counts =
+  let bytes = Bytes.create (Array.length counts) in
+  Array.iteri (fun i c -> Bytes.set bytes i (Char.chr (c + 1))) counts;
+  Bytes.to_string bytes
+
+type game = {
+  states : (string, int) Hashtbl.t;   (* key -> id *)
+  mutable count_arrays : int array array;  (* id -> counting function *)
+  mutable num_states : int;
+  successor : (int, int array) Hashtbl.t;
+      (* id -> per-combined-letter successor id, -2 unexplored,
+         -1 overflow *)
+}
+
+let successor_counts auto by_src ~bound counts letter =
+  let n = Array.length counts in
+  let next = Array.make n (-1) in
+  let overflow = ref false in
+  for q = 0 to n - 1 do
+    if counts.(q) >= 0 then
+      List.iter
+        (fun t ->
+           if (not t.never) && letter land t.guard_mask = t.guard_value then begin
+             let credit = if auto.Nbw.accepting.(t.dst) then 1 else 0 in
+             let value = counts.(q) + credit in
+             if value > bound then overflow := true
+             else if value > next.(t.dst) then next.(t.dst) <- value
+           end)
+        by_src.(q)
+  done;
+  if !overflow then None else Some next
+
+(* Explore the full game graph reachable from the initial counting
+   function, then compute the set of winning positions by a greatest
+   fixpoint.  [system_moves_second] selects the quantifier order:
+   true = ∀input ∃output (system synthesis), false = ∃input ∀output
+   (environment synthesis for the dual game). *)
+let solve_game auto by_src ~bound ~num_input_bits ~num_output_bits
+    ~system_moves_second =
+  let num_inputs = 1 lsl num_input_bits in
+  let num_outputs = 1 lsl num_output_bits in
+  let num_letters = num_inputs * num_outputs in
+  let combined imask omask = imask lor (omask lsl num_input_bits) in
+  let game = {
+    states = Hashtbl.create 1024;
+    count_arrays = Array.make 64 [||];
+    num_states = 0;
+    successor = Hashtbl.create 1024;
+  }
+  in
+  let intern counts =
+    let key = key_of_counts counts in
+    match Hashtbl.find_opt game.states key with
+    | Some id -> id
+    | None ->
+      let id = game.num_states in
+      Hashtbl.add game.states key id;
+      game.num_states <- id + 1;
+      if id >= Array.length game.count_arrays then begin
+        let fresh = Array.make (2 * Array.length game.count_arrays) [||] in
+        Array.blit game.count_arrays 0 fresh 0 id;
+        game.count_arrays <- fresh
+      end;
+      game.count_arrays.(id) <- counts;
+      id
+  in
+  let initial_counts = Array.make auto.Nbw.num_states (-1) in
+  List.iter
+    (fun q ->
+       initial_counts.(q) <-
+         (if auto.Nbw.accepting.(q) then 1 else 0))
+    auto.Nbw.initial;
+  (* Clamp: if an initial state already exceeds the bound the system
+     loses immediately (cannot happen with bound >= 1). *)
+  let initial_id = intern initial_counts in
+  (* Forward exploration. *)
+  let queue = Queue.create () in
+  Queue.add initial_id queue;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    if not (Hashtbl.mem game.successor id) then begin
+      let counts = game.count_arrays.(id) in
+      let table = Array.make num_letters (-1) in
+      for imask = 0 to num_inputs - 1 do
+        for omask = 0 to num_outputs - 1 do
+          let letter = combined imask omask in
+          match successor_counts auto by_src ~bound counts letter with
+          | None -> table.(letter) <- -1
+          | Some next ->
+            let next_id = intern next in
+            table.(letter) <- next_id;
+            if not (Hashtbl.mem game.successor next_id) then
+              Queue.add next_id queue
+        done
+      done;
+      Hashtbl.add game.successor id table
+    end
+  done;
+  (* Greatest fixpoint of the safety winning region. *)
+  let alive = Array.make game.num_states true in
+  let stable = ref false in
+  while not !stable do
+    stable := true;
+    for id = 0 to game.num_states - 1 do
+      if alive.(id) then begin
+        let table = Hashtbl.find game.successor id in
+        let ok_for_input imask =
+          let exists_output omask =
+            let succ = table.(combined imask omask) in
+            succ >= 0 && alive.(succ)
+          in
+          let rec any omask =
+            omask < num_outputs && (exists_output omask || any (omask + 1))
+          in
+          let rec all omask =
+            omask >= num_outputs
+            || (exists_output omask && all (omask + 1))
+          in
+          if system_moves_second then any 0 else all 0
+        in
+        let wins =
+          if system_moves_second then
+            (* ∀ input ∃ output *)
+            let rec all imask =
+              imask >= num_inputs || (ok_for_input imask && all (imask + 1))
+            in
+            all 0
+          else
+            (* ∃ input ∀ output *)
+            let rec any imask =
+              imask < num_inputs && (ok_for_input imask || any (imask + 1))
+            in
+            any 0
+        in
+        if not wins then begin
+          alive.(id) <- false;
+          stable := false
+        end
+      end
+    done
+  done;
+  if not alive.(initial_id) then None
+  else Some (game, alive, initial_id, combined)
+
+(* Extract a Mealy controller from the winning region: in each alive
+   state, for each input, pick the first output leading to an alive
+   successor. *)
+let extract_controller game alive initial_id combined ~inputs ~outputs =
+  let num_inputs = 1 lsl List.length inputs in
+  let num_outputs = 1 lsl List.length outputs in
+  (* Renumber alive states reachable under the chosen strategy. *)
+  let remap = Hashtbl.create 64 in
+  let back = ref [] in
+  let next_id = ref 0 in
+  let rec visit id =
+    if not (Hashtbl.mem remap id) then begin
+      Hashtbl.add remap id !next_id;
+      back := id :: !back;
+      incr next_id;
+      let table = Hashtbl.find game.successor id in
+      for imask = 0 to num_inputs - 1 do
+        let rec first omask =
+          if omask >= num_outputs then None
+          else
+            let succ = table.(combined imask omask) in
+            if succ >= 0 && alive.(succ) then Some succ else first (omask + 1)
+        in
+        match first 0 with
+        | Some succ -> visit succ
+        | None -> assert false  (* alive states always have a move *)
+      done
+    end
+  in
+  visit initial_id;
+  let ids = Array.of_list (List.rev !back) in
+  let step_table =
+    Array.map
+      (fun id ->
+         let table = Hashtbl.find game.successor id in
+         Array.init num_inputs (fun imask ->
+             let rec first omask =
+               if omask >= num_outputs then assert false
+               else
+                 let succ = table.(combined imask omask) in
+                 if succ >= 0 && alive.(succ) then
+                   (omask, Hashtbl.find remap succ)
+                 else first (omask + 1)
+             in
+             first 0))
+      ids
+  in
+  {
+    Mealy.inputs;
+    outputs;
+    num_states = Array.length ids;
+    initial = 0;
+    step = (fun state imask -> step_table.(state).(imask));
+  }
+
+(* Extract the environment's Moore strategy from a won dual game: in
+   every alive position there is an input valuation under which every
+   system answer stays inside the (dual) winning region. *)
+let extract_counterstrategy game alive initial_id combined ~inputs ~outputs =
+  let num_inputs = 1 lsl List.length inputs in
+  let num_outputs = 1 lsl List.length outputs in
+  let winning_move id =
+    let table = Hashtbl.find game.successor id in
+    let all_outputs_alive imask =
+      let rec all omask =
+        omask >= num_outputs
+        || (let succ = table.(combined imask omask) in
+            succ >= 0 && alive.(succ) && all (omask + 1))
+      in
+      all 0
+    in
+    let rec first imask =
+      if imask >= num_inputs then assert false
+      else if all_outputs_alive imask then imask
+      else first (imask + 1)
+    in
+    first 0
+  in
+  let remap = Hashtbl.create 64 in
+  let order = ref [] in
+  let next_id = ref 0 in
+  let rec visit id =
+    if not (Hashtbl.mem remap id) then begin
+      Hashtbl.add remap id !next_id;
+      order := id :: !order;
+      incr next_id;
+      let table = Hashtbl.find game.successor id in
+      let imask = winning_move id in
+      for omask = 0 to num_outputs - 1 do
+        visit table.(combined imask omask)
+      done
+    end
+  in
+  visit initial_id;
+  let ids = Array.of_list (List.rev !order) in
+  let moves = Array.map winning_move ids in
+  let next_table =
+    Array.mapi
+      (fun state id ->
+         let table = Hashtbl.find game.successor id in
+         Array.init num_outputs (fun omask ->
+             Hashtbl.find remap table.(combined moves.(state) omask)))
+      ids
+  in
+  {
+    cs_inputs = inputs;
+    cs_outputs = outputs;
+    cs_num_states = Array.length ids;
+    cs_initial = 0;
+    cs_move = (fun state -> moves.(state));
+    cs_next = (fun state omask -> next_table.(state).(omask));
+  }
+
+let refute counterstrategy machine =
+  if counterstrategy.cs_inputs <> machine.Mealy.inputs
+  || counterstrategy.cs_outputs <> machine.Mealy.outputs
+  then invalid_arg "Bounded.refute: interface mismatch";
+  let combined_letter imask omask =
+    Mealy.assignment_of_mask counterstrategy.cs_inputs imask
+    @ Mealy.assignment_of_mask counterstrategy.cs_outputs omask
+  in
+  let seen = Hashtbl.create 64 in
+  let rec play cs_state mealy_state acc step_index =
+    match Hashtbl.find_opt seen (cs_state, mealy_state) with
+    | Some first_index ->
+      let letters = List.rev acc in
+      let prefix = List.filteri (fun i _ -> i < first_index) letters in
+      let loop = List.filteri (fun i _ -> i >= first_index) letters in
+      Speccc_logic.Trace.make ~prefix ~loop
+    | None ->
+      Hashtbl.add seen (cs_state, mealy_state) step_index;
+      let imask = counterstrategy.cs_move cs_state in
+      let omask, mealy' = machine.Mealy.step mealy_state imask in
+      let cs' = counterstrategy.cs_next cs_state omask in
+      play cs' mealy' (combined_letter imask omask :: acc) (step_index + 1)
+  in
+  play counterstrategy.cs_initial machine.Mealy.initial [] 0
+
+let check_size ~max_letters ~inputs ~outputs =
+  let bits = List.length inputs + List.length outputs in
+  if bits > 24 || 1 lsl bits > max_letters then
+    invalid_arg
+      (Printf.sprintf
+         "Bounded.solve: %d propositions exceed the explicit engine's \
+          letter budget (max_letters = %d); use the symbolic engine"
+         bits max_letters)
+
+let solve ?(bound = 3) ?(max_letters = 4096) ~inputs ~outputs spec =
+  check_size ~max_letters ~inputs ~outputs;
+  let num_input_bits = List.length inputs in
+  let num_output_bits = List.length outputs in
+  (* System game: UCW of the negation. *)
+  let ucw = Nbw.of_ltl (Ltl.neg spec) in
+  let by_src = compile_automaton ucw ~inputs ~outputs in
+  match
+    solve_game ucw by_src ~bound ~num_input_bits ~num_output_bits
+      ~system_moves_second:true
+  with
+  | Some (game, alive, initial_id, combined) ->
+    Realizable
+      (extract_controller game alive initial_id combined ~inputs ~outputs)
+  | None ->
+    (* Dual game: the environment tries to realize the negation; it
+       moves first (Moore), i.e. picks the input before seeing the
+       output.  Winning it proves unrealizability exactly. *)
+    let ucw_dual = Nbw.of_ltl spec in
+    let by_src_dual = compile_automaton ucw_dual ~inputs ~outputs in
+    (match
+       solve_game ucw_dual by_src_dual ~bound ~num_input_bits
+         ~num_output_bits ~system_moves_second:false
+     with
+     | Some (game, alive, initial_id, combined) ->
+       Unrealizable
+         (extract_counterstrategy game alive initial_id combined ~inputs
+            ~outputs)
+     | None -> Unknown bound)
+
+let solve_iterative ?(max_bound = 8) ?max_letters ~inputs ~outputs spec =
+  let rec escalate bound =
+    match solve ~bound ?max_letters ~inputs ~outputs spec with
+    | Realizable _ as verdict -> verdict
+    | Unrealizable _ as verdict -> verdict
+    | Unknown _ when 2 * bound <= max_bound -> escalate (2 * bound)
+    | Unknown _ -> Unknown bound
+  in
+  escalate 1

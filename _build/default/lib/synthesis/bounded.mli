@@ -1,0 +1,68 @@
+(** Explicit-state bounded synthesis (Safraless, Schewe–Finkbeiner
+    style): the specification's negation is translated to a Büchi
+    automaton, read as a universal co-Büchi automaton for the
+    specification, and the system must keep every run's count of
+    accepting-state visits at or below a bound [k].  The resulting
+    counting-function safety game is solved by a greatest fixpoint.
+
+    Verdicts:
+    - [Realizable m] is exact — [m] is a controller (and can be
+      replayed against the trace semantics);
+    - [Unrealizable] is exact — it is produced by solving the {e dual}
+      game, where the environment realizes the negation (sound by
+      determinacy);
+    - [Unknown] means neither side won within the bound; callers
+      typically retry with a larger bound (this mirrors G4LTL's
+      unroll/look-ahead parameter).
+
+    The engine enumerates input/output valuations explicitly and is
+    meant for specifications with a moderate number of propositions;
+    {!val:solve} raises [Invalid_argument] when
+    [2^(|inputs| + |outputs|)] exceeds [max_letters]. *)
+
+type counterstrategy = {
+  cs_inputs : string list;
+  cs_outputs : string list;
+  cs_num_states : int;
+  cs_initial : int;
+  cs_move : int -> int;
+      (** the environment's winning input valuation in this state *)
+  cs_next : int -> int -> int;
+      (** successor after the system answers with an output mask *)
+}
+(** A Moore strategy for the environment, witnessing unrealizability:
+    whatever outputs the system produces, the play violates the
+    specification.  {!val:refute} demonstrates it against any candidate
+    controller. *)
+
+type verdict =
+  | Realizable of Mealy.t
+  | Unrealizable of counterstrategy
+  | Unknown of int  (** bound at which both games were lost *)
+
+val refute : counterstrategy -> Mealy.t -> Speccc_logic.Trace.t
+(** Play the counterstrategy against a candidate controller; the
+    resulting lasso word is a concrete run of the controller that
+    violates the specification the counterstrategy was extracted
+    from.  Raises [Invalid_argument] when the proposition interfaces
+    disagree. *)
+
+val solve :
+  ?bound:int ->
+  ?max_letters:int ->
+  inputs:string list ->
+  outputs:string list ->
+  Speccc_logic.Ltl.t ->
+  verdict
+(** [solve ~inputs ~outputs spec].  Default [bound] is [3]; default
+    [max_letters] is [4096] ([= 2^12] combined valuations). *)
+
+val solve_iterative :
+  ?max_bound:int ->
+  ?max_letters:int ->
+  inputs:string list ->
+  outputs:string list ->
+  Speccc_logic.Ltl.t ->
+  verdict
+(** Escalate the bound (1, 2, 4, ... up to [max_bound], default 8)
+    until a definite verdict is reached. *)

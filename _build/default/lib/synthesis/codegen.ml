@@ -1,0 +1,142 @@
+let sanitize name =
+  let buffer = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buffer c
+       | '-' | ' ' | '.' -> Buffer.add_char buffer '_'
+       | _ -> ())
+    name;
+  let s = Buffer.contents buffer in
+  if s = "" then "p"
+  else if s.[0] >= '0' && s.[0] <= '9' then "p_" ^ s
+  else s
+
+(* Enumerate (state, input mask) -> (output mask, next state). *)
+let rows machine =
+  let num_inputs = 1 lsl List.length machine.Mealy.inputs in
+  List.concat_map
+    (fun state ->
+       List.map
+         (fun imask ->
+            let omask, next = machine.Mealy.step state imask in
+            (state, imask, omask, next))
+         (List.init num_inputs Fun.id))
+    (List.init machine.Mealy.num_states Fun.id)
+
+let bit mask i = mask land (1 lsl i) <> 0
+
+(* --- IEC 61131-3 Structured Text --- *)
+
+let to_structured_text ?(name = "speccc_controller") machine =
+  let buffer = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  let inputs = List.map sanitize machine.Mealy.inputs in
+  let outputs = List.map sanitize machine.Mealy.outputs in
+  add "FUNCTION_BLOCK %s\n" (sanitize name);
+  add "VAR_INPUT\n";
+  List.iter (fun p -> add "  %s : BOOL;\n" p) inputs;
+  add "END_VAR\n";
+  add "VAR_OUTPUT\n";
+  List.iter (fun p -> add "  %s : BOOL;\n" p) outputs;
+  add "END_VAR\n";
+  add "VAR\n  state : INT := %d;\nEND_VAR\n\n" machine.Mealy.initial;
+  (* guard expression for an input valuation *)
+  let guard imask =
+    if inputs = [] then "TRUE"
+    else
+      String.concat " AND "
+        (List.mapi
+           (fun i p -> if bit imask i then p else "NOT " ^ p)
+           inputs)
+  in
+  let assignments omask =
+    String.concat ""
+      (List.mapi
+         (fun i p ->
+            Printf.sprintf "      %s := %s;\n" p
+              (if bit omask i then "TRUE" else "FALSE"))
+         outputs)
+  in
+  add "CASE state OF\n";
+  for state = 0 to machine.Mealy.num_states - 1 do
+    add "  %d:\n" state;
+    let first = ref true in
+    List.iter
+      (fun (s, imask, omask, next) ->
+         if s = state then begin
+           add "    %s %s THEN\n" (if !first then "IF" else "ELSIF")
+             (guard imask);
+           first := false;
+           Buffer.add_string buffer (assignments omask);
+           add "      state := %d;\n" next
+         end)
+      (rows machine);
+    if not !first then add "    END_IF;\n"
+  done;
+  add "END_CASE;\nEND_FUNCTION_BLOCK\n";
+  Buffer.contents buffer
+
+(* --- Verilog --- *)
+
+let to_verilog ?(name = "speccc_controller") machine =
+  let buffer = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  let inputs = List.map sanitize machine.Mealy.inputs in
+  let outputs = List.map sanitize machine.Mealy.outputs in
+  let state_bits =
+    let rec bits n = if n <= 1 then 1 else 1 + bits (n / 2) in
+    bits (max 1 (machine.Mealy.num_states - 1))
+  in
+  add "module %s (\n  input  wire clk,\n  input  wire rst,\n"
+    (sanitize name);
+  List.iter (fun p -> add "  input  wire %s,\n" p) inputs;
+  add "%s\n);\n"
+    (String.concat ",\n"
+       (List.map (fun p -> Printf.sprintf "  output reg  %s" p) outputs));
+  add "  reg [%d:0] state;\n\n" (state_bits - 1);
+  let input_vector =
+    if inputs = [] then "1'b0"
+    else "{" ^ String.concat ", " (List.rev inputs) ^ "}"
+  in
+  let num_input_bits = List.length inputs in
+  add "  always @(posedge clk) begin\n";
+  add "    if (rst) begin\n      state <= %d'd%d;\n    end else begin\n"
+    state_bits machine.Mealy.initial;
+  add "      case ({state, %s})\n" input_vector;
+  List.iter
+    (fun (state, imask, _, next) ->
+       add "        {%d'd%d, %d'b%s}: state <= %d'd%d;\n" state_bits state
+         (max 1 num_input_bits)
+         (if num_input_bits = 0 then "0"
+          else
+            String.init num_input_bits (fun i ->
+                if bit imask (num_input_bits - 1 - i) then '1' else '0'))
+         state_bits next)
+    (rows machine);
+  add "        default: state <= state;\n      endcase\n    end\n  end\n\n";
+  (* Mealy outputs: combinational over state and inputs *)
+  add "  always @(*) begin\n";
+  List.iter (fun p -> add "    %s = 1'b0;\n" p) outputs;
+  add "    case ({state, %s})\n" input_vector;
+  List.iter
+    (fun (state, imask, omask, _) ->
+       let actions =
+         List.concat
+           (List.mapi
+              (fun i p ->
+                 if bit omask i then [ Printf.sprintf "%s = 1'b1;" p ]
+                 else [])
+              outputs)
+       in
+       if actions <> [] then
+         add "      {%d'd%d, %d'b%s}: begin %s end\n" state_bits state
+           (max 1 num_input_bits)
+           (if num_input_bits = 0 then "0"
+            else
+              String.init num_input_bits (fun i ->
+                  if bit imask (num_input_bits - 1 - i) then '1' else '0'))
+           (String.concat " " actions))
+    (rows machine);
+  add "      default: ;\n    endcase\n  end\nendmodule\n";
+  Buffer.contents buffer

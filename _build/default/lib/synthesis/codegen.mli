@@ -1,0 +1,27 @@
+(** Code generation from synthesized controllers.
+
+    The paper's synthesis backend, G4LTL-ST, is billed as "automatic
+    generation of PLC programs": realizable specifications become
+    IEC 61131-3 Structured Text function blocks.  This module plays
+    that role for the controllers our engines extract, and adds a
+    synthesizable Verilog backend (the natural target on the hardware
+    side of requirements engineering).
+
+    Both backends compile the Mealy machine to a state register plus a
+    flat case analysis; proposition names are sanitized into
+    identifiers (letters, digits, underscore). *)
+
+val to_structured_text : ?name:string -> Mealy.t -> string
+(** An IEC 61131-3 [FUNCTION_BLOCK]: one [BOOL] input per input
+    proposition, one [BOOL] output per output proposition, an [INT]
+    state variable, and a [CASE] over states whose branches decode the
+    input valuation.  Intended to be dropped into a PLC project and
+    called once per scan cycle. *)
+
+val to_verilog : ?name:string -> Mealy.t -> string
+(** A synthesizable Verilog module (clocked, synchronous reset,
+    Mealy outputs). *)
+
+val sanitize : string -> string
+(** Identifier sanitization used by both backends (exposed for
+    tests). *)

@@ -1,0 +1,124 @@
+open Speccc_logic
+
+type t = {
+  inputs : string list;
+  outputs : string list;
+  num_states : int;
+  initial : int;
+  step : int -> int -> int * int;
+}
+
+let mask_of_assignment props assignment =
+  List.fold_left
+    (fun (mask, bit) prop ->
+       let value =
+         match List.assoc_opt prop assignment with
+         | Some b -> b
+         | None -> false
+       in
+       ((if value then mask lor (1 lsl bit) else mask), bit + 1))
+    (0, 0) props
+  |> fst
+
+let assignment_of_mask props mask =
+  List.mapi (fun bit prop -> (prop, mask land (1 lsl bit) <> 0)) props
+
+let run machine input_letters =
+  let rec go state = function
+    | [] -> []
+    | input :: rest ->
+      let imask = mask_of_assignment machine.inputs input in
+      let omask, state' = machine.step state imask in
+      let letter =
+        assignment_of_mask machine.inputs imask
+        @ assignment_of_mask machine.outputs omask
+      in
+      letter :: go state' rest
+  in
+  go machine.initial input_letters
+
+(* Drive until (machine state, input loop position) repeats; split the
+   produced letters at the first repetition of that configuration. *)
+let lasso machine ~prefix ~loop =
+  if loop = [] then invalid_arg "Mealy.lasso: empty loop";
+  let prefix_masks =
+    List.map (mask_of_assignment machine.inputs) prefix
+  in
+  let loop_masks =
+    Array.of_list (List.map (mask_of_assignment machine.inputs) loop)
+  in
+  let loop_len = Array.length loop_masks in
+  let combined imask omask =
+    assignment_of_mask machine.inputs imask
+    @ assignment_of_mask machine.outputs omask
+  in
+  (* Consume the finite prefix. *)
+  let state, prefix_letters =
+    List.fold_left
+      (fun (state, acc) imask ->
+         let omask, state' = machine.step state imask in
+         (state', combined imask omask :: acc))
+      (machine.initial, []) prefix_masks
+  in
+  let prefix_letters = List.rev prefix_letters in
+  (* Iterate the loop until a (state, position) pair repeats. *)
+  let seen = Hashtbl.create 64 in
+  let rec iterate state pos acc step_index =
+    match Hashtbl.find_opt seen (state, pos) with
+    | Some first_index ->
+      let letters = List.rev acc in
+      let flat_prefix, flat_loop =
+        let rec split i = function
+          | [] -> ([], [])
+          | letter :: rest ->
+            if i < first_index then
+              let before, cycle = split (i + 1) rest in
+              (letter :: before, cycle)
+            else ([], letter :: rest)
+        in
+        split 0 letters
+      in
+      Trace.make ~prefix:(prefix_letters @ flat_prefix) ~loop:flat_loop
+    | None ->
+      Hashtbl.add seen (state, pos) step_index;
+      let imask = loop_masks.(pos) in
+      let omask, state' = machine.step state imask in
+      iterate state' ((pos + 1) mod loop_len)
+        (combined imask omask :: acc)
+        (step_index + 1)
+  in
+  iterate state 0 [] 0
+
+let satisfies machine formula ~trials ~seed =
+  let rng = Random.State.make [| seed |] in
+  let random_letter () =
+    List.map (fun p -> (p, Random.State.bool rng)) machine.inputs
+  in
+  let random_letters n = List.init n (fun _ -> random_letter ()) in
+  let trial _ =
+    let prefix = random_letters (Random.State.int rng 4) in
+    let loop = random_letters (1 + Random.State.int rng 3) in
+    let word = lasso machine ~prefix ~loop in
+    Trace.holds word formula
+  in
+  List.for_all trial (List.init trials Fun.id)
+
+let pp_dot ppf machine =
+  Format.fprintf ppf "digraph mealy {@\n";
+  Format.fprintf ppf "  s%d [style=bold];@\n" machine.initial;
+  let num_inputs = List.length machine.inputs in
+  for state = 0 to machine.num_states - 1 do
+    for imask = 0 to (1 lsl num_inputs) - 1 do
+      let omask, next = machine.step state imask in
+      let show props mask =
+        String.concat ","
+          (List.map
+             (fun (p, b) -> (if b then "" else "!") ^ p)
+             (assignment_of_mask props mask))
+      in
+      Format.fprintf ppf "  s%d -> s%d [label=\"%s / %s\"];@\n" state next
+        (show machine.inputs imask)
+        (show machine.outputs omask)
+    done
+  done;
+  Format.fprintf ppf "}@\n"

@@ -1,0 +1,38 @@
+(** Mealy machines — the controllers produced by the synthesis
+    engines (the paper's "Controller" box in Fig. 1).
+
+    Input and output valuations are encoded as bit masks over the
+    declared proposition lists (bit [i] of an input mask is the value
+    of [List.nth inputs i]). *)
+
+type t = {
+  inputs : string list;
+  outputs : string list;
+  num_states : int;
+  initial : int;
+  step : int -> int -> int * int;
+      (** [step state input_mask] = [(output_mask, next_state)].
+          Total on [0 .. num_states-1] × [0 .. 2^|inputs|-1]. *)
+}
+
+val mask_of_assignment : string list -> (string * bool) list -> int
+val assignment_of_mask : string list -> int -> (string * bool) list
+
+val run : t -> (string * bool) list list -> (string * bool) list list
+(** Feed a finite input sequence; returns the combined letters
+    (inputs ∪ outputs) produced step by step. *)
+
+val lasso : t -> prefix:(string * bool) list list ->
+  loop:(string * bool) list list -> Speccc_logic.Trace.t
+(** Drive the machine with the ultimately periodic input word
+    [prefix · loop^ω] until the (machine state, loop position) pair
+    repeats; the result is the combined input/output lasso, suitable
+    for checking against the specification with
+    {!Speccc_logic.Trace.holds}. *)
+
+val satisfies : t -> Speccc_logic.Ltl.t -> trials:int -> seed:int -> bool
+(** Monte-Carlo validation: drive the machine with [trials] random
+    ultimately periodic input words and check that every resulting
+    combined word satisfies the formula. *)
+
+val pp_dot : Format.formatter -> t -> unit

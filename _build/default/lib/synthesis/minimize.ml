@@ -1,0 +1,130 @@
+(* Partition refinement for Mealy machines.
+
+   Only reachable states participate: unreachable behaviour must not
+   block merging.  Blocks start from identical output rows; a round
+   splits every block by the vector of successor blocks; rounds repeat
+   until stable (at most n rounds). *)
+let minimize machine =
+  let num_inputs = 1 lsl List.length machine.Mealy.inputs in
+  (* reachable states *)
+  let reachable = Hashtbl.create 64 in
+  let order = ref [] in
+  let queue = Queue.create () in
+  Hashtbl.add reachable machine.Mealy.initial ();
+  Queue.add machine.Mealy.initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    order := s :: !order;
+    for imask = 0 to num_inputs - 1 do
+      let _, next = machine.Mealy.step s imask in
+      if not (Hashtbl.mem reachable next) then begin
+        Hashtbl.add reachable next ();
+        Queue.add next queue
+      end
+    done
+  done;
+  let states = List.rev !order in
+  (* block assignment, keyed by state *)
+  let block = Hashtbl.create 64 in
+  let assign_blocks signature_of =
+    let signatures = Hashtbl.create 64 in
+    let next_block = ref 0 in
+    let changed = ref false in
+    List.iter
+      (fun s ->
+         let signature = signature_of s in
+         let b =
+           match Hashtbl.find_opt signatures signature with
+           | Some b -> b
+           | None ->
+             let b = !next_block in
+             incr next_block;
+             Hashtbl.add signatures signature b;
+             b
+         in
+         (match Hashtbl.find_opt block s with
+          | Some old when old = b -> ()
+          | _ -> changed := true);
+         Hashtbl.replace block s b)
+      states;
+    (!next_block, !changed)
+  in
+  (* initial partition: identical output rows *)
+  let output_row s =
+    List.init num_inputs (fun imask -> fst (machine.Mealy.step s imask))
+  in
+  let _ = assign_blocks (fun s -> (output_row s, [])) in
+  (* refine by successor-block vectors (keeping the output row in the
+     signature so blocks never coarsen); every signature of a round
+     reads the same pre-round snapshot *)
+  let rec refine () =
+    let snapshot = Hashtbl.copy block in
+    let _, changed =
+      assign_blocks (fun s ->
+          ( output_row s,
+            List.init num_inputs (fun imask ->
+                let _, next = machine.Mealy.step s imask in
+                Hashtbl.find snapshot next) ))
+    in
+    if changed then refine ()
+  in
+  refine ();
+  (* renumber blocks so the initial state is block 0 and numbering is
+     stable (first-seen order along [states]) *)
+  let renumber = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let id_of_block b =
+    match Hashtbl.find_opt renumber b with
+    | Some id -> id
+    | None ->
+      let id = !next_id in
+      incr next_id;
+      Hashtbl.add renumber b id;
+      id
+  in
+  let initial_block = Hashtbl.find block machine.Mealy.initial in
+  let _ = id_of_block initial_block in
+  (* representative per block, in state order *)
+  let representative = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+       let id = id_of_block (Hashtbl.find block s) in
+       if not (Hashtbl.mem representative id) then
+         Hashtbl.add representative id s)
+    states;
+  let num_states = !next_id in
+  let step_table =
+    Array.init num_states (fun id ->
+        let s = Hashtbl.find representative id in
+        Array.init num_inputs (fun imask ->
+            let omask, next = machine.Mealy.step s imask in
+            (omask, id_of_block (Hashtbl.find block next))))
+  in
+  {
+    machine with
+    Mealy.num_states;
+    initial = 0;
+    step = (fun state imask -> step_table.(state).(imask));
+  }
+
+let equivalent a b =
+  if a.Mealy.inputs <> b.Mealy.inputs || a.Mealy.outputs <> b.Mealy.outputs
+  then invalid_arg "Minimize.equivalent: interface mismatch";
+  let num_inputs = 1 lsl List.length a.Mealy.inputs in
+  let visited = Hashtbl.create 64 in
+  let rec walk pair =
+    if Hashtbl.mem visited pair then true
+    else begin
+      Hashtbl.add visited pair ();
+      let sa, sb = pair in
+      let rec inputs_ok imask =
+        imask >= num_inputs
+        ||
+        let oa, na = a.Mealy.step sa imask in
+        let ob, nb = b.Mealy.step sb imask in
+        oa = ob && walk (na, nb) && inputs_ok (imask + 1)
+      in
+      inputs_ok 0
+    end
+  in
+  walk (a.Mealy.initial, b.Mealy.initial)

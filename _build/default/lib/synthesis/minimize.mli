@@ -1,0 +1,18 @@
+(** Mealy machine minimization by partition refinement.
+
+    Controllers extracted from the counting-function game carry many
+    behaviourally identical states; minimization collapses them before
+    code generation or test derivation.  The algorithm is the classic
+    Moore-style refinement adapted to Mealy machines: the initial
+    partition groups states with identical output rows, and blocks are
+    split until successor blocks agree on every input.  The result is
+    the unique minimal machine for the reachable behaviour. *)
+
+val minimize : Mealy.t -> Mealy.t
+(** Equivalent machine with the minimal number of reachable states.
+    The initial state maps to block 0. *)
+
+val equivalent : Mealy.t -> Mealy.t -> bool
+(** Do two machines over the same interface produce identical outputs
+    on every input sequence?  (Product walk over reachable pairs.)
+    Raises [Invalid_argument] when the interfaces differ. *)

@@ -1,0 +1,355 @@
+open Speccc_logic
+open Speccc_bdd
+
+type strategy = {
+  manager : Bdd.manager;
+  inputs : string list;
+  outputs : string list;
+  closure : Ltl.t array;            (* obligation index -> formula *)
+  progression : Bdd.t array;        (* V(g): letter vars ∪ next-z vars *)
+  winning : Bdd.t;                  (* over current-z vars *)
+  winning_next : Bdd.t;             (* winning renamed to next-z vars *)
+  initial_indices : int list;
+      (* the top-level conjuncts pending at step 0 *)
+  num_props : int;
+  rounds : int;
+  mutable state : bool array;       (* pending obligations *)
+}
+
+type verdict =
+  | Realizable of strategy
+  | Unrealizable
+
+(* Variable layout: inputs, then outputs, then interleaved
+   (z_j, z'_j) pairs. *)
+let z_var ~num_props j = num_props + (2 * j)
+let z_next_var ~num_props j = num_props + (2 * j) + 1
+
+exception Not_safety of Ltl.t
+
+(* Obligation closure: formulas that may become pending.  The root is
+   always included. *)
+(* Top-level conjunctions are split into separate obligations: a
+   specification is usually a conjunction of tens of requirements, and
+   a single root obligation would need the monolithic conjunction of
+   all their progressions as one BDD — exactly the blow-up the
+   partitioned transition relation avoids. *)
+let rec flatten_conjunction = function
+  | Ltl.And (g, h) -> flatten_conjunction g @ flatten_conjunction h
+  | Ltl.True -> []
+  | f -> [ f ]
+
+let closure_of roots =
+  let rec refs acc f =
+    match f with
+    | Ltl.True | Ltl.False | Ltl.Prop _ | Ltl.Not (Ltl.Prop _) -> acc
+    | Ltl.And (g, h) | Ltl.Or (g, h) -> refs (refs acc g) h
+    | Ltl.Next g -> add acc g
+    | Ltl.Always g -> refs (add_self acc f) g
+    | Ltl.Release (g, h) -> refs (refs (add_self acc f) g) h
+    | Ltl.Weak_until _ | Ltl.Until _ | Ltl.Eventually _ | Ltl.Implies _
+    | Ltl.Iff _ | Ltl.Not _ ->
+      raise (Not_safety f)
+  and add acc g = if Ltl.Set.mem g acc then acc else refs (Ltl.Set.add g acc) g
+  and add_self acc f = Ltl.Set.add f acc
+  in
+  let acc =
+    List.fold_left (fun acc root -> add acc root) Ltl.Set.empty roots
+  in
+  Ltl.Set.elements
+    (List.fold_left (fun acc root -> Ltl.Set.add root acc) acc roots)
+
+let solve ~inputs ~outputs spec =
+  let spec = Nnf.of_formula spec in
+  let roots = flatten_conjunction spec in
+  let closure =
+    try Array.of_list (closure_of roots)
+    with Not_safety offending ->
+      invalid_arg
+        (Printf.sprintf
+           "Obligation.solve: not a syntactic safety formula (offending \
+            subformula: %s); bound liveness first"
+           (Ltl_print.to_string offending))
+  in
+  (* Obligation-variable ordering matters for the winning region's BDD:
+     obligations over related propositions should sit next to each
+     other, so sort the closure by proposition support (lexicographic
+     over sorted prop lists), ties broken structurally. *)
+  let closure =
+    let key f = (Ltl.props f, Ltl.size f, f) in
+    let sorted = Array.copy closure in
+    Array.sort (fun a b -> compare (key a) (key b)) sorted;
+    sorted
+  in
+  let manager = Bdd.manager () in
+  let props = inputs @ outputs in
+  let num_props = List.length props in
+  let prop_var =
+    let table = Hashtbl.create 16 in
+    List.iteri (fun i p -> Hashtbl.add table p i) props;
+    fun p ->
+      match Hashtbl.find_opt table p with
+      | Some i -> i
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Obligation.solve: proposition %s is neither input nor output" p)
+  in
+  let index_of =
+    let table = Hashtbl.create 64 in
+    Array.iteri (fun j g -> Hashtbl.add table g j) closure;
+    fun g -> Hashtbl.find table g
+  in
+  (* V(g): the letter-level requirement of obligation g, over letter
+     variables and next-obligation variables. *)
+  let rec progression f =
+    match f with
+    | Ltl.True -> Bdd.one manager
+    | Ltl.False -> Bdd.zero manager
+    | Ltl.Prop p -> Bdd.var manager (prop_var p)
+    | Ltl.Not (Ltl.Prop p) -> Bdd.nvar manager (prop_var p)
+    | Ltl.And (g, h) -> Bdd.and_ manager (progression g) (progression h)
+    | Ltl.Or (g, h) -> Bdd.or_ manager (progression g) (progression h)
+    | Ltl.Next g -> Bdd.var manager (z_next_var ~num_props (index_of g))
+    | Ltl.Always g ->
+      Bdd.and_ manager (progression g)
+        (Bdd.var manager (z_next_var ~num_props (index_of f)))
+    | Ltl.Release (g, h) ->
+      Bdd.and_ manager (progression h)
+        (Bdd.or_ manager (progression g)
+           (Bdd.var manager (z_next_var ~num_props (index_of f))))
+    | Ltl.Weak_until _ | Ltl.Until _ | Ltl.Eventually _ | Ltl.Implies _
+    | Ltl.Iff _ | Ltl.Not _ ->
+      assert false
+  in
+  let progression_bdds = Array.map progression closure in
+  let num_obligations = Array.length closure in
+  let input_vars = List.mapi (fun i _ -> i) inputs in
+  (* The transition relation stays partitioned: one conjunct
+     [z_j → V_j] per obligation.  Conjoining them into a monolithic
+     BDD blows up (millions of nodes on Table-I-sized specs), so the
+     controllable-predecessor below eliminates next-state variables by
+     bucket order instead. *)
+  let conjuncts =
+    List.init num_obligations (fun j ->
+        Bdd.imp manager
+          (Bdd.var manager (z_var ~num_props j))
+          progression_bdds.(j))
+  in
+  let is_next_var v = v >= num_props && (v - num_props) mod 2 = 1 in
+  let num_inputs = List.length inputs in
+  (* Variables eliminated inside the controllable predecessor: the
+     system's choices — outputs and next obligations.  Inputs (∀) and
+     current obligations (the state) remain. *)
+  let is_quantifiable v =
+    is_next_var v || (v >= num_inputs && v < num_props)
+  in
+  let max_quantifiable = z_next_var ~num_props (num_obligations - 1) in
+  (* z and z' interleave (z_j immediately below z'_j), so the
+     current→next renaming is order-preserving and runs in one
+     traversal. *)
+  let rename_to_next w =
+    Bdd.rename_monotone manager
+      (List.init num_obligations (fun j ->
+           (z_var ~num_props j, z_next_var ~num_props j)))
+      w
+  in
+  (* Controllable predecessor: ∀ inputs ∃ outputs, next obligations.
+     The conjunction with the transition relation is built once per
+     fixpoint round. *)
+  (* Controllable predecessor with early quantification: walk the
+     next-state variables top-down; each obligation conjunct joins at
+     the bucket of its highest next-state variable, and the variable is
+     eliminated immediately afterwards, so no monolithic transition
+     relation is ever built. *)
+  let debug = Sys.getenv_opt "SPECCC_DEBUG" <> None in
+  (* Controllable predecessor by bucket elimination (as in symbolic
+     model checkers with partitioned transition relations): every
+     conjunct sits in the bucket of its highest quantifiable variable
+     (outputs and next-state bits); eliminating top-down keeps
+     independent requirement clusters factored instead of building one
+     monolithic relation. *)
+  let top_quantifiable bdd =
+    List.fold_left
+      (fun acc v -> if is_quantifiable v then Some v else acc)
+      None (Bdd.support bdd)
+  in
+  let cpre w =
+    let target = rename_to_next w in
+    let buckets = Array.make (max_quantifiable + 1) [] in
+    let residual = ref [] in
+    let place bdd =
+      if Bdd.is_zero bdd then residual := [ bdd ]
+      else if not (Bdd.is_one bdd) then
+        match top_quantifiable bdd with
+        | Some v -> buckets.(v) <- bdd :: buckets.(v)
+        | None -> residual := bdd :: !residual
+    in
+    List.iter place conjuncts;
+    place target;
+    let peak = ref 0 in
+    for v = max_quantifiable downto 0 do
+      if is_quantifiable v then begin
+        match buckets.(v) with
+        | [] -> ()
+        | items ->
+          let combined = Bdd.and_list manager items in
+          let quantified = Bdd.exists manager [ v ] combined in
+          if debug then peak := max !peak (Bdd.size combined);
+          place quantified
+      end
+    done;
+    let all = Bdd.and_list manager !residual in
+    let result = Bdd.forall manager input_vars all in
+    if debug then
+      Printf.eprintf "  cpre: peak bucket=%d residual=%d result=%d nodes=%d\n%!"
+        !peak (Bdd.size all) (Bdd.size result) (Bdd.node_count manager);
+    result
+  in
+  let rec fixpoint w rounds =
+    let t0 = Unix.gettimeofday () in
+    let w' = Bdd.and_ manager w (cpre w) in
+    if debug then
+      Printf.eprintf "round %d: |W|=%d -> %d (%.2fs)\n%!" rounds (Bdd.size w)
+        (Bdd.size w') (Unix.gettimeofday () -. t0);
+    if Bdd.equal w w' then (w, rounds) else fixpoint w' (rounds + 1)
+  in
+  let winning, rounds = fixpoint (Bdd.one manager) 1 in
+  let initial_indices = List.map index_of roots in
+  let initial_assignment =
+    List.init num_obligations (fun j ->
+        (z_var ~num_props j, List.mem j initial_indices))
+  in
+  let at_init = Bdd.restrict manager initial_assignment winning in
+  if Bdd.is_zero at_init then Unrealizable
+  else begin
+    let state = Array.make num_obligations false in
+    List.iter (fun j -> state.(j) <- true) initial_indices;
+    Realizable
+      {
+        manager;
+        inputs;
+        outputs;
+        closure;
+        progression = progression_bdds;
+        winning;
+        winning_next = rename_to_next winning;
+        initial_indices;
+        num_props;
+        rounds;
+        state;
+      }
+  end
+
+let pending_constraint strategy state =
+  (* ∧_{j pending} V(g_j): what the current letter and next obligations
+     must satisfy. *)
+  let parts = ref [] in
+  Array.iteri
+    (fun j pending -> if pending then parts := strategy.progression.(j) :: !parts)
+    state;
+  Bdd.and_list strategy.manager !parts
+
+let strategy_step strategy input_assignment =
+  let manager = strategy.manager in
+  let input_restriction =
+    List.mapi
+      (fun i p ->
+         let value =
+           match List.assoc_opt p input_assignment with
+           | Some b -> b
+           | None -> false
+         in
+         (i, value))
+      strategy.inputs
+  in
+  let constraint_bdd =
+    Bdd.and_ manager
+      (pending_constraint strategy strategy.state)
+      strategy.winning_next
+  in
+  let now = Bdd.restrict manager input_restriction constraint_bdd in
+  match Bdd.any_sat now with
+  | None ->
+    (* Should not happen from a winning state; fail loudly. *)
+    invalid_arg "Obligation.strategy_step: no move from winning state"
+  | Some assignment ->
+    let num_inputs = List.length strategy.inputs in
+    let lookup v =
+      match List.assoc_opt v assignment with Some b -> b | None -> false
+    in
+    let outputs =
+      List.mapi
+        (fun i p -> (p, lookup (num_inputs + i)))
+        strategy.outputs
+    in
+    let next_state =
+      Array.init (Array.length strategy.closure) (fun j ->
+          lookup (z_next_var ~num_props:strategy.num_props j))
+    in
+    strategy.state <- next_state;
+    outputs
+
+let strategy_reset strategy =
+  Array.fill strategy.state 0 (Array.length strategy.state) false;
+  List.iter (fun j -> strategy.state.(j) <- true) strategy.initial_indices
+
+let to_mealy ?(max_states = 4096) strategy =
+  let num_inputs = List.length strategy.inputs in
+  if num_inputs > 20 then None
+  else begin
+    let key state = String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list state)) in
+    let ids = Hashtbl.create 64 in
+    let states = ref [] in
+    let transitions = Hashtbl.create 256 in
+    let overflow = ref false in
+    let rec intern state =
+      let k = key state in
+      match Hashtbl.find_opt ids k with
+      | Some id -> id
+      | None ->
+        let id = Hashtbl.length ids in
+        if id >= max_states then begin
+          overflow := true;
+          id
+        end
+        else begin
+          Hashtbl.add ids k id;
+          states := (id, Array.copy state) :: !states;
+          for imask = 0 to (1 lsl num_inputs) - 1 do
+            if not !overflow then begin
+              strategy.state <- Array.copy state;
+              let input = Mealy.assignment_of_mask strategy.inputs imask in
+              let outputs = strategy_step strategy input in
+              let omask = Mealy.mask_of_assignment strategy.outputs outputs in
+              let next = intern strategy.state in
+              Hashtbl.replace transitions (id, imask) (omask, next)
+            end
+          done;
+          id
+        end
+    in
+    strategy_reset strategy;
+    let initial = intern (Array.copy strategy.state) in
+    strategy_reset strategy;
+    if !overflow then None
+    else
+      Some
+        {
+          Mealy.inputs = strategy.inputs;
+          outputs = strategy.outputs;
+          num_states = Hashtbl.length ids;
+          initial;
+          step =
+            (fun state imask ->
+               match Hashtbl.find_opt transitions (state, imask) with
+               | Some move -> move
+               | None -> (0, state));
+        }
+  end
+
+let stats strategy =
+  Printf.sprintf "obligations=%d winning_nodes=%d rounds=%d"
+    (Array.length strategy.closure)
+    (Bdd.size strategy.winning)
+    strategy.rounds

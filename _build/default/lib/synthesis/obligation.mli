@@ -1,0 +1,52 @@
+(** Symbolic safety-game engine over BDDs (the scalable counterpart of
+    {!Bounded}, mirroring G4LTL's architecture: liveness is bounded by
+    a look-ahead parameter, the rest is a safety game).
+
+    The specification must be a {e syntactic safety} formula in NNF
+    (callers bound liveness first with
+    {!Speccc_logic.Classify.bound_liveness}).  Every temporal
+    subformula becomes an {e obligation bit}; the game state is the set
+    of pending obligations, and the system resolves both the output
+    valuation and the way disjunctive obligations are discharged.
+
+    Soundness: a [Realizable] verdict is always correct (the extracted
+    strategy maintains all obligations forever, which implies the
+    safety formula).  Completeness holds for the fragment the paper's
+    translator emits — conjunctions of requirements of the forms
+    [G (pre -> post)], [G (pre -> X^n post)], [G (pre -> bounded-F)],
+    [p W q] and propositional constraints — because every disjunction
+    is resolved with the current letter in view.  Specifications that
+    require delaying the choice between temporal disjuncts (e.g.
+    [(G a) || (G b)] against an adaptive environment) may be reported
+    unrealizable spuriously; the front-end cross-checks such shapes
+    with the explicit engine when feasible. *)
+
+type verdict =
+  | Realizable of strategy
+  | Unrealizable
+
+and strategy
+
+val solve :
+  inputs:string list ->
+  outputs:string list ->
+  Speccc_logic.Ltl.t ->
+  verdict
+(** Raises [Invalid_argument] if the formula is not syntactic safety
+    (contains [Until]/[Eventually] after NNF). *)
+
+val strategy_step :
+  strategy -> (string * bool) list -> (string * bool) list
+(** Drive the extracted controller: feed one input valuation, get the
+    output valuation (the strategy object carries its own mutable
+    current state). *)
+
+val strategy_reset : strategy -> unit
+
+val to_mealy : ?max_states:int -> strategy -> Mealy.t option
+(** Enumerate the reachable strategy states into an explicit Mealy
+    machine; [None] if more than [max_states] (default 4096) states or
+    more than 2^20 (state, input) pairs would be needed. *)
+
+val stats : strategy -> string
+(** One-line diagnostic: obligation bits, BDD nodes, fixpoint rounds. *)

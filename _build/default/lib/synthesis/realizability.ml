@@ -1,0 +1,132 @@
+open Speccc_logic
+
+type engine = Explicit | Symbolic | Auto
+
+type verdict =
+  | Consistent
+  | Inconsistent
+  | Inconclusive of string
+
+type report = {
+  verdict : verdict;
+  engine_used : string;
+  controller : Mealy.t option;
+  counterstrategy : Bounded.counterstrategy option;
+  wall_time : float;
+  detail : string;
+}
+
+let with_timer f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let run_explicit ~bound ~inputs ~outputs spec =
+  let verdict_of = function
+    | Bounded.Realizable controller ->
+      ( Consistent,
+        Some (Minimize.minimize controller),
+        None,
+        "controller extracted and minimized" )
+    | Bounded.Unrealizable counterstrategy ->
+      ( Inconsistent,
+        None,
+        Some counterstrategy,
+        "environment wins the dual game (counterstrategy extracted)" )
+    | Bounded.Unknown k ->
+      ( Inconclusive (Printf.sprintf "counting bound %d exhausted" k),
+        None,
+        None,
+        "no side won within the bound" )
+  in
+  let (verdict, controller, counterstrategy, detail), wall_time =
+    with_timer (fun () ->
+        verdict_of
+          (Bounded.solve_iterative ~max_bound:bound ~inputs ~outputs spec))
+  in
+  {
+    verdict;
+    engine_used = "explicit";
+    controller;
+    counterstrategy;
+    wall_time;
+    detail;
+  }
+
+let run_symbolic ~lookahead ~inputs ~outputs spec =
+  let had_liveness = Classify.has_liveness spec in
+  let solve_at bound =
+    let safety_spec =
+      if had_liveness then Classify.bound_liveness ~bound spec
+      else Nnf.of_formula spec
+    in
+    Obligation.solve ~inputs ~outputs safety_spec
+  in
+  (* Bounding eventualities is a strengthening, so a loss at one
+     look-ahead may be won at a larger one — escalate a few times, as
+     G4LTL does with its unroll parameter. *)
+  let rec attempt bound =
+    match solve_at bound with
+    | Obligation.Realizable strategy -> Ok (strategy, bound)
+    | Obligation.Unrealizable ->
+      if had_liveness && 2 * bound <= 4 * lookahead then
+        attempt (2 * bound)
+      else Error bound
+  in
+  let result, wall_time = with_timer (fun () -> attempt lookahead) in
+  match result with
+  | Ok (strategy, bound) ->
+    let controller =
+      Option.map Minimize.minimize (Obligation.to_mealy strategy)
+    in
+    {
+      verdict = Consistent;
+      engine_used = "symbolic";
+      controller;
+      counterstrategy = None;
+      wall_time;
+      detail =
+        Printf.sprintf "%s lookahead=%d" (Obligation.stats strategy) bound;
+    }
+  | Error bound ->
+    let verdict, detail =
+      if had_liveness then
+        ( Inconclusive
+            (Printf.sprintf "unrealizable at liveness lookahead %d" bound),
+          "eventualities were bounded before solving; a larger lookahead \
+           may succeed" )
+      else (Inconsistent, "safety obligation game lost")
+    in
+    {
+      verdict;
+      engine_used = "symbolic";
+      controller = None;
+      counterstrategy = None;
+      wall_time;
+      detail;
+    }
+
+let check ?(engine = Auto) ?(lookahead = 6) ?(bound = 8)
+    ?(explicit_prop_limit = 12) ?(assumptions = []) ~inputs ~outputs
+    requirements =
+  let guarantees = Ltl.conj_list requirements in
+  let spec =
+    match assumptions with
+    | [] -> guarantees
+    | _ -> Ltl.implies (Ltl.conj_list assumptions) guarantees
+  in
+  let chosen =
+    match engine with
+    | Explicit -> `Explicit
+    | Symbolic -> `Symbolic
+    | Auto ->
+      (* assumption implications fall outside the obligation game's
+         completeness fragment *)
+      if assumptions <> []
+      || List.length inputs + List.length outputs <= explicit_prop_limit
+      then `Explicit
+      else `Symbolic
+  in
+  match chosen with
+  | `Explicit -> run_explicit ~bound ~inputs ~outputs spec
+  | `Symbolic -> run_symbolic ~lookahead ~inputs ~outputs spec

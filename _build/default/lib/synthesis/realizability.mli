@@ -1,0 +1,60 @@
+(** Realizability checking front-end — the paper's stage 2: a
+    specification (a set of LTL requirements, implicitly conjoined) is
+    {e consistent} iff it is realizable, i.e. a controller reading the
+    input propositions and driving the output propositions exists
+    (Sec. V-A).
+
+    Two engines are available:
+    - [Explicit]: exact bounded synthesis with a dual-game
+      unrealizability check ({!Bounded}); cost is exponential in the
+      number of propositions, so it is reserved for small alphabets.
+    - [Symbolic]: BDD obligation game ({!Obligation}); liveness is
+      first strengthened to [lookahead]-bounded eventualities, exactly
+      as G4LTL's unroll parameter does.
+    - [Auto] picks [Explicit] for small alphabets and [Symbolic]
+      otherwise. *)
+
+type engine = Explicit | Symbolic | Auto
+
+type verdict =
+  | Consistent        (** realizable: a controller exists *)
+  | Inconsistent      (** definitely unrealizable *)
+  | Inconclusive of string
+      (** bound/lookahead exhausted; the string says which limit *)
+
+type report = {
+  verdict : verdict;
+  engine_used : string;
+  controller : Mealy.t option;   (** present when [Consistent] *)
+  counterstrategy : Bounded.counterstrategy option;
+      (** present when the explicit engine proved [Inconsistent]: the
+          environment's winning strategy, usable with
+          {!Bounded.refute} to demonstrate the inconsistency against
+          any candidate implementation *)
+  wall_time : float;             (** seconds *)
+  detail : string;               (** engine diagnostics *)
+}
+
+val check :
+  ?engine:engine ->
+  ?lookahead:int ->
+  ?bound:int ->
+  ?explicit_prop_limit:int ->
+  ?assumptions:Speccc_logic.Ltl.t list ->
+  inputs:string list ->
+  outputs:string list ->
+  Speccc_logic.Ltl.t list ->
+  report
+(** [check ~inputs ~outputs requirements].  Defaults: [engine = Auto],
+    [lookahead = 6] (bounded-eventuality depth for the symbolic
+    engine), [bound = 8] (maximal counting bound for the explicit
+    engine), [explicit_prop_limit = 12] (Auto threshold on
+    [|inputs| + |outputs|]).
+
+    [assumptions] are environment hypotheses [A]: the checked formula
+    becomes [(∧A) → (∧requirements)], so the system need only comply
+    while the environment behaves.  The top-level temporal disjunction
+    this introduces is outside the symbolic engine's completeness
+    fragment, so [Auto] routes assumption-carrying checks to the
+    explicit engine; forcing [Symbolic] stays sound but may report
+    spurious unrealizability. *)

@@ -1,0 +1,199 @@
+open Speccc_logic
+open Speccc_automata
+open Speccc_sat
+module Bitvec = Speccc_smt.Bitvec
+
+type verdict =
+  | Realizable of Mealy.t
+  | No_machine_within of { states : int; bound : int }
+
+let last_stats = ref "no solve yet"
+let stats () = !last_stats
+
+(* Split a UCW guard against an input valuation: [None] when the guard
+   contradicts the valuation or requires an unknown proposition;
+   otherwise the list of output-bit literals it demands. *)
+let guard_requirements ~input_index ~output_index ~imask guard =
+  let rec go acc = function
+    | [] -> Some acc
+    | (prop, value) :: rest ->
+      (match input_index prop with
+       | Some bit ->
+         if (imask land (1 lsl bit) <> 0) = value then go acc rest else None
+       | None ->
+         (match output_index prop with
+          | Some bit -> go ((bit, value) :: acc) rest
+          | None -> if value then None else go acc rest))
+  in
+  go [] guard
+
+(* Counters are two's-complement bit vectors: the width must represent
+   0..bound as POSITIVE values (one more bit than the unsigned count,
+   or the upper half of the range silently turns negative and the
+   usable bound collapses). *)
+let bits_for bound = Speccc_smt.Bitvec.width_for 0 bound
+
+let solve ?(bound = 3) ~machine_states ~inputs ~outputs spec =
+  if machine_states < 1 then
+    invalid_arg "Satsynth.solve: machine_states < 1";
+  if List.length inputs + List.length outputs > 16 then
+    invalid_arg "Satsynth.solve: too many propositions for the encoding";
+  let ucw = Nbw.of_ltl (Ltl.neg spec) in
+  let num_q = ucw.Nbw.num_states in
+  let num_inputs = 1 lsl List.length inputs in
+  let num_output_bits = List.length outputs in
+  let input_index =
+    let table = Hashtbl.create 8 in
+    List.iteri (fun i p -> Hashtbl.add table p i) inputs;
+    fun p -> Hashtbl.find_opt table p
+  in
+  let output_index =
+    let table = Hashtbl.create 8 in
+    List.iteri (fun i p -> Hashtbl.add table p i) outputs;
+    fun p -> Hashtbl.find_opt table p
+  in
+  let sat = Sat.create () in
+  let ctx = Tseitin.create sat in
+  (* machine structure variables *)
+  let out_bits =
+    Array.init machine_states (fun _ ->
+        Array.init num_inputs (fun _ ->
+            Array.init num_output_bits (fun _ -> Tseitin.fresh ctx)))
+  in
+  let succ =
+    Array.init machine_states (fun _ ->
+        Array.init num_inputs (fun _ ->
+            Array.init machine_states (fun _ -> Tseitin.fresh ctx)))
+  in
+  (* exactly-one successor *)
+  Array.iter
+    (Array.iter (fun choices ->
+         Sat.add_clause sat (Array.to_list choices);
+         Array.iteri
+           (fun a la ->
+              Array.iteri
+                (fun b lb ->
+                   if b > a then Sat.add_clause sat [ -la; -lb ])
+                choices)
+           choices))
+    succ;
+  (* annotation: activity bits and counters *)
+  let active =
+    Array.init machine_states (fun _ ->
+        Array.init num_q (fun _ -> Tseitin.fresh ctx))
+  in
+  let width = bits_for bound in
+  let counter =
+    Array.init machine_states (fun _ ->
+        Array.init num_q (fun _ -> Bitvec.fresh ctx ~width))
+  in
+  let const value = Bitvec.of_int ctx ~width:(Bitvec.width_for 0 (max 1 value)) value in
+  (* counters stay within the bound *)
+  Array.iter
+    (Array.iter (fun c ->
+         Tseitin.assert_lit ctx (Bitvec.le ctx c (const bound));
+         Tseitin.assert_lit ctx (Bitvec.le ctx (const 0) c)))
+    counter;
+  let credit q = if ucw.Nbw.accepting.(q) then 1 else 0 in
+  (* initial pairs *)
+  List.iter
+    (fun q0 ->
+       Tseitin.assert_lit ctx active.(0).(q0);
+       Tseitin.assert_lit ctx
+         (Bitvec.le ctx (const (credit q0)) counter.(0).(q0)))
+    ucw.Nbw.initial;
+  (* group UCW transitions by source *)
+  let by_src = Array.make num_q [] in
+  List.iter
+    (fun (src, guard, dst) -> by_src.(src) <- (guard, dst) :: by_src.(src))
+    ucw.Nbw.transitions;
+  (* propagation constraints *)
+  for s = 0 to machine_states - 1 do
+    for imask = 0 to num_inputs - 1 do
+      for q = 0 to num_q - 1 do
+        List.iter
+          (fun (guard, q') ->
+             match
+               guard_requirements ~input_index ~output_index ~imask guard
+             with
+             | None -> ()
+             | Some output_requirements ->
+               let guard_lits =
+                 List.map
+                   (fun (bit, value) ->
+                      if value then out_bits.(s).(imask).(bit)
+                      else Tseitin.mk_not out_bits.(s).(imask).(bit))
+                   output_requirements
+               in
+               for s' = 0 to machine_states - 1 do
+                 let antecedent =
+                   Tseitin.mk_and ctx
+                     (active.(s).(q) :: succ.(s).(imask).(s') :: guard_lits)
+                 in
+                 (* activity propagates *)
+                 Tseitin.assert_lit ctx
+                   (Tseitin.mk_implies ctx antecedent active.(s').(q'));
+                 (* counters advance *)
+                 let advanced =
+                   if credit q' = 1 then
+                     Bitvec.add ctx counter.(s).(q) (const 1)
+                   else counter.(s).(q)
+                 in
+                 let le_lit = Bitvec.le ctx advanced counter.(s').(q') in
+                 Tseitin.assert_lit ctx
+                   (Tseitin.mk_implies ctx antecedent le_lit)
+               done)
+          by_src.(q)
+      done
+    done
+  done;
+  let outcome = Sat.solve sat in
+  last_stats :=
+    Printf.sprintf "vars=%d clauses=%d conflicts=%d" (Sat.num_vars sat)
+      (Sat.num_clauses sat) (Sat.num_conflicts sat);
+  match outcome with
+  | Sat.Unsat -> No_machine_within { states = machine_states; bound }
+  | Sat.Sat model ->
+    let step_table =
+      Array.init machine_states (fun s ->
+          Array.init num_inputs (fun imask ->
+              let omask =
+                List.fold_left
+                  (fun acc bit ->
+                     if Tseitin.lit_value model out_bits.(s).(imask).(bit)
+                     then acc lor (1 lsl bit)
+                     else acc)
+                  0
+                  (List.init num_output_bits Fun.id)
+              in
+              let next =
+                let rec find s' =
+                  if s' >= machine_states then 0
+                  else if Tseitin.lit_value model succ.(s).(imask).(s') then
+                    s'
+                  else find (s' + 1)
+                in
+                find 0
+              in
+              (omask, next)))
+    in
+    Realizable
+      {
+        Mealy.inputs;
+        outputs;
+        num_states = machine_states;
+        initial = 0;
+        step = (fun s imask -> step_table.(s).(imask));
+      }
+
+let solve_iterative ?(bound = 3) ?(max_machine_states = 8) ~inputs ~outputs
+    spec =
+  let rec escalate n =
+    match solve ~bound ~machine_states:n ~inputs ~outputs spec with
+    | Realizable _ as verdict -> verdict
+    | No_machine_within _ when 2 * n <= max_machine_states ->
+      escalate (2 * n)
+    | No_machine_within _ ->
+      No_machine_within { states = n; bound }
+  in
+  escalate 1

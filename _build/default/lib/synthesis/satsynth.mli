@@ -1,0 +1,51 @@
+(** SAT-based bounded synthesis (the Finkbeiner–Schewe encoding),
+    complementing the explicit game engine with the other classical
+    realization of the same idea: guess a Mealy machine of a fixed
+    size [n] and a valid annotation of the run graph with bounded
+    counters, as one propositional formula discharged by the bundled
+    CDCL solver.
+
+    For a specification [φ] with UCW [A¬φ] (states [Q], counting bound
+    [k]) and machine states [S = {0..n-1}]:
+
+    - variables: output bits per (state, input valuation), one-hot
+      successor choice per (state, input valuation), an activity bit
+      and a binary counter per (machine state, automaton state);
+    - constraints: the initial pair is active; along every UCW edge
+      whose guard matches the chosen outputs, activity propagates and
+      counters are non-decreasing (strictly increasing into accepting
+      states) and never exceed [k].
+
+    A satisfying assignment {e is} the controller.  The encoding is
+    exact in the same one-sided sense as the game engine: SAT ⇒
+    realizable (with the machine as witness); UNSAT only rules out
+    machines of size [n] with annotation bound [k]. *)
+
+type verdict =
+  | Realizable of Mealy.t
+  | No_machine_within of { states : int; bound : int }
+
+val solve :
+  ?bound:int ->
+  machine_states:int ->
+  inputs:string list ->
+  outputs:string list ->
+  Speccc_logic.Ltl.t ->
+  verdict
+(** One SAT call at a fixed machine size.  Default [bound] is [3].
+    Raises [Invalid_argument] when [machine_states < 1] or the
+    combined proposition count exceeds 16. *)
+
+val solve_iterative :
+  ?bound:int ->
+  ?max_machine_states:int ->
+  inputs:string list ->
+  outputs:string list ->
+  Speccc_logic.Ltl.t ->
+  verdict
+(** Escalate the machine size 1, 2, 4, … up to [max_machine_states]
+    (default 8). *)
+
+val stats : unit -> string
+(** Diagnostics of the last [solve] call: SAT variables, clauses,
+    conflicts. *)

@@ -1,0 +1,165 @@
+type step = {
+  input : (string * bool) list;
+  expected : (string * bool) list;
+}
+
+type test_case = step list
+
+(* Shortest input-mask path to every reachable state (BFS). *)
+let shortest_paths machine =
+  let num_inputs = 1 lsl List.length machine.Mealy.inputs in
+  let paths = Hashtbl.create 64 in
+  Hashtbl.add paths machine.Mealy.initial [];
+  let queue = Queue.create () in
+  Queue.add machine.Mealy.initial queue;
+  while not (Queue.is_empty queue) do
+    let state = Queue.pop queue in
+    let path = Hashtbl.find paths state in
+    for imask = 0 to num_inputs - 1 do
+      let _, next = machine.Mealy.step state imask in
+      if not (Hashtbl.mem paths next) then begin
+        Hashtbl.add paths next (imask :: path);  (* reversed *)
+        Queue.add next queue
+      end
+    done
+  done;
+  paths
+
+let steps_of_masks machine masks =
+  let rec go state = function
+    | [] -> []
+    | imask :: rest ->
+      let omask, next = machine.Mealy.step state imask in
+      {
+        input = Mealy.assignment_of_mask machine.Mealy.inputs imask;
+        expected = Mealy.assignment_of_mask machine.Mealy.outputs omask;
+      }
+      :: go next rest
+  in
+  go machine.Mealy.initial masks
+
+let state_cover machine =
+  let paths = shortest_paths machine in
+  Hashtbl.fold (fun _ path acc -> List.rev path :: acc) paths []
+  |> List.sort compare
+  |> List.map (steps_of_masks machine)
+
+let reachable_transitions machine =
+  let paths = shortest_paths machine in
+  let num_inputs = 1 lsl List.length machine.Mealy.inputs in
+  Hashtbl.fold
+    (fun state path acc ->
+       List.init num_inputs (fun imask -> (state, List.rev path, imask))
+       @ acc)
+    paths []
+  |> List.sort compare
+
+let transition_cover machine =
+  List.map
+    (fun (_, path, imask) -> steps_of_masks machine (path @ [ imask ]))
+    (reachable_transitions machine)
+
+let transition_tour machine =
+  let num_inputs = 1 lsl List.length machine.Mealy.inputs in
+  let covered = Hashtbl.create 64 in
+  let total = List.length (reachable_transitions machine) in
+  (* From [state], find the shortest mask sequence reaching an
+     uncovered transition (BFS over states, where taking an uncovered
+     transition terminates the search). *)
+  let to_uncovered state =
+    let parent = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Hashtbl.add parent state None;
+    Queue.add state queue;
+    let rec reconstruct s acc =
+      match Hashtbl.find parent s with
+      | None -> acc
+      | Some (prev, imask) -> reconstruct prev (imask :: acc)
+    in
+    let result = ref None in
+    while !result = None && not (Queue.is_empty queue) do
+      let s = Queue.pop queue in
+      let rec try_masks imask =
+        if imask >= num_inputs || !result <> None then ()
+        else if not (Hashtbl.mem covered (s, imask)) then
+          result := Some (reconstruct s [] @ [ imask ])
+        else begin
+          let _, next = machine.Mealy.step s imask in
+          if not (Hashtbl.mem parent next) then begin
+            Hashtbl.add parent next (Some (s, imask));
+            Queue.add next queue
+          end;
+          try_masks (imask + 1)
+        end
+      in
+      try_masks 0
+    done;
+    !result
+  in
+  let rec extend state acc =
+    if Hashtbl.length covered >= total then List.rev acc
+    else
+      match to_uncovered state with
+      | None -> List.rev acc  (* remaining transitions unreachable *)
+      | Some masks ->
+        let rec advance state acc = function
+          | [] -> (state, acc)
+          | imask :: rest ->
+            Hashtbl.replace covered (state, imask) ();
+            let _, next = machine.Mealy.step state imask in
+            advance next (imask :: acc) rest
+        in
+        let state', acc' = advance state acc masks in
+        extend state' acc'
+  in
+  let masks = extend machine.Mealy.initial [] in
+  steps_of_masks machine masks
+
+let coverage machine tests =
+  let covered = Hashtbl.create 64 in
+  List.iter
+    (fun test ->
+       let rec walk state = function
+         | [] -> ()
+         | step :: rest ->
+           let imask =
+             Mealy.mask_of_assignment machine.Mealy.inputs step.input
+           in
+           Hashtbl.replace covered (state, imask) ();
+           let _, next = machine.Mealy.step state imask in
+           walk next rest
+       in
+       walk machine.Mealy.initial test)
+    tests;
+  (Hashtbl.length covered, List.length (reachable_transitions machine))
+
+let run_against implementation test =
+  let rec go state index = function
+    | [] -> None
+    | step :: rest ->
+      let imask =
+        Mealy.mask_of_assignment implementation.Mealy.inputs step.input
+      in
+      let omask, next = implementation.Mealy.step state imask in
+      let actual =
+        Mealy.assignment_of_mask implementation.Mealy.outputs omask
+      in
+      let expected_mask =
+        Mealy.mask_of_assignment implementation.Mealy.outputs step.expected
+      in
+      if omask <> expected_mask then Some (index, actual)
+      else go next (index + 1) rest
+  in
+  go implementation.Mealy.initial 0 test
+
+let pp_test_case ppf test =
+  let pp_assignment ppf assignment =
+    Format.pp_print_string ppf
+      (String.concat ","
+         (List.map (fun (p, b) -> (if b then "" else "!") ^ p) assignment))
+  in
+  List.iteri
+    (fun i { input; expected } ->
+       Format.fprintf ppf "  step %d: in {%a} expect {%a}@." i pp_assignment
+         input pp_assignment expected)
+    test

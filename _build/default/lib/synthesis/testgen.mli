@@ -1,0 +1,48 @@
+(** Test-case generation from synthesized controllers.
+
+    The paper's introduction motivates precise specifications as
+    "a reference model or a test-case generator later in system and
+    architecture design"; this module makes the synthesized Mealy
+    controller play that role: it derives input/expected-output
+    sequences that cover the controller's behaviour, to be run against
+    an implementation under test.
+
+    A test case is a sequence of steps from the initial state; each
+    step fixes the input valuation and records the output valuation
+    the reference controller mandates. *)
+
+type step = {
+  input : (string * bool) list;
+  expected : (string * bool) list;
+}
+
+type test_case = step list
+
+val state_cover : Mealy.t -> test_case list
+(** One test per reachable state: the shortest input sequence driving
+    the machine there (breadth-first), with expected outputs along the
+    way.  The initial state yields the empty test. *)
+
+val transition_cover : Mealy.t -> test_case list
+(** One test per reachable transition (state × input valuation):
+    shortest prefix to the source state followed by the transition's
+    input.  Covers every behaviour of the reference machine. *)
+
+val transition_tour : Mealy.t -> test_case
+(** A single long test covering as many transitions as one run can: a
+    greedy tour that repeatedly walks to the nearest uncovered
+    transition and takes it.  Complete exactly when the machine is
+    strongly connected; otherwise transitions of already-left regions
+    stay uncovered — use {!transition_cover} (which restarts from the
+    initial state) for guaranteed completeness. *)
+
+val coverage : Mealy.t -> test_case list -> int * int
+(** [(covered, total)] over reachable transitions. *)
+
+val run_against :
+  Mealy.t -> test_case -> (int * (string * bool) list) option
+(** Execute a test against an implementation (any Mealy machine with
+    the same interface): [None] if every step's outputs match,
+    [Some (step_index, actual_outputs)] at the first divergence. *)
+
+val pp_test_case : Format.formatter -> test_case -> unit

@@ -1,0 +1,173 @@
+open Speccc_logic
+open Speccc_automata
+
+type result =
+  | Holds
+  | Counterexample of Trace.t
+
+(* Product of the machine (universal over inputs, deterministic given
+   them) with the Büchi automaton of the negated formula: a reachable
+   non-trivial SCC containing an accepting automaton state is a
+   machine-producible word violating the formula. *)
+let check machine formula =
+  let nbw = Nbw.of_ltl (Ltl.neg formula) in
+  let num_inputs = 1 lsl List.length machine.Mealy.inputs in
+  let num_product = machine.Mealy.num_states * nbw.Nbw.num_states in
+  let product ms q = (ms * nbw.Nbw.num_states) + q in
+  let letter_of ms imask =
+    let omask, _ = machine.Mealy.step ms imask in
+    Mealy.assignment_of_mask machine.Mealy.inputs imask
+    @ Mealy.assignment_of_mask machine.Mealy.outputs omask
+  in
+  (* adjacency with the input mask recorded on each edge *)
+  let adjacency = Array.make num_product [] in
+  for ms = 0 to machine.Mealy.num_states - 1 do
+    for imask = 0 to num_inputs - 1 do
+      let letter = letter_of ms imask in
+      let _, ms' = machine.Mealy.step ms imask in
+      List.iter
+        (fun (src, guard, dst) ->
+           if Nbw.guard_holds guard letter then
+             adjacency.(product ms src) <-
+               (product ms' dst, imask) :: adjacency.(product ms src))
+        nbw.Nbw.transitions
+    done
+  done;
+  (* reachability with parents, for counterexample extraction *)
+  let parent = Array.make num_product None in
+  let reached = Array.make num_product false in
+  let queue = Queue.create () in
+  List.iter
+    (fun q0 ->
+       let s = product machine.Mealy.initial q0 in
+       if not reached.(s) then begin
+         reached.(s) <- true;
+         Queue.add s queue
+       end)
+    nbw.Nbw.initial;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (dst, imask) ->
+         if not reached.(dst) then begin
+           reached.(dst) <- true;
+           parent.(dst) <- Some (s, imask);
+           Queue.add dst queue
+         end)
+      adjacency.(s)
+  done;
+  (* Tarjan SCC over the reachable part *)
+  let index = Array.make num_product (-1) in
+  let lowlink = Array.make num_product 0 in
+  let on_stack = Array.make num_product false in
+  let scc_id = Array.make num_product (-1) in
+  let scc_nontrivial = Hashtbl.create 64 in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_scc = ref 0 in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun (w, _) ->
+         if index.(w) = -1 then begin
+           strongconnect w;
+           lowlink.(v) <- min lowlink.(v) lowlink.(w)
+         end
+         else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      adjacency.(v);
+    if lowlink.(v) = index.(v) then begin
+      let id = !next_scc in
+      incr next_scc;
+      let rec pop members =
+        match !stack with
+        | [] -> members
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          scc_id.(w) <- id;
+          if w = v then w :: members else pop (w :: members)
+      in
+      let members = pop [] in
+      let nontrivial =
+        match members with
+        | [ single ] ->
+          List.exists (fun (dst, _) -> dst = single) adjacency.(single)
+        | _ -> true
+      in
+      if nontrivial then Hashtbl.add scc_nontrivial id ()
+    end
+  in
+  for s = 0 to num_product - 1 do
+    if reached.(s) && index.(s) = -1 then strongconnect s
+  done;
+  (* an accepting product state inside a non-trivial reachable SCC? *)
+  let witness = ref None in
+  for s = 0 to num_product - 1 do
+    if !witness = None && reached.(s)
+       && nbw.Nbw.accepting.(s mod nbw.Nbw.num_states)
+       && scc_id.(s) >= 0
+       && Hashtbl.mem scc_nontrivial scc_id.(s)
+    then witness := Some s
+  done;
+  match !witness with
+  | None -> Holds
+  | Some target ->
+    (* prefix: walk parents back from the witness *)
+    let rec prefix_masks s acc =
+      match parent.(s) with
+      | None -> (s, acc)
+      | Some (prev, imask) -> prefix_masks prev (imask :: acc)
+    in
+    let _, prefix = prefix_masks target [] in
+    (* cycle: BFS from the witness's successors back to it, restricted
+       to its SCC *)
+    let cycle_parent = Array.make num_product None in
+    let cycle_reached = Array.make num_product false in
+    let cq = Queue.create () in
+    List.iter
+      (fun (dst, imask) ->
+         if scc_id.(dst) = scc_id.(target) && not cycle_reached.(dst) then begin
+           cycle_reached.(dst) <- true;
+           cycle_parent.(dst) <- Some (target, imask);
+           Queue.add dst cq
+         end)
+      adjacency.(target);
+    let found = ref (if cycle_reached.(target) then true else false) in
+    while not (Queue.is_empty cq) && not !found do
+      let s = Queue.pop cq in
+      if s = target then found := true
+      else
+        List.iter
+          (fun (dst, imask) ->
+             if scc_id.(dst) = scc_id.(target) && not cycle_reached.(dst)
+             then begin
+               cycle_reached.(dst) <- true;
+               cycle_parent.(dst) <- Some (s, imask);
+               Queue.add dst cq
+             end)
+          adjacency.(s)
+    done;
+    let rec cycle_masks s acc =
+      match cycle_parent.(s) with
+      | None -> acc
+      | Some (prev, imask) ->
+        if prev = target then imask :: acc
+        else cycle_masks prev (imask :: acc)
+    in
+    let loop = cycle_masks target [] in
+    let loop = if loop = [] then [ 0 ] else loop in
+    (* replay the masks through the machine to rebuild letters *)
+    let inputs_of masks =
+      List.map (Mealy.assignment_of_mask machine.Mealy.inputs) masks
+    in
+    let word =
+      Mealy.lasso machine ~prefix:(inputs_of prefix) ~loop:(inputs_of loop)
+    in
+    Counterexample word
+
+let check_all machine formulas =
+  List.mapi (fun i f -> (i, check machine f)) formulas

@@ -1,0 +1,1 @@
+lib/timeabs/timeabs.ml: Format Hashtbl List Ltl Smt Speccc_logic Speccc_smt

@@ -1,0 +1,1 @@
+lib/timeabs/timeabs.mli: Format Speccc_logic

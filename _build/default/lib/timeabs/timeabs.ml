@@ -1,0 +1,227 @@
+open Speccc_logic
+
+type delta_domain =
+  | Nonnegative
+  | Nonpositive
+  | Exact
+
+type problem = {
+  thetas : int list;
+  budget : int;
+  domains : delta_domain list;
+}
+
+type rewrite = {
+  theta : int;
+  theta' : int;
+  delta : int;
+}
+
+type solution = {
+  divisor : int;
+  rewrites : rewrite list;
+  x_total : int;
+  error_total : int;
+}
+
+let problem ?budget ?domains thetas =
+  if thetas = [] then invalid_arg "Timeabs.problem: empty Θ";
+  if List.exists (fun t -> t <= 0) thetas then
+    invalid_arg "Timeabs.problem: non-positive θ";
+  let max_theta = List.fold_left max 0 thetas in
+  let budget = match budget with Some b -> b | None -> max_theta in
+  if budget < 0 then invalid_arg "Timeabs.problem: negative budget";
+  let domains =
+    match domains with
+    | None -> List.map (fun _ -> Nonnegative) thetas
+    | Some ds ->
+      if List.length ds <> List.length thetas then
+        invalid_arg "Timeabs.problem: domain/θ length mismatch";
+      ds
+  in
+  (* Deduplicate and sort θ descending, keeping each θ's first domain. *)
+  let pairs =
+    List.combine thetas domains
+    |> List.sort_uniq (fun (a, _) (b, _) -> compare b a)
+  in
+  let pairs =
+    List.fold_left
+      (fun acc ((theta, _) as pair) ->
+         if List.exists (fun (t, _) -> t = theta) acc then acc
+         else pair :: acc)
+      [] pairs
+    |> List.rev
+  in
+  { thetas = List.map fst pairs; budget; domains = List.map snd pairs }
+
+let thetas_of_formulas formulas =
+  List.concat_map Ltl.next_chains formulas
+  |> List.sort_uniq (fun a b -> compare b a)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let gcd_solution thetas =
+  if thetas = [] then invalid_arg "Timeabs.gcd_solution: empty Θ";
+  let divisor = List.fold_left gcd 0 thetas in
+  let rewrites =
+    List.map (fun theta -> { theta; theta' = theta / divisor; delta = 0 })
+      thetas
+  in
+  {
+    divisor;
+    rewrites;
+    x_total = List.fold_left (fun acc r -> acc + r.theta') 0 rewrites;
+    error_total = 0;
+  }
+
+(* Candidate rewrites for one θ under a fixed divisor: the floor choice
+   (arrive early, Δ ≥ 0) and the ceiling choice (arrive late, Δ ≤ 0),
+   filtered by the domain. *)
+let options_for ~divisor ~domain theta =
+  let floor_theta' = theta / divisor in
+  let floor_delta = theta - (floor_theta' * divisor) in
+  let floor_option = { theta; theta' = floor_theta'; delta = floor_delta } in
+  if floor_delta = 0 then [ floor_option ]
+  else
+    let ceil_option =
+      { theta; theta' = floor_theta' + 1; delta = floor_delta - divisor }
+    in
+    match domain with
+    | Exact -> []
+    | Nonnegative -> [ floor_option ]
+    | Nonpositive -> [ ceil_option ]
+
+(* Lexicographic comparison on (Σθ', Σ|Δ|). *)
+let better a b =
+  match a, b with
+  | None, _ -> false
+  | Some _, None -> true
+  | Some (x, e, _), Some (x', e', _) -> x < x' || (x = x' && e < e')
+
+let solve_analytic prob =
+  let max_theta = List.fold_left max 1 prob.thetas in
+  let best = ref None in
+  for divisor = 1 to max_theta do
+    (* Each θ has at most one feasible option per sign domain, so the
+       per-divisor assignment is forced; only the budget can rule a
+       divisor out. *)
+    let rec assemble thetas domains acc_rewrites acc_x acc_err =
+      match thetas, domains with
+      | [], [] -> Some (acc_x, acc_err, (divisor, List.rev acc_rewrites))
+      | theta :: thetas', domain :: domains' ->
+        (match options_for ~divisor ~domain theta with
+         | [ option ] ->
+           let err = acc_err + abs option.delta in
+           if err > prob.budget then None
+           else
+             assemble thetas' domains' (option :: acc_rewrites)
+               (acc_x + option.theta') err
+         | _ -> None)
+      | _, _ -> None
+    in
+    let candidate = assemble prob.thetas prob.domains [] 0 0 in
+    if better candidate !best then best := candidate
+  done;
+  match !best with
+  | Some (x_total, error_total, (divisor, rewrites)) ->
+    { divisor; rewrites; x_total; error_total }
+  | None ->
+    (* d = 1 is always feasible within any budget (Δ = 0). *)
+    gcd_solution prob.thetas
+
+(* --- SMT encoding, per the paper: bit-blasting + lexicographic
+   optimization --- *)
+
+let solve_smt prob =
+  let open Speccc_smt in
+  let ctx = Smt.create () in
+  let max_theta = List.fold_left max 1 prob.thetas in
+  let divisor = Smt.var ctx ~lo:1 ~hi:max_theta in
+  let entries =
+    List.map2
+      (fun theta domain ->
+         let theta' = Smt.var ctx ~lo:0 ~hi:theta in
+         let delta_lo, delta_hi =
+           match domain with
+           | Nonnegative -> (0, max_theta - 1)
+           | Nonpositive -> (-(max_theta - 1), 0)
+           | Exact -> (0, 0)
+         in
+         let delta_lo = min delta_lo 0 and delta_hi = max delta_hi 0 in
+         let delta = Smt.var ctx ~lo:delta_lo ~hi:delta_hi in
+         (* θ = θ' × d + Δ *)
+         Smt.assert_atom ctx
+           (Smt.eq ctx (Smt.const ctx theta)
+              (Smt.add ctx (Smt.mul ctx theta' divisor) delta));
+         (* -d < Δ < d *)
+         Smt.assert_atom ctx (Smt.lt ctx delta divisor);
+         Smt.assert_atom ctx (Smt.lt ctx (Smt.neg ctx divisor) delta);
+         (theta, theta', delta, domain))
+      prob.thetas prob.domains
+  in
+  (* |Δ| is linear within each sign domain. *)
+  let abs_delta (_, _, delta, domain) =
+    match domain with
+    | Nonnegative | Exact -> delta
+    | Nonpositive -> Smt.neg ctx delta
+  in
+  let error_sum = Smt.sum ctx (List.map abs_delta entries) in
+  Smt.assert_atom ctx (Smt.le ctx error_sum (Smt.const ctx prob.budget));
+  let x_sum = Smt.sum ctx (List.map (fun (_, t', _, _) -> t') entries) in
+  match Smt.minimize_lex ctx [ x_sum; error_sum ] with
+  | None ->
+    (* cannot happen: d = 1 with Δ = 0 is always a model *)
+    gcd_solution prob.thetas
+  | Some (objectives, model) ->
+    let rewrites =
+      List.map
+        (fun (theta, theta', delta, _) ->
+           { theta; theta' = Smt.value model theta';
+             delta = Smt.value model delta })
+        entries
+    in
+    let x_total, error_total =
+      match objectives with
+      | [ x; e ] -> (x, e)
+      | _ -> assert false
+    in
+    { divisor = Smt.value model divisor; rewrites; x_total; error_total }
+
+let apply solution formula =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun { theta; theta'; _ } -> Hashtbl.replace table theta theta')
+    solution.rewrites;
+  let rec chain_length = function
+    | Ltl.Next f -> let k, inner = chain_length f in (k + 1, inner)
+    | f -> (0, f)
+  in
+  let rec rewrite = function
+    | Ltl.True -> Ltl.True
+    | Ltl.False -> Ltl.False
+    | Ltl.Prop _ as p -> p
+    | Ltl.Not f -> Ltl.neg (rewrite f)
+    | Ltl.And (f, g) -> Ltl.conj (rewrite f) (rewrite g)
+    | Ltl.Or (f, g) -> Ltl.disj (rewrite f) (rewrite g)
+    | Ltl.Implies (f, g) -> Ltl.implies (rewrite f) (rewrite g)
+    | Ltl.Iff (f, g) -> Ltl.iff (rewrite f) (rewrite g)
+    | Ltl.Next _ as f ->
+      let k, inner = chain_length f in
+      let k' = match Hashtbl.find_opt table k with Some k' -> k' | None -> k in
+      Ltl.next_n k' (rewrite inner)
+    | Ltl.Eventually f -> Ltl.eventually (rewrite f)
+    | Ltl.Always f -> Ltl.always (rewrite f)
+    | Ltl.Until (f, g) -> Ltl.until (rewrite f) (rewrite g)
+    | Ltl.Weak_until (f, g) -> Ltl.weak_until (rewrite f) (rewrite g)
+    | Ltl.Release (f, g) -> Ltl.release (rewrite f) (rewrite g)
+  in
+  rewrite formula
+
+let pp_solution ppf s =
+  Format.fprintf ppf "@[<v>d = %d,  ΣX = %d,  Σ|Δ| = %d@," s.divisor
+    s.x_total s.error_total;
+  List.iter
+    (fun { theta; theta'; delta } ->
+       Format.fprintf ppf "θ=%d -> θ'=%d (Δ=%d)@," theta theta' delta)
+    s.rewrites;
+  Format.fprintf ppf "@]"

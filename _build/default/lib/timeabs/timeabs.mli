@@ -1,0 +1,72 @@
+(** Time counting and abstraction (Sec. IV-E).
+
+    Timing constraints become chains of [X] operators (one [X] per
+    second).  To keep synthesis tractable the chains are compressed:
+    every length [θi] is rewritten to [θ'i] via a common divisor [d]
+    with a bounded arrival error [Δi]:
+
+    {v θi = θ'i × d + Δi,   -d < Δi < d,   d ≥ 1,  θ'i ≥ 0 v}
+
+    subject to a user budget [Σ|Δi| ≤ B] and per-θ sign domains
+    (an action may be allowed to arrive only early, only late, or
+    either — but not both, which linearizes the objective).  The
+    two-objective problem (minimize [Σθ'i], then [Σ|Δi|]) is reduced
+    to lexicographic single-objective optimization, solved either by
+
+    - {!solve_smt}: bit-blasting over the bundled SAT solver — the
+      paper's strategy ("efficiently solved by modern SMT solvers via
+      bit-blasting"), or
+    - {!solve_analytic}: exact divisor enumeration (cross-check
+      baseline), or
+    - {!gcd_solution}: the conservative GCD rewriting the paper
+      presents first. *)
+
+type delta_domain =
+  | Nonnegative  (** the event may arrive early: Δ ∈ [0, d) *)
+  | Nonpositive  (** the event may arrive late: Δ ∈ (-d, 0] *)
+  | Exact        (** Δ = 0 *)
+
+type problem = {
+  thetas : int list;            (** distinct chain lengths Θ, all > 0 *)
+  budget : int;                 (** B ≥ 0 *)
+  domains : delta_domain list;  (** same length as [thetas] *)
+}
+
+type rewrite = {
+  theta : int;
+  theta' : int;
+  delta : int;
+}
+
+type solution = {
+  divisor : int;
+  rewrites : rewrite list;
+  x_total : int;       (** Σ θ'i *)
+  error_total : int;   (** Σ |Δi| *)
+}
+
+val problem : ?budget:int -> ?domains:delta_domain list -> int list -> problem
+(** Build a problem; default budget 0 is replaced by [max Θ]; default
+    domain is [Nonnegative] for every θ (the Sec. IV-E example).
+    Raises [Invalid_argument] on non-positive θ or length mismatch. *)
+
+val thetas_of_formulas : Speccc_logic.Ltl.t list -> int list
+(** Distinct maximal [X]-chain lengths over a whole specification,
+    descending (the set Θ). *)
+
+val gcd_solution : int list -> solution
+(** Divide every chain by [gcd Θ]; always exact ([Δi = 0]).  The paper
+    proves this sound: realizability is preserved. *)
+
+val solve_analytic : problem -> solution
+(** Exact lexicographic optimum by enumerating divisors (1..max Θ) and
+    per-θ floor/ceil choices. *)
+
+val solve_smt : problem -> solution
+(** Same optimum through the bit-blasting SMT encoding. *)
+
+val apply : solution -> Speccc_logic.Ltl.t -> Speccc_logic.Ltl.t
+(** Rewrite every maximal [X]-chain of length [θi] to length [θ'i].
+    Chain lengths not covered by the solution are left unchanged. *)
+
+val pp_solution : Format.formatter -> solution -> unit

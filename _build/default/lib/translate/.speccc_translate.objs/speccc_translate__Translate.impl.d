@@ -1,0 +1,1 @@
+lib/translate/translate.ml: Antonym Dependency Hashtbl Lexicon List Ltl Parser Semantic Speccc_logic Speccc_nlp Speccc_reasoning Syntax

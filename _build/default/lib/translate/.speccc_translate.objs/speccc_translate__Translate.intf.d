@@ -1,0 +1,1 @@
+lib/translate/translate.mli: Speccc_logic Speccc_nlp Speccc_reasoning

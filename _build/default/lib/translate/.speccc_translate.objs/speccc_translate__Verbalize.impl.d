@@ -1,0 +1,1 @@
+lib/translate/verbalize.ml: Lexicon List Ltl Option Parser Printf Speccc_logic Speccc_nlp String Translate

@@ -1,0 +1,1 @@
+lib/translate/verbalize.mli: Speccc_logic Speccc_nlp Translate

@@ -1,0 +1,1 @@
+test/st_interpreter.ml: List Printf String

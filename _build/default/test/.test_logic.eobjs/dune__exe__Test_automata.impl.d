@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array Fun List Ltl Ltl_parse Nbw QCheck2 QCheck_alcotest Speccc_automata Speccc_logic Trace

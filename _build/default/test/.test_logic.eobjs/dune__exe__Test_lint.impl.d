@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Format List Ltl Ltl_parse Nbw QCheck2 QCheck_alcotest Speccc_automata Speccc_lint Speccc_logic Speccc_translate String Trace

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Classify List Ltl Ltl_parse Ltl_print Nnf QCheck2 QCheck_alcotest Speccc_logic Trace

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest List Ltl Ltl_parse Monitor Printf QCheck2 QCheck_alcotest Speccc_logic Speccc_monitor Trace

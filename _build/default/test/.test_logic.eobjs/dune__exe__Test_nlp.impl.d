@@ -1,0 +1,1 @@
+test/test_nlp.ml: Alcotest Dependency Format Lexicon List Morphology Parser Printf Speccc_nlp String Syntax Tokenizer

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest List Ltl Ltl_parse QCheck2 QCheck_alcotest Speccc_logic Speccc_partition

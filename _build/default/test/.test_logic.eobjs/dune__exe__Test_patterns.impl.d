@@ -1,0 +1,1 @@
+test/test_patterns.ml: Alcotest List Ltl Ltl_parse Ltl_print QCheck2 QCheck_alcotest Speccc_casestudies Speccc_logic Speccc_patterns Speccc_translate Trace

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Dimacs Format Fun List Printf QCheck2 QCheck_alcotest Sat Speccc_sat Tseitin

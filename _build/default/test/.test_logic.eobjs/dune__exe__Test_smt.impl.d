@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Bitvec List Printf QCheck2 QCheck_alcotest Sat Smt Speccc_sat Speccc_smt Tseitin

@@ -1,0 +1,1 @@
+test/test_timeabs.ml: Alcotest Bounded List Ltl Ltl_parse Ltl_print Printf QCheck2 QCheck_alcotest Speccc_logic Speccc_synthesis Speccc_timeabs String

@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Lazy List Ltl Ltl_parse Ltl_print Semantic Speccc_logic Speccc_reasoning Speccc_translate String Translate

@@ -1,0 +1,1 @@
+test/test_verbalize.ml: Alcotest List Ltl Ltl_parse Ltl_print QCheck2 QCheck_alcotest Speccc_logic Speccc_translate Verbalize

@@ -1,0 +1,229 @@
+(* A small interpreter for the IEC 61131-3 Structured Text subset that
+   Codegen.to_structured_text emits, used as an independent oracle: the
+   generated program must behave exactly like the Mealy machine it was
+   compiled from.
+
+   Recognized shape:
+
+     FUNCTION_BLOCK <name>
+     VAR_INPUT  <id> : BOOL; ...  END_VAR
+     VAR_OUTPUT <id> : BOOL; ...  END_VAR
+     VAR state : INT := <k>; END_VAR
+     CASE state OF
+       <k>:
+         IF <guard> THEN <assigns> state := <k>;
+         ELSIF <guard> THEN ... END_IF;
+     END_CASE;
+     END_FUNCTION_BLOCK
+
+   where <guard> is a conjunction of possibly negated input names and
+   <assigns> sets every output to TRUE/FALSE. *)
+
+type literal = { var : string; positive : bool }
+
+type branch = {
+  guard : literal list;
+  sets : (string * bool) list;
+  next_state : int;
+}
+
+type program = {
+  inputs : string list;
+  outputs : string list;
+  initial : int;
+  branches_of_state : (int * branch list) list;
+}
+
+let tokens_of text =
+  (* split on whitespace, keeping ':' ';' '=' glued tokens split *)
+  text
+  |> String.map (fun c -> if c = '\n' || c = '\t' then ' ' else c)
+  |> String.split_on_char ' '
+  |> List.concat_map (fun raw ->
+      (* split trailing punctuation like "state:" / "x;" *)
+      let raw = String.trim raw in
+      if raw = "" then []
+      else
+        let rec peel acc s =
+          let n = String.length s in
+          if n = 0 then acc
+          else
+            let last = s.[n - 1] in
+            if last = ';' || last = ':' then
+              peel ((String.make 1 last) :: acc) (String.sub s 0 (n - 1))
+            else s :: acc
+        in
+        peel [] raw)
+  |> List.filter (( <> ) "")
+
+let parse text =
+  let tokens = ref (tokens_of text) in
+  let peek () = match !tokens with t :: _ -> Some t | [] -> None in
+  let next () =
+    match !tokens with
+    | t :: rest ->
+      tokens := rest;
+      t
+    | [] -> failwith "st: unexpected end"
+  in
+  let expect t =
+    let got = next () in
+    if got <> t then failwith (Printf.sprintf "st: expected %s got %s" t got)
+  in
+  let skip_until t =
+    while peek () <> Some t do ignore (next ()) done;
+    expect t
+  in
+  expect "FUNCTION_BLOCK";
+  ignore (next ());  (* name *)
+  (* VAR_INPUT *)
+  expect "VAR_INPUT";
+  let rec read_decls acc =
+    match peek () with
+    | Some "END_VAR" ->
+      ignore (next ());
+      List.rev acc
+    | Some id ->
+      ignore (next ());
+      expect ":";
+      expect "BOOL";
+      expect ";";
+      read_decls (id :: acc)
+    | None -> failwith "st: eof in declarations"
+  in
+  let inputs = read_decls [] in
+  expect "VAR_OUTPUT";
+  let outputs = read_decls [] in
+  expect "VAR";
+  expect "state";
+  expect ":";
+  expect "INT";
+  expect ":=";
+  let initial =
+    let t = next () in
+    int_of_string (String.sub t 0 (String.length t))
+  in
+  expect ";";
+  expect "END_VAR";
+  expect "CASE";
+  expect "state";
+  expect "OF";
+  (* states *)
+  let branches_of_state = ref [] in
+  let parse_guard () =
+    (* literals joined by AND until THEN *)
+    let rec go acc =
+      match next () with
+      | "THEN" -> List.rev acc
+      | "AND" -> go acc
+      | "NOT" ->
+        let var = next () in
+        go ({ var; positive = false } :: acc)
+      | "TRUE" -> go acc
+      | var -> go ({ var; positive = true } :: acc)
+    in
+    go []
+  in
+  let parse_branch_body () =
+    (* assignments until "state := n ;" *)
+    let sets = ref [] in
+    let rec go () =
+      let t = next () in
+      if t = "state" then begin
+        expect ":=";
+        let n = int_of_string (next ()) in
+        expect ";";
+        n
+      end
+      else begin
+        expect ":=";
+        let value =
+          match next () with
+          | "TRUE" -> true
+          | "FALSE" -> false
+          | other -> failwith ("st: bad rhs " ^ other)
+        in
+        expect ";";
+        sets := (t, value) :: !sets;
+        go ()
+      end
+    in
+    let next_state = go () in
+    (List.rev !sets, next_state)
+  in
+  let rec parse_states () =
+    match peek () with
+    | Some "END_CASE" ->
+      ignore (next ());
+      expect ";";
+      skip_until "END_FUNCTION_BLOCK"
+    | Some state_token ->
+      let state = int_of_string state_token in
+      ignore (next ());
+      expect ":";
+      let branches = ref [] in
+      let rec parse_ifs () =
+        match peek () with
+        | Some ("IF" | "ELSIF") ->
+          ignore (next ());
+          let guard = parse_guard () in
+          let sets, next_state = parse_branch_body () in
+          branches := { guard; sets; next_state } :: !branches;
+          parse_ifs ()
+        | Some "END_IF" ->
+          ignore (next ());
+          expect ";"
+        | _ -> ()
+      in
+      parse_ifs ();
+      branches_of_state := (state, List.rev !branches) :: !branches_of_state;
+      parse_states ()
+    | None -> failwith "st: eof in case"
+  in
+  parse_states ();
+  {
+    inputs;
+    outputs;
+    initial;
+    branches_of_state = List.rev !branches_of_state;
+  }
+
+type instance = {
+  program : program;
+  mutable state : int;
+}
+
+let start program = { program; state = program.initial }
+
+(* One scan cycle: evaluate the active state's branches in order. *)
+let scan instance (input_values : (string * bool) list) =
+  let value var =
+    match List.assoc_opt var input_values with
+    | Some b -> b
+    | None -> false
+  in
+  let branches =
+    match List.assoc_opt instance.state instance.program.branches_of_state with
+    | Some b -> b
+    | None -> []
+  in
+  let taken =
+    List.find_opt
+      (fun branch ->
+         List.for_all
+           (fun { var; positive } -> value var = positive)
+           branch.guard)
+      branches
+  in
+  match taken with
+  | None -> None
+  | Some branch ->
+    instance.state <- branch.next_state;
+    Some
+      (List.map
+         (fun out ->
+            ( out,
+              match List.assoc_opt out branch.sets with
+              | Some b -> b
+              | None -> false ))
+         instance.program.outputs)

@@ -1,0 +1,304 @@
+(* Tests for the LTL library: AST operations, parser/printer
+   round-trips, NNF correctness on lasso words, classification and the
+   bounded-liveness strengthening. *)
+
+open Speccc_logic
+
+let ltl_testable = Alcotest.testable (Ltl_print.pp ~syntax:Ltl_print.Ascii)
+    Ltl.equal
+
+let parse = Ltl_parse.formula
+
+(* --- random formula generation (shared with other suites through
+   copy-free usage of QCheck2 generators) --- *)
+
+let prop_names = [ "a"; "b"; "c"; "d" ]
+
+let formula_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self size ->
+      if size <= 1 then
+        oneof
+          [
+            return Ltl.True;
+            return Ltl.False;
+            map Ltl.prop (oneofl prop_names);
+          ]
+      else
+        let sub = self (size / 2) in
+        oneof
+          [
+            map Ltl.prop (oneofl prop_names);
+            map (fun f -> Ltl.Not f) sub;
+            map2 (fun f g -> Ltl.And (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Or (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Implies (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Iff (f, g)) sub sub;
+            map (fun f -> Ltl.Next f) sub;
+            map (fun f -> Ltl.Eventually f) sub;
+            map (fun f -> Ltl.Always f) sub;
+            map2 (fun f g -> Ltl.Until (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Weak_until (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Release (f, g)) sub sub;
+          ])
+
+let letter_gen =
+  let open QCheck2.Gen in
+  let entry name = map (fun b -> (name, b)) bool in
+  flatten_l (List.map entry prop_names)
+
+let trace_gen =
+  let open QCheck2.Gen in
+  map2
+    (fun prefix loop -> Trace.make ~prefix ~loop)
+    (list_size (int_range 0 4) letter_gen)
+    (list_size (int_range 1 4) letter_gen)
+
+(* --- AST --- *)
+
+let test_smart_constructors () =
+  Alcotest.check ltl_testable "conj true" (Ltl.prop "a")
+    (Ltl.conj Ltl.tt (Ltl.prop "a"));
+  Alcotest.check ltl_testable "conj false" Ltl.ff
+    (Ltl.conj (Ltl.prop "a") Ltl.ff);
+  Alcotest.check ltl_testable "double negation" (Ltl.prop "a")
+    (Ltl.neg (Ltl.neg (Ltl.prop "a")));
+  Alcotest.check ltl_testable "implies false lhs" Ltl.tt
+    (Ltl.implies Ltl.ff (Ltl.prop "a"));
+  Alcotest.check ltl_testable "until target true" Ltl.tt
+    (Ltl.until (Ltl.prop "a") Ltl.tt)
+
+let test_props () =
+  let f = parse "G (a -> X (b && !c))" in
+  Alcotest.(check (list string)) "props" [ "a"; "b"; "c" ] (Ltl.props f)
+
+let test_next_depth_and_chains () =
+  let f = parse "G (!air_ok -> X X X stop)" in
+  Alcotest.(check int) "depth 3" 3 (Ltl.next_depth f);
+  Alcotest.(check (list int)) "chains [3]" [ 3 ] (Ltl.next_chains f);
+  let g = parse "(a -> X X b) && (c -> X d) && X X X X e" in
+  Alcotest.(check (list int)) "chains sorted desc" [ 4; 2; 1 ]
+    (Ltl.next_chains g);
+  Alcotest.(check int) "next_n builds chains" 5
+    (Ltl.next_depth (Ltl.next_n 5 (Ltl.prop "p")))
+
+let test_subformulas () =
+  let f = parse "a U (b && a)" in
+  Alcotest.(check int) "4 distinct subformulas" 4
+    (List.length (Ltl.subformulas f))
+
+let test_map_props () =
+  let f = parse "G (unavailable_pump -> alarm)" in
+  let renamed =
+    Ltl.map_props
+      (fun p ->
+         if p = "unavailable_pump" then Ltl.neg (Ltl.prop "available_pump")
+         else Ltl.prop p)
+      f
+  in
+  Alcotest.check ltl_testable "substitution"
+    (parse "G (!available_pump -> alarm)")
+    renamed
+
+let test_error_paths () =
+  (match Ltl.next_n (-1) (Ltl.prop "p") with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "negative next_n must be rejected");
+  (match Trace.make ~prefix:[] ~loop:[] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "empty loop must be rejected");
+  let w = Trace.constant [ ("a", true) ] in
+  (match Trace.letter_at w (-1) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "negative position must be rejected");
+  match Speccc_logic.Classify.bound_liveness ~bound:0 (Ltl.prop "p") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bound 0 must be rejected"
+
+(* --- parser / printer --- *)
+
+let test_parse_basics () =
+  Alcotest.check ltl_testable "precedence and over or"
+    (Ltl.Or (Ltl.Prop "a", Ltl.And (Ltl.Prop "b", Ltl.Prop "c")))
+    (parse "a || b && c");
+  Alcotest.check ltl_testable "implication right assoc"
+    (Ltl.Implies (Ltl.Prop "a", Ltl.Implies (Ltl.Prop "b", Ltl.Prop "c")))
+    (parse "a -> b -> c");
+  Alcotest.check ltl_testable "paper style"
+    (Ltl.Always (Ltl.Implies (Ltl.Prop "p", Ltl.Eventually (Ltl.Prop "q"))))
+    (parse "[] (p -> <> q)");
+  Alcotest.check ltl_testable "unary binds tighter than until"
+    (Ltl.Until (Ltl.Always (Ltl.Prop "a"), Ltl.Prop "b"))
+    (parse "G a U b");
+  Alcotest.check ltl_testable "word operators"
+    (parse "!a && b || c")
+    (parse "not a and b or c")
+
+let test_parse_errors () =
+  let fails input =
+    match Ltl_parse.formula_opt input with
+    | None -> ()
+    | Some _ -> Alcotest.fail (input ^ " should not parse")
+  in
+  fails "";
+  fails "a &&";
+  fails "(a";
+  fails "a b";
+  fails "U a";
+  fails "a -> -> b"
+
+let prop_print_parse_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"print-then-parse is identity"
+    formula_gen (fun f ->
+        (* Smart constructors may simplify during parsing, so compare
+           after one normalizing round. *)
+        let printed = Ltl_print.to_string f in
+        let reparsed = Ltl_parse.formula printed in
+        let twice = Ltl_parse.formula (Ltl_print.to_string reparsed) in
+        Ltl.equal reparsed twice)
+
+let prop_paper_syntax_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"paper syntax parses back"
+    formula_gen (fun f ->
+        let printed = Ltl_print.to_string ~syntax:Ltl_print.Paper f in
+        match Ltl_parse.formula_opt printed with
+        | Some _ -> true
+        | None -> false)
+
+(* --- trace semantics --- *)
+
+let letter trues =
+  List.map (fun p -> (p, List.mem p trues)) prop_names
+
+let test_trace_basics () =
+  let w = Trace.make ~prefix:[ letter [ "a" ] ] ~loop:[ letter [ "b" ] ] in
+  Alcotest.(check bool) "a at 0" true (Trace.holds w (parse "a"));
+  Alcotest.(check bool) "X b" true (Trace.holds w (parse "X b"));
+  Alcotest.(check bool) "G X b" true (Trace.holds w (parse "X G b"));
+  Alcotest.(check bool) "F b" true (Trace.holds w (parse "F b"));
+  Alcotest.(check bool) "G b false at 0" false (Trace.holds w (parse "G b"));
+  Alcotest.(check bool) "a U b" true (Trace.holds w (parse "a U b"));
+  Alcotest.(check bool) "holds_at wraps" true
+    (Trace.holds_at w 17 (parse "b"))
+
+let test_trace_until_release () =
+  (* a a a b then loop c: a U b true, a U c false at 0 (a breaks at b). *)
+  let w =
+    Trace.make
+      ~prefix:[ letter [ "a" ]; letter [ "a" ]; letter [ "a" ]; letter [ "b" ] ]
+      ~loop:[ letter [ "c" ] ]
+  in
+  Alcotest.(check bool) "a U b" true (Trace.holds w (parse "a U b"));
+  Alcotest.(check bool) "a U c" false (Trace.holds w (parse "a U c"));
+  Alcotest.(check bool) "b R (a || b || c)" true
+    (Trace.holds w (parse "b R (a || b || c)"));
+  (* W with no trigger: G a on loop-only-a word. *)
+  let wa = Trace.constant (letter [ "a" ]) in
+  Alcotest.(check bool) "a W b with G a" true (Trace.holds wa (parse "a W b"));
+  Alcotest.(check bool) "a U b fails without b" false
+    (Trace.holds wa (parse "a U b"))
+
+let test_clairvoyance_example () =
+  (* Footnote 1 of the paper: G (output <-> XXX input) is a wellformed
+     formula; check its trace semantics on a matching word. *)
+  let f = parse "G (out <-> X X X inp)" in
+  let mk o i = [ ("out", o); ("inp", i) ] in
+  let w = Trace.make ~prefix:[] ~loop:[ mk true true ] in
+  Alcotest.(check bool) "constant true word satisfies" true (Trace.holds w f);
+  let w2 =
+    Trace.make ~prefix:[ mk false true ] ~loop:[ mk true true ]
+  in
+  Alcotest.(check bool) "violation at 0" false (Trace.holds w2 f)
+
+let prop_nnf_preserves_semantics =
+  QCheck2.Test.make ~count:500 ~name:"NNF has the same models"
+    QCheck2.Gen.(pair formula_gen trace_gen)
+    (fun (f, w) -> Trace.holds w f = Trace.holds w (Nnf.of_formula f))
+
+let prop_nnf_is_nnf =
+  QCheck2.Test.make ~count:500 ~name:"NNF output is in NNF" formula_gen
+    (fun f -> Nnf.is_nnf (Nnf.of_formula f))
+
+let prop_simplify_preserves_semantics =
+  QCheck2.Test.make ~count:500 ~name:"simplify has the same models"
+    QCheck2.Gen.(pair formula_gen trace_gen)
+    (fun (f, w) -> Trace.holds w f = Trace.holds w (Nnf.simplify f))
+
+(* --- classification and bounding --- *)
+
+let test_classification () =
+  Alcotest.(check bool) "G(a->Xb) safety" true
+    (Classify.is_syntactic_safety (parse "G (a -> X b)"));
+  Alcotest.(check bool) "G(a->Fb) not safety" false
+    (Classify.is_syntactic_safety (parse "G (a -> F b)"));
+  Alcotest.(check bool) "F a cosafety" true
+    (Classify.is_syntactic_cosafety (parse "F a"));
+  Alcotest.(check bool) "negated G is cosafety" true
+    (Classify.is_syntactic_cosafety (parse "!(G a)"));
+  Alcotest.(check bool) "W is safety" true
+    (Classify.is_syntactic_safety (parse "a W b"));
+  Alcotest.(check bool) "liveness detected" true
+    (Classify.has_liveness (parse "G (a -> F b)"))
+
+let test_bound_liveness_shape () =
+  let bounded = Classify.bound_liveness ~bound:3 (parse "F p") in
+  Alcotest.(check bool) "bounded F is safety" true
+    (Classify.is_syntactic_safety bounded);
+  Alcotest.(check int) "X depth = bound - 1" 2 (Ltl.next_depth bounded)
+
+let prop_bound_liveness_implies_original =
+  QCheck2.Test.make ~count:300
+    ~name:"bounded formula implies the original on lassos"
+    QCheck2.Gen.(pair formula_gen trace_gen)
+    (fun (f, w) ->
+       let bounded = Classify.bound_liveness ~bound:3 f in
+       (* strengthening: bounded ⊨ original *)
+       (not (Trace.holds w bounded)) || Trace.holds w f)
+
+let prop_bound_liveness_safety =
+  QCheck2.Test.make ~count:300 ~name:"bounded formula is syntactically safe"
+    formula_gen (fun f ->
+        Classify.is_syntactic_safety (Classify.bound_liveness ~bound:2 f))
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "ast",
+        [
+          Alcotest.test_case "smart constructors" `Quick
+            test_smart_constructors;
+          Alcotest.test_case "props" `Quick test_props;
+          Alcotest.test_case "next depth/chains" `Quick
+            test_next_depth_and_chains;
+          Alcotest.test_case "subformulas" `Quick test_subformulas;
+          Alcotest.test_case "map_props" `Quick test_map_props;
+          Alcotest.test_case "error paths" `Quick test_error_paths;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "basics" `Quick test_parse_basics;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
+          QCheck_alcotest.to_alcotest prop_paper_syntax_roundtrip;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "basics" `Quick test_trace_basics;
+          Alcotest.test_case "until/release" `Quick test_trace_until_release;
+          Alcotest.test_case "clairvoyance example" `Quick
+            test_clairvoyance_example;
+        ] );
+      ( "nnf",
+        [
+          QCheck_alcotest.to_alcotest prop_nnf_preserves_semantics;
+          QCheck_alcotest.to_alcotest prop_nnf_is_nnf;
+          QCheck_alcotest.to_alcotest prop_simplify_preserves_semantics;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "fragments" `Quick test_classification;
+          Alcotest.test_case "bounded shape" `Quick test_bound_liveness_shape;
+          QCheck_alcotest.to_alcotest prop_bound_liveness_implies_original;
+          QCheck_alcotest.to_alcotest prop_bound_liveness_safety;
+        ] );
+    ]

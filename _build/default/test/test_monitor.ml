@@ -1,0 +1,149 @@
+(* Tests for the progression-based runtime monitor: verdict soundness
+   against the exact lasso semantics, progression correctness as a
+   pure function, and verdict latching. *)
+
+open Speccc_logic
+open Speccc_monitor
+
+let parse = Ltl_parse.formula
+
+let prop_names = [ "a"; "b"; "c" ]
+let letter trues = List.map (fun p -> (p, List.mem p trues)) prop_names
+
+let test_safety_violation () =
+  let monitor = Monitor.create (parse "G (a -> b)") in
+  (match Monitor.step monitor (letter [ "a"; "b" ]) with
+   | Monitor.Running _ -> ()
+   | _ -> Alcotest.fail "still running after a compliant letter");
+  (match Monitor.step monitor (letter []) with
+   | Monitor.Running _ -> ()
+   | _ -> Alcotest.fail "still running");
+  (match Monitor.step monitor (letter [ "a" ]) with
+   | Monitor.Violated 2 -> ()
+   | Monitor.Violated i ->
+     Alcotest.fail (Printf.sprintf "violation at wrong index %d" i)
+   | _ -> Alcotest.fail "violation expected")
+
+let test_satisfaction () =
+  let monitor = Monitor.create (parse "F a") in
+  (match Monitor.step monitor (letter [ "b" ]) with
+   | Monitor.Running _ -> ()
+   | _ -> Alcotest.fail "eventuality still pending");
+  (match Monitor.step monitor (letter [ "a" ]) with
+   | Monitor.Satisfied 1 -> ()
+   | _ -> Alcotest.fail "satisfied expected at index 1")
+
+let test_verdicts_latch () =
+  let monitor = Monitor.create (parse "F a") in
+  ignore (Monitor.step monitor (letter [ "a" ]));
+  (match Monitor.step monitor (letter []) with
+   | Monitor.Satisfied 0 -> ()
+   | _ -> Alcotest.fail "verdict must latch");
+  Monitor.reset monitor;
+  (match Monitor.status monitor with
+   | Monitor.Running _ -> ()
+   | _ -> Alcotest.fail "reset must rearm")
+
+let test_bounded_response () =
+  (* G (a -> X X b): violation detected exactly two steps after the
+     un-answered trigger. *)
+  let monitor = Monitor.create (parse "G (a -> X X b)") in
+  ignore (Monitor.step monitor (letter [ "a" ]));
+  ignore (Monitor.step monitor (letter []));
+  (match Monitor.step monitor (letter []) with
+   | Monitor.Violated 2 -> ()
+   | _ -> Alcotest.fail "deadline miss must be flagged at index 2")
+
+let test_until () =
+  let monitor = Monitor.create (parse "a U b") in
+  ignore (Monitor.step monitor (letter [ "a" ]));
+  (match Monitor.step monitor (letter []) with
+   | Monitor.Violated 1 -> ()
+   | _ -> Alcotest.fail "neither a nor b breaks the until");
+  let monitor2 = Monitor.create (parse "a U b") in
+  ignore (Monitor.step monitor2 (letter [ "a" ]));
+  (match Monitor.step monitor2 (letter [ "b" ]) with
+   | Monitor.Satisfied 1 -> ()
+   | _ -> Alcotest.fail "b discharges the until")
+
+(* progression is exact: φ holds at position i iff prog(φ, w_i) holds
+   at position i+1 *)
+let formula_gen =
+  let open QCheck2.Gen in
+  int_range 0 10 >>= fix (fun self size ->
+      if size <= 1 then
+        oneof [ return Ltl.True; return Ltl.False;
+                map Ltl.prop (oneofl prop_names) ]
+      else
+        let sub = self (size / 2) in
+        oneof
+          [
+            map Ltl.prop (oneofl prop_names);
+            map (fun f -> Ltl.Not f) sub;
+            map2 (fun f g -> Ltl.And (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Or (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Implies (f, g)) sub sub;
+            map (fun f -> Ltl.Next f) sub;
+            map (fun f -> Ltl.Eventually f) sub;
+            map (fun f -> Ltl.Always f) sub;
+            map2 (fun f g -> Ltl.Until (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Weak_until (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Release (f, g)) sub sub;
+          ])
+
+let letter_gen =
+  let open QCheck2.Gen in
+  flatten_l (List.map (fun p -> map (fun b -> (p, b)) bool) prop_names)
+
+let trace_gen =
+  let open QCheck2.Gen in
+  map2
+    (fun prefix loop -> Trace.make ~prefix ~loop)
+    (list_size (int_range 0 3) letter_gen)
+    (list_size (int_range 1 3) letter_gen)
+
+let prop_progression_exact =
+  QCheck2.Test.make ~count:400
+    ~name:"w,i ⊨ φ iff w,i+1 ⊨ prog(φ, w_i)"
+    QCheck2.Gen.(pair formula_gen trace_gen)
+    (fun (f, word) ->
+       let first = Trace.letter_at word 0 in
+       Trace.holds word f
+       = Trace.holds_at word 1 (Monitor.progress f first))
+
+let prop_verdicts_sound =
+  QCheck2.Test.make ~count:400
+    ~name:"monitor verdicts are sound on the word they came from"
+    QCheck2.Gen.(pair formula_gen trace_gen)
+    (fun (f, word) ->
+       let monitor = Monitor.create f in
+       let steps = Trace.length word + 4 in
+       let rec feed i =
+         if i >= steps then Monitor.status monitor
+         else
+           match Monitor.step monitor (Trace.letter_at word i) with
+           | Monitor.Running _ -> feed (i + 1)
+           | final -> final
+       in
+       match feed 0 with
+       | Monitor.Violated _ -> not (Trace.holds word f)
+       | Monitor.Satisfied _ -> Trace.holds word f
+       | Monitor.Running _ -> true)
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "verdicts",
+        [
+          Alcotest.test_case "safety violation" `Quick test_safety_violation;
+          Alcotest.test_case "satisfaction" `Quick test_satisfaction;
+          Alcotest.test_case "latching and reset" `Quick test_verdicts_latch;
+          Alcotest.test_case "bounded response" `Quick test_bounded_response;
+          Alcotest.test_case "until" `Quick test_until;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_progression_exact;
+          QCheck_alcotest.to_alcotest prop_verdicts_sound;
+        ] );
+    ]

@@ -1,0 +1,142 @@
+(* Tests for the input/output partition heuristic (Sec. IV-F). *)
+
+open Speccc_logic
+open Speccc_partition.Partition
+
+let parse = Ltl_parse.formula
+
+let test_implication_sides () =
+  let inputs, outputs = of_formula (parse "G (a && b -> c)") in
+  Alcotest.(check (list string)) "antecedent props are inputs" [ "a"; "b" ]
+    inputs;
+  Alcotest.(check (list string)) "consequent props are outputs" [ "c" ]
+    outputs
+
+let test_both_sides_is_output () =
+  let inputs, outputs = of_formula (parse "G (a && b -> a)") in
+  Alcotest.(check (list string)) "only b stays input" [ "b" ] inputs;
+  Alcotest.(check (list string)) "a is output" [ "a" ] outputs
+
+let test_until_right_is_input () =
+  (* Req-49 shape: G (btn -> (!press -> btn W press)) *)
+  let inputs, outputs =
+    of_formula (parse "G (btn -> (!press -> (btn W press)))")
+  in
+  Alcotest.(check bool) "press is input" true (List.mem "press" inputs);
+  Alcotest.(check bool) "btn is output" true (List.mem "btn" outputs)
+
+let test_nested_implications () =
+  let inputs, outputs =
+    of_formula (parse "G (a -> (b -> c))")
+  in
+  Alcotest.(check (list string)) "both antecedents input" [ "a"; "b" ] inputs;
+  Alcotest.(check (list string)) "c output" [ "c" ] outputs
+
+let test_bare_invariant_is_output () =
+  let inputs, outputs = of_formula (parse "G p") in
+  Alcotest.(check (list string)) "no inputs" [] inputs;
+  Alcotest.(check (list string)) "p output" [ "p" ] outputs
+
+let test_unification_conflict () =
+  (* ack: input in req 2, output in req 1 -> output overall. *)
+  let analysis =
+    of_requirements
+      [ parse "G (req -> X ack)"; parse "G (ack -> X done_)" ]
+  in
+  Alcotest.(check (list string)) "inputs" [ "req" ]
+    analysis.partition.inputs;
+  Alcotest.(check (list string)) "outputs" [ "ack"; "done_" ]
+    analysis.partition.outputs;
+  (match analysis.conflicts with
+   | [ conflict ] ->
+     Alcotest.(check string) "conflicted prop" "ack" conflict.prop;
+     Alcotest.(check (list int)) "input vote from req 1" [ 1 ]
+       conflict.input_in;
+     Alcotest.(check (list int)) "output vote from req 0" [ 0 ]
+       conflict.output_in
+   | _ -> Alcotest.fail "expected exactly one conflict")
+
+let test_no_input_fallback () =
+  let analysis = of_requirements [ parse "G a"; parse "G b" ] in
+  Alcotest.(check (option string)) "forced input recorded" (Some "a")
+    analysis.forced_input;
+  Alcotest.(check (list string)) "a promoted" [ "a" ]
+    analysis.partition.inputs;
+  Alcotest.(check (list string)) "b stays output" [ "b" ]
+    analysis.partition.outputs
+
+let test_cara_example () =
+  (* Sec. IV-F's worked example: Req-32. *)
+  let analysis =
+    of_requirements
+      [ parse
+          "G ((available_pulse_wave || available_arterial_line) && \
+           select_cuff -> trigger_corroboration)" ]
+  in
+  Alcotest.(check (list string)) "inputs"
+    [ "available_arterial_line"; "available_pulse_wave"; "select_cuff" ]
+    analysis.partition.inputs;
+  Alcotest.(check (list string)) "outputs" [ "trigger_corroboration" ]
+    analysis.partition.outputs
+
+let test_adjust () =
+  let partition = { inputs = [ "a"; "b" ]; outputs = [ "c" ] } in
+  let adjusted = adjust partition ~to_output:[ "a" ] () in
+  Alcotest.(check (list string)) "a moved" [ "b" ] adjusted.inputs;
+  Alcotest.(check (list string)) "outputs extended" [ "a"; "c" ]
+    adjusted.outputs;
+  let back = adjust adjusted ~to_input:[ "a" ] () in
+  Alcotest.(check (list string)) "a back" [ "a"; "b" ] back.inputs;
+  (* unknown props are ignored *)
+  let same = adjust partition ~to_output:[ "zz" ] () in
+  Alcotest.(check (list string)) "unknown ignored" partition.inputs
+    same.inputs
+
+let prop_partition_is_disjoint_cover =
+  let formula_gen =
+    let open QCheck2.Gen in
+    let p = map Ltl.prop (oneofl [ "a"; "b"; "c"; "d" ]) in
+    let clause = map2 Ltl.implies p p in
+    map
+      (fun (a, b) -> Ltl.always (Ltl.conj a b))
+      (pair clause clause)
+  in
+  QCheck2.Test.make ~count:200
+    ~name:"partition covers all props disjointly"
+    QCheck2.Gen.(list_size (int_range 1 4) formula_gen)
+    (fun formulas ->
+       let analysis = of_requirements formulas in
+       let { inputs; outputs } = analysis.partition in
+       let all =
+         List.sort_uniq compare (List.concat_map Ltl.props formulas)
+       in
+       List.sort compare (inputs @ outputs) = all
+       && List.for_all (fun p -> not (List.mem p outputs)) inputs)
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "heuristic",
+        [
+          Alcotest.test_case "implication sides" `Quick
+            test_implication_sides;
+          Alcotest.test_case "both sides -> output" `Quick
+            test_both_sides_is_output;
+          Alcotest.test_case "until right is input" `Quick
+            test_until_right_is_input;
+          Alcotest.test_case "nested implications" `Quick
+            test_nested_implications;
+          Alcotest.test_case "bare invariant" `Quick
+            test_bare_invariant_is_output;
+          Alcotest.test_case "paper example (Req-32)" `Quick
+            test_cara_example;
+        ] );
+      ( "unification",
+        [
+          Alcotest.test_case "conflict" `Quick test_unification_conflict;
+          Alcotest.test_case "no-input fallback" `Quick
+            test_no_input_fallback;
+          Alcotest.test_case "adjust" `Quick test_adjust;
+          QCheck_alcotest.to_alcotest prop_partition_is_disjoint_cover;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+(* Tests for the Dwyer pattern catalogue: golden LTL templates,
+   semantic checks on lasso words, recognition, and the connection to
+   the translator's output. *)
+
+open Speccc_logic
+open Speccc_patterns.Patterns
+
+let parse = Ltl_parse.formula
+let ltl = Alcotest.testable (Ltl_print.pp ~syntax:Ltl_print.Ascii) Ltl.equal
+
+let p = Ltl.prop "p"
+let s = Ltl.prop "s"
+let q = Ltl.prop "q"
+let r = Ltl.prop "r"
+
+(* --- golden templates --- *)
+
+let test_absence_templates () =
+  Alcotest.check ltl "globally" (parse "G (!p)")
+    (instantiate Absence ~p Globally);
+  Alcotest.check ltl "before r" (parse "F r -> (!p U r)")
+    (instantiate Absence ~p (Before r));
+  Alcotest.check ltl "after q" (parse "G (q -> G (!p))")
+    (instantiate Absence ~p (After q));
+  Alcotest.check ltl "between" (parse "G (q && !r && F r -> (!p U r))")
+    (instantiate Absence ~p (Between (q, r)));
+  Alcotest.check ltl "after-until" (parse "G (q && !r -> (!p W r))")
+    (instantiate Absence ~p (After_until (q, r)))
+
+let test_universality_templates () =
+  Alcotest.check ltl "globally" (parse "G p")
+    (instantiate Universality ~p Globally);
+  Alcotest.check ltl "before r" (parse "F r -> (p U r)")
+    (instantiate Universality ~p (Before r));
+  Alcotest.check ltl "after q" (parse "G (q -> G p)")
+    (instantiate Universality ~p (After q))
+
+let test_existence_templates () =
+  Alcotest.check ltl "globally" (parse "F p")
+    (instantiate Existence ~p Globally);
+  Alcotest.check ltl "before r" (parse "!r W (p && !r)")
+    (instantiate Existence ~p (Before r));
+  Alcotest.check ltl "after q" (parse "G (!q) || F (q && F p)")
+    (instantiate Existence ~p (After q))
+
+let test_response_templates () =
+  Alcotest.check ltl "globally" (parse "G (p -> F s)")
+    (instantiate Response ~p ~s Globally);
+  Alcotest.check ltl "after q" (parse "G (q -> G (p -> F s))")
+    (instantiate Response ~p ~s (After q))
+
+let test_precedence_templates () =
+  Alcotest.check ltl "globally" (parse "!p W s")
+    (instantiate Precedence ~p ~s Globally);
+  Alcotest.check ltl "before r" (parse "F r -> (!p U (s || r))")
+    (instantiate Precedence ~p ~s (Before r))
+
+let test_missing_s_rejected () =
+  (match instantiate Response ~p Globally with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "Response without s must be rejected");
+  match instantiate Precedence ~p Globally with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Precedence without s must be rejected"
+
+(* --- semantic checks on lassos --- *)
+
+let letter trues =
+  List.map (fun name -> (name, List.mem name trues)) [ "p"; "s"; "q"; "r" ]
+
+let test_semantics_between () =
+  let formula = instantiate Absence ~p (Between (q, r)) in
+  (* q, then p before r: violated *)
+  let bad =
+    Trace.make
+      ~prefix:[ letter [ "q" ]; letter [ "p" ]; letter [ "r" ] ]
+      ~loop:[ letter [] ]
+  in
+  Alcotest.(check bool) "violation detected" false (Trace.holds bad formula);
+  (* q, then clean interval to r, p afterwards: fine *)
+  let good =
+    Trace.make
+      ~prefix:[ letter [ "q" ]; letter []; letter [ "r" ]; letter [ "p" ] ]
+      ~loop:[ letter [] ]
+  in
+  Alcotest.(check bool) "outside the scope is free" true
+    (Trace.holds good formula);
+  (* q never closed by r: the between scope never applies *)
+  let open_interval =
+    Trace.make ~prefix:[ letter [ "q" ]; letter [ "p" ] ] ~loop:[ letter [] ]
+  in
+  Alcotest.(check bool) "open interval not constrained" true
+    (Trace.holds open_interval formula)
+
+let test_semantics_after_until () =
+  let formula = instantiate Absence ~p (After_until (q, r)) in
+  (* the open interval IS constrained for after-until *)
+  let open_interval =
+    Trace.make ~prefix:[ letter [ "q" ]; letter [ "p" ] ] ~loop:[ letter [] ]
+  in
+  Alcotest.(check bool) "open interval constrained" false
+    (Trace.holds open_interval formula)
+
+let test_semantics_precedence () =
+  let formula = instantiate Precedence ~p ~s Globally in
+  let s_first =
+    Trace.make ~prefix:[ letter [ "s" ]; letter [ "p" ] ] ~loop:[ letter [] ]
+  in
+  let p_first =
+    Trace.make ~prefix:[ letter [ "p" ]; letter [ "s" ] ] ~loop:[ letter [] ]
+  in
+  let neither = Trace.constant (letter []) in
+  Alcotest.(check bool) "s then p ok" true (Trace.holds s_first formula);
+  Alcotest.(check bool) "p before s violates" false
+    (Trace.holds p_first formula);
+  Alcotest.(check bool) "neither ever: ok (weak)" true
+    (Trace.holds neither formula)
+
+(* Scope monotonicity: the Globally scope implies every narrower
+   scope's obligation on the same word. *)
+let prop_globally_strongest =
+  let letter_gen =
+    let open QCheck2.Gen in
+    flatten_l
+      (List.map (fun name -> map (fun b -> (name, b)) bool)
+         [ "p"; "s"; "q"; "r" ])
+  in
+  let trace_gen =
+    let open QCheck2.Gen in
+    map2
+      (fun prefix loop -> Trace.make ~prefix ~loop)
+      (list_size (int_range 0 3) letter_gen)
+      (list_size (int_range 1 3) letter_gen)
+  in
+  QCheck2.Test.make ~count:200
+    ~name:"globally-scoped absence implies every other scope"
+    trace_gen
+    (fun word ->
+       let global = instantiate Absence ~p Globally in
+       if not (Trace.holds word global) then true
+       else
+         List.for_all
+           (fun scope -> Trace.holds word (instantiate Absence ~p scope))
+           [ Before r; After q; Between (q, r); After_until (q, r) ])
+
+(* --- recognition --- *)
+
+let test_recognize () =
+  (match recognize (parse "G (a -> F b)") with
+   | Some { pattern = Response; s = Some _; _ } -> ()
+   | _ -> Alcotest.fail "response not recognized");
+  (match recognize (parse "G (!bad)") with
+   | Some { pattern = Absence; _ } -> ()
+   | _ -> Alcotest.fail "absence not recognized");
+  (match recognize (parse "G (a -> b)") with
+   | Some { pattern = Universality; _ } -> ()
+   | _ -> Alcotest.fail "guarded universality not recognized");
+  (match recognize (parse "F done_") with
+   | Some { pattern = Existence; _ } -> ()
+   | _ -> Alcotest.fail "existence not recognized");
+  (match recognize (parse "!p W s") with
+   | Some { pattern = Precedence; _ } -> ()
+   | _ -> Alcotest.fail "precedence not recognized");
+  Alcotest.(check bool) "non-template shapes are not classified" true
+    (recognize (parse "a U b") = None)
+
+let test_classify_cara () =
+  (* The translated CARA requirements are all recognizable templates. *)
+  let config = Speccc_translate.Translate.default_config () in
+  let result =
+    Speccc_translate.Translate.specification config
+      Speccc_casestudies.Cara.working_mode_texts
+  in
+  let formulas =
+    List.map
+      (fun r -> r.Speccc_translate.Translate.formula)
+      result.Speccc_translate.Translate.requirements
+  in
+  let classified = classify formulas in
+  let recognized =
+    List.filter (fun (_, instance) -> instance <> None) classified
+  in
+  Alcotest.(check int) "every CARA requirement instantiates a pattern"
+    (List.length formulas) (List.length recognized);
+  (* the paper's two families dominate *)
+  let count pat =
+    List.length
+      (List.filter
+         (fun (_, instance) ->
+            match instance with
+            | Some { pattern; _ } -> pattern = pat
+            | None -> false)
+         classified)
+  in
+  Alcotest.(check bool) "universality and response dominate" true
+    (count Universality + count Response >= 27)
+
+let () =
+  Alcotest.run "patterns"
+    [
+      ( "templates",
+        [
+          Alcotest.test_case "absence" `Quick test_absence_templates;
+          Alcotest.test_case "universality" `Quick
+            test_universality_templates;
+          Alcotest.test_case "existence" `Quick test_existence_templates;
+          Alcotest.test_case "response" `Quick test_response_templates;
+          Alcotest.test_case "precedence" `Quick test_precedence_templates;
+          Alcotest.test_case "missing s" `Quick test_missing_s_rejected;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "between scope" `Quick test_semantics_between;
+          Alcotest.test_case "after-until scope" `Quick
+            test_semantics_after_until;
+          Alcotest.test_case "precedence" `Quick test_semantics_precedence;
+          QCheck_alcotest.to_alcotest prop_globally_strongest;
+        ] );
+      ( "recognition",
+        [
+          Alcotest.test_case "shapes" `Quick test_recognize;
+          Alcotest.test_case "CARA classification" `Quick test_classify_cara;
+        ] );
+    ]

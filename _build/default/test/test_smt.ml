@@ -1,0 +1,195 @@
+(* Tests for the bit-blasting SMT layer: bit-vector arithmetic against
+   machine integers, constraint solving, and optimization. *)
+
+open Speccc_sat
+open Speccc_smt
+
+(* --- bit-vector level --- *)
+
+let decode_const ctx vec =
+  (* Evaluate a constant-only vector by solving the trivial instance. *)
+  match Sat.solve (Tseitin.solver ctx) with
+  | Sat.Unsat -> Alcotest.fail "constant circuit unsat"
+  | Sat.Sat model -> Bitvec.decode model vec
+
+let test_bitvec_consts () =
+  let ctx = Tseitin.create (Sat.create ()) in
+  List.iter
+    (fun v ->
+       let w = Bitvec.width_for (min v 0) (max v 0) in
+       Alcotest.(check int)
+         (Printf.sprintf "roundtrip %d" v)
+         v
+         (decode_const ctx (Bitvec.of_int ctx ~width:w v)))
+    [ 0; 1; -1; 5; -8; 127; -128; 1000; -999 ]
+
+let test_width_for () =
+  Alcotest.(check int) "0..1" 2 (Bitvec.width_for 0 1);
+  Alcotest.(check int) "-1..0" 1 (Bitvec.width_for (-1) 0);
+  Alcotest.(check int) "0..127" 8 (Bitvec.width_for 0 127);
+  Alcotest.(check int) "-128..127" 8 (Bitvec.width_for (-128) 127)
+
+let arith_case a b =
+  let ctx = Tseitin.create (Sat.create ()) in
+  let wa = Bitvec.width_for (min a 0) (max a 0) in
+  let wb = Bitvec.width_for (min b 0) (max b 0) in
+  let va = Bitvec.of_int ctx ~width:wa a in
+  let vb = Bitvec.of_int ctx ~width:wb b in
+  let sum = Bitvec.add ctx va vb in
+  let difference = Bitvec.sub ctx va vb in
+  let product = Bitvec.mul ctx va vb in
+  match Sat.solve (Tseitin.solver ctx) with
+  | Sat.Unsat -> Alcotest.fail "constant arithmetic unsat"
+  | Sat.Sat model ->
+    Alcotest.(check int) (Printf.sprintf "%d+%d" a b) (a + b)
+      (Bitvec.decode model sum);
+    Alcotest.(check int) (Printf.sprintf "%d-%d" a b) (a - b)
+      (Bitvec.decode model difference);
+    Alcotest.(check int) (Printf.sprintf "%d*%d" a b) (a * b)
+      (Bitvec.decode model product)
+
+let test_bitvec_arith () =
+  List.iter
+    (fun (a, b) -> arith_case a b)
+    [ (0, 0); (1, 1); (3, 5); (-3, 5); (3, -5); (-3, -5); (60, 3); (180, 60);
+      (-17, 13); (100, 100) ]
+
+let prop_bitvec_arith =
+  QCheck2.Test.make ~count:200 ~name:"bitvec arithmetic matches ints"
+    QCheck2.Gen.(pair (int_range (-50) 50) (int_range (-50) 50))
+    (fun (a, b) ->
+       arith_case a b;
+       true)
+
+let prop_bitvec_compare =
+  QCheck2.Test.make ~count:200 ~name:"bitvec comparisons match ints"
+    QCheck2.Gen.(pair (int_range (-50) 50) (int_range (-50) 50))
+    (fun (a, b) ->
+       let ctx = Tseitin.create (Sat.create ()) in
+       let wa = Bitvec.width_for (min a 0) (max a 0) in
+       let wb = Bitvec.width_for (min b 0) (max b 0) in
+       let va = Bitvec.of_int ctx ~width:wa a in
+       let vb = Bitvec.of_int ctx ~width:wb b in
+       let lt = Bitvec.lt ctx va vb in
+       let le = Bitvec.le ctx va vb in
+       let eq = Bitvec.eq ctx va vb in
+       match Sat.solve (Tseitin.solver ctx) with
+       | Sat.Unsat -> false
+       | Sat.Sat model ->
+         Tseitin.lit_value model lt = (a < b)
+         && Tseitin.lit_value model le = (a <= b)
+         && Tseitin.lit_value model eq = (a = b))
+
+(* --- SMT level --- *)
+
+let test_smt_basic () =
+  let ctx = Smt.create () in
+  let x = Smt.var ctx ~lo:0 ~hi:10 in
+  let y = Smt.var ctx ~lo:0 ~hi:10 in
+  Smt.assert_atom ctx (Smt.eq ctx (Smt.add ctx x y) (Smt.const ctx 7));
+  Smt.assert_atom ctx (Smt.gt ctx x y);
+  (match Smt.solve ctx with
+   | None -> Alcotest.fail "satisfiable"
+   | Some m ->
+     let vx = Smt.value m x and vy = Smt.value m y in
+     Alcotest.(check int) "x+y" 7 (vx + vy);
+     Alcotest.(check bool) "x>y" true (vx > vy))
+
+let test_smt_unsat () =
+  let ctx = Smt.create () in
+  let x = Smt.var ctx ~lo:0 ~hi:5 in
+  Smt.assert_atom ctx (Smt.gt ctx x (Smt.const ctx 5));
+  Alcotest.(check bool) "out of bounds" true (Smt.solve ctx = None)
+
+let test_smt_nonlinear () =
+  (* x * y = 36, x in [2,9], y in [2,9], x < y  ->  x=4,y=9 or x=6,y=6
+     excluded by <; also 2*18 out of range.  Unique: (4,9). *)
+  let ctx = Smt.create () in
+  let x = Smt.var ctx ~lo:2 ~hi:9 in
+  let y = Smt.var ctx ~lo:2 ~hi:9 in
+  Smt.assert_atom ctx (Smt.eq ctx (Smt.mul ctx x y) (Smt.const ctx 36));
+  Smt.assert_atom ctx (Smt.lt ctx x y);
+  (match Smt.solve ctx with
+   | None -> Alcotest.fail "satisfiable"
+   | Some m ->
+     Alcotest.(check int) "x" 4 (Smt.value m x);
+     Alcotest.(check int) "y" 9 (Smt.value m y))
+
+let test_smt_minimize () =
+  let ctx = Smt.create () in
+  let x = Smt.var ctx ~lo:0 ~hi:20 in
+  Smt.assert_atom ctx (Smt.ge ctx (Smt.mul ctx x x) (Smt.const ctx 50));
+  (match Smt.minimize ctx x with
+   | None -> Alcotest.fail "satisfiable"
+   | Some (best, _) -> Alcotest.(check int) "least x with x^2>=50" 8 best)
+
+let test_smt_minimize_lex () =
+  (* Minimize (x, y) lexicographically under x + y >= 5, y <= 4. *)
+  let ctx = Smt.create () in
+  let x = Smt.var ctx ~lo:0 ~hi:10 in
+  let y = Smt.var ctx ~lo:0 ~hi:4 in
+  Smt.assert_atom ctx (Smt.ge ctx (Smt.add ctx x y) (Smt.const ctx 5));
+  (match Smt.minimize_lex ctx [ x; y ] with
+   | None -> Alcotest.fail "satisfiable"
+   | Some (values, _) ->
+     Alcotest.(check (list int)) "lex optimum" [ 1; 4 ] values)
+
+let test_smt_negative_ranges () =
+  let ctx = Smt.create () in
+  let delta = Smt.var ctx ~lo:(-10) ~hi:10 in
+  Smt.assert_atom ctx (Smt.lt ctx delta (Smt.const ctx 0));
+  (match Smt.minimize ctx (Smt.neg ctx delta) with
+   | None -> Alcotest.fail "satisfiable"
+   | Some (best, m) ->
+     Alcotest.(check int) "max negative delta" 1 best;
+     Alcotest.(check int) "delta = -1" (-1) (Smt.value m delta))
+
+(* Brute-force cross-check of a random linear system. *)
+let prop_linear_system =
+  let open QCheck2.Gen in
+  let coeff = int_range (-3) 3 in
+  let gen = pair (pair coeff coeff) (pair coeff (int_range (-5) 5)) in
+  QCheck2.Test.make ~count:100 ~name:"ax+by<=c solvable iff brute force says so"
+    gen
+    (fun ((a, b), (c, bound)) ->
+       let ctx = Smt.create () in
+       let x = Smt.var ctx ~lo:(-4) ~hi:4 in
+       let y = Smt.var ctx ~lo:(-4) ~hi:4 in
+       let lhs = Smt.add ctx (Smt.scale ctx a x) (Smt.scale ctx b y) in
+       Smt.assert_atom ctx (Smt.le ctx lhs (Smt.const ctx c));
+       Smt.assert_atom ctx
+         (Smt.ge ctx (Smt.sub ctx x y) (Smt.const ctx bound));
+       let smt_sat = Smt.solve ctx <> None in
+       let brute =
+         List.exists
+           (fun vx ->
+              List.exists
+                (fun vy -> (a * vx) + (b * vy) <= c && vx - vy >= bound)
+                (List.init 9 (fun i -> i - 4)))
+           (List.init 9 (fun i -> i - 4))
+       in
+       smt_sat = brute)
+
+let () =
+  Alcotest.run "smt"
+    [
+      ( "bitvec",
+        [
+          Alcotest.test_case "constants" `Quick test_bitvec_consts;
+          Alcotest.test_case "width_for" `Quick test_width_for;
+          Alcotest.test_case "arithmetic" `Quick test_bitvec_arith;
+          QCheck_alcotest.to_alcotest prop_bitvec_arith;
+          QCheck_alcotest.to_alcotest prop_bitvec_compare;
+        ] );
+      ( "smt",
+        [
+          Alcotest.test_case "basic" `Quick test_smt_basic;
+          Alcotest.test_case "unsat" `Quick test_smt_unsat;
+          Alcotest.test_case "nonlinear" `Quick test_smt_nonlinear;
+          Alcotest.test_case "minimize" `Quick test_smt_minimize;
+          Alcotest.test_case "minimize lex" `Quick test_smt_minimize_lex;
+          Alcotest.test_case "negative ranges" `Quick
+            test_smt_negative_ranges;
+          QCheck_alcotest.to_alcotest prop_linear_system;
+        ] );
+    ]

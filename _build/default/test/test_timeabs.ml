@@ -1,0 +1,183 @@
+(* Tests for time counting and abstraction (Sec. IV-E): the paper's
+   worked example, GCD soundness on realizability, agreement between
+   the SMT and analytic solvers, and the formula rewriting. *)
+
+open Speccc_logic
+open Speccc_timeabs.Timeabs
+open Speccc_synthesis
+
+let parse = Ltl_parse.formula
+
+let ltl = Alcotest.testable (Ltl_print.pp ~syntax:Ltl_print.Ascii) Ltl.equal
+
+let test_thetas_extraction () =
+  let formulas = [
+    parse "G (!air_ok -> X X X stop)";
+    parse ("G (" ^ String.concat " " (List.init 180 (fun _ -> "X"))
+           ^ " !bp -> trigger)");
+    parse ("G (run -> " ^ String.concat " " (List.init 60 (fun _ -> "X"))
+           ^ " alarm)");
+  ]
+  in
+  Alcotest.(check (list int)) "Θ = {180, 60, 3}" [ 180; 60; 3 ]
+    (thetas_of_formulas formulas)
+
+let test_gcd_example () =
+  (* Sec. IV-E: gcd {3, 180, 60} = 3, giving lengths 1, 60, 20. *)
+  let solution = gcd_solution [ 3; 180; 60 ] in
+  Alcotest.(check int) "divisor" 3 solution.divisor;
+  let lookup theta =
+    (List.find (fun r -> r.theta = theta) solution.rewrites).theta'
+  in
+  Alcotest.(check int) "3 -> 1" 1 (lookup 3);
+  Alcotest.(check int) "180 -> 60" 60 (lookup 180);
+  Alcotest.(check int) "60 -> 20" 20 (lookup 60);
+  Alcotest.(check int) "no error" 0 solution.error_total
+
+let check_paper_optimum solution =
+  (* The paper's reported optimum: d = 60, θ' = (0, 3, 1),
+     Δ = (3, 0, 0). *)
+  Alcotest.(check int) "divisor 60" 60 solution.divisor;
+  Alcotest.(check int) "ΣX = 4" 4 solution.x_total;
+  Alcotest.(check int) "Σ|Δ| = 3" 3 solution.error_total;
+  let find theta = List.find (fun r -> r.theta = theta) solution.rewrites in
+  Alcotest.(check int) "θ=3 -> 0" 0 (find 3).theta';
+  Alcotest.(check int) "θ=3 Δ=3" 3 (find 3).delta;
+  Alcotest.(check int) "θ=180 -> 3" 3 (find 180).theta';
+  Alcotest.(check int) "θ=60 -> 1" 1 (find 60).theta'
+
+let test_paper_example_analytic () =
+  check_paper_optimum (solve_analytic (problem ~budget:5 [ 3; 180; 60 ]))
+
+let test_paper_example_smt () =
+  check_paper_optimum (solve_smt (problem ~budget:5 [ 3; 180; 60 ]))
+
+let test_budget_zero_falls_back_to_gcd () =
+  let solution = solve_analytic (problem ~budget:0 [ 3; 180; 60 ]) in
+  Alcotest.(check int) "gcd divisor" 3 solution.divisor;
+  Alcotest.(check int) "no error" 0 solution.error_total
+
+let test_exact_domain () =
+  let solution =
+    solve_analytic
+      (problem ~budget:100 ~domains:[ Exact; Exact ] [ 4; 6 ])
+  in
+  (* Exact deltas force a true common divisor: gcd 4 6 = 2. *)
+  Alcotest.(check int) "divisor 2" 2 solution.divisor;
+  Alcotest.(check int) "ΣX = 5" 5 solution.x_total
+
+let test_nonpositive_domain () =
+  let solution =
+    solve_analytic (problem ~budget:2 ~domains:[ Nonpositive ] [ 5 ])
+  in
+  (* Arriving late only: 5 = 1×6 - 1 collapses to one X with Δ = -1
+     (d=6); or 5 = 1×5 exactly.  ΣX = 1 either way, tie on error
+     prefers Δ = 0. *)
+  Alcotest.(check int) "ΣX = 1" 1 solution.x_total;
+  Alcotest.(check int) "error 0" 0 solution.error_total
+
+let prop_solvers_agree =
+  let open QCheck2.Gen in
+  let gen =
+    let theta = int_range 1 40 in
+    pair (list_size (int_range 1 4) theta) (int_range 0 10)
+  in
+  QCheck2.Test.make ~count:60 ~name:"SMT and analytic optima coincide" gen
+    (fun (thetas, budget) ->
+       let prob = problem ~budget thetas in
+       let a = solve_analytic prob in
+       let s = solve_smt prob in
+       a.x_total = s.x_total && a.error_total = s.error_total)
+
+let prop_solution_satisfies_constraints =
+  let open QCheck2.Gen in
+  let gen =
+    pair (list_size (int_range 1 5) (int_range 1 60)) (int_range 0 12)
+  in
+  QCheck2.Test.make ~count:100 ~name:"solutions satisfy the constraint system"
+    gen
+    (fun (thetas, budget) ->
+       let prob = problem ~budget thetas in
+       let s = solve_analytic prob in
+       s.divisor >= 1
+       && List.for_all
+            (fun r ->
+               r.theta = (r.theta' * s.divisor) + r.delta
+               && r.delta > -s.divisor && r.delta < s.divisor
+               && r.theta' >= 0)
+            s.rewrites
+       && List.fold_left (fun acc r -> acc + abs r.delta) 0 s.rewrites
+          <= prob.budget)
+
+let test_apply () =
+  let formula = parse "G (!a -> X X X stop) && G (b -> X X X X X X go)" in
+  let solution =
+    solve_analytic (problem ~budget:0 [ 3; 6 ])
+  in
+  Alcotest.check ltl "chains divided by 3"
+    (parse "G (!a -> X stop) && G (b -> X X go)")
+    (apply solution formula)
+
+let test_apply_leaves_unknown_chains () =
+  let solution = gcd_solution [ 4 ] in
+  let formula = parse "X X X p" in
+  Alcotest.check ltl "chain of 3 untouched" (parse "X X X p")
+    (apply solution formula)
+
+(* GCD soundness (the paper's claim): realizability is preserved by
+   the reduction.  Checked on small specifications with the exact
+   engine. *)
+let test_gcd_preserves_realizability () =
+  let check_pair original reduced =
+    let verdict spec =
+      match
+        Bounded.solve_iterative ~inputs:[ "i" ] ~outputs:[ "o" ]
+          (parse spec)
+      with
+      | Bounded.Realizable _ -> `Yes
+      | Bounded.Unrealizable _ -> `No
+      | Bounded.Unknown _ -> `Maybe
+    in
+    let v1 = verdict original and v2 = verdict reduced in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s ~ %s" original reduced)
+      true
+      (v1 = v2)
+  in
+  check_pair "G (i -> X X o)" "G (i -> X o)";
+  check_pair "G (o <-> X X i)" "G (o <-> X i)";
+  check_pair "G (i -> X X X X o) && G (!i -> X X !o)"
+    "G (i -> X X o) && G (!i -> X !o)"
+
+let () =
+  Alcotest.run "timeabs"
+    [
+      ( "extraction",
+        [ Alcotest.test_case "thetas" `Quick test_thetas_extraction ] );
+      ( "gcd",
+        [
+          Alcotest.test_case "paper example" `Quick test_gcd_example;
+          Alcotest.test_case "budget 0 ~ gcd" `Quick
+            test_budget_zero_falls_back_to_gcd;
+          Alcotest.test_case "realizability preserved" `Slow
+            test_gcd_preserves_realizability;
+        ] );
+      ( "optimization",
+        [
+          Alcotest.test_case "paper optimum (analytic)" `Quick
+            test_paper_example_analytic;
+          Alcotest.test_case "paper optimum (smt)" `Quick
+            test_paper_example_smt;
+          Alcotest.test_case "exact domain" `Quick test_exact_domain;
+          Alcotest.test_case "nonpositive domain" `Quick
+            test_nonpositive_domain;
+          QCheck_alcotest.to_alcotest prop_solvers_agree;
+          QCheck_alcotest.to_alcotest prop_solution_satisfies_constraints;
+        ] );
+      ( "apply",
+        [
+          Alcotest.test_case "rewrite" `Quick test_apply;
+          Alcotest.test_case "unknown chains" `Quick
+            test_apply_leaves_unknown_chains;
+        ] );
+    ]
