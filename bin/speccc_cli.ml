@@ -55,6 +55,20 @@ let builtin_spec = function
         | _ -> None)
      | None -> None)
 
+(* Formal built-ins ("robot:RxK"): specifications produced directly in
+   LTL with their partition, so they bypass translation. *)
+let robot_spec name =
+  match String.index_opt name ':' with
+  | Some i when String.sub name 0 i = "robot" ->
+    let rest = String.sub name (i + 1) (String.length name - i - 1) in
+    (match String.split_on_char 'x' rest with
+     | [ robots; rooms ] ->
+       (match int_of_string_opt robots, int_of_string_opt rooms with
+        | Some robots, Some rooms -> Some (Robot.scenario ~robots ~rooms)
+        | _ -> None)
+     | _ -> None)
+  | _ -> None
+
 let load_document source =
   match builtin_spec source with
   | Some document -> document
@@ -64,7 +78,7 @@ let load_document source =
       failwith
         (Printf.sprintf
            "unknown specification %S (expected a file, \"cara\", \
-            \"cara:ROW\" or \"tele:ROW\")"
+            \"cara:ROW\", \"tele:ROW\" or \"robot:RxK\")"
            source)
 
 let load_spec source = Document.texts (load_document source)
@@ -73,7 +87,7 @@ let spec_arg =
   let doc =
     "Specification: a file with one requirement sentence per line \
      ('#' comments allowed), or a built-in: $(b,cara), $(b,cara:2.1.1), \
-     $(b,tele:4), ..."
+     $(b,tele:4), $(b,robot:2x5), ..."
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
 
@@ -99,15 +113,40 @@ let lookahead_arg =
        & info [ "lookahead" ]
          ~doc:"Bounded-eventuality depth for the symbolic engine.")
 
-let budget_arg =
+let time_budget_arg =
   Arg.(value & opt (some int) (Some 5)
-       & info [ "budget" ]
-         ~doc:"Arrival-error budget B for time abstraction; omit the \
-               option for GCD-only with $(b,--budget=gcd).")
+       & info [ "time-budget" ]
+         ~doc:"Arrival-error budget B for time abstraction (Sec. IV-E).")
 
-let options_of ~engine ~lookahead ~budget =
+let fuel_arg =
+  Arg.(value & opt (some int) None
+       & info [ "budget" ]
+         ~doc:"Deterministic step budget (fuel) for the synthesis \
+               stage.  Exhaustion degrades down the engine fallback \
+               ladder (symbolic, explicit, SAT, lint) instead of \
+               hanging; the degradation steps are reported.")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ]
+         ~doc:"Wall-clock seconds allowed for the synthesis stage.")
+
+let options_of ?fuel ?deadline ~engine ~lookahead ~time_budget () =
+  (match time_budget with
+   | Some b when b < 0 ->
+     failwith (Printf.sprintf "--time-budget must be >= 0 (got %d)" b)
+   | _ -> ());
+  (match fuel with
+   | Some f when f <= 0 ->
+     failwith (Printf.sprintf "--budget must be positive (got %d)" f)
+   | _ -> ());
+  (match deadline with
+   | Some d when d <= 0.0 ->
+     failwith (Printf.sprintf "--deadline must be positive (got %g)" d)
+   | _ -> ());
   let defaults = Pipeline.default_options () in
-  { defaults with Pipeline.engine; lookahead; time_budget = budget }
+  { defaults with
+    Pipeline.engine; lookahead; time_budget; fuel; deadline }
 
 (* ---------- translate ---------- *)
 
@@ -153,32 +192,71 @@ let tree_cmd =
 
 (* ---------- check ---------- *)
 
+let exit_of_verdict = function
+  | Realizability.Consistent -> ()
+  | Realizability.Inconsistent -> exit 1
+  | Realizability.Inconclusive _ -> exit 2
+
+let print_degradation report =
+  List.iter
+    (fun rung ->
+       Format.printf "degraded: %s — %s (%.3fs)@."
+         rung.Realizability.rung_engine rung.Realizability.rung_outcome
+         rung.Realizability.rung_wall)
+    report.Realizability.degradation
+
 let check_cmd =
-  let run source engine lookahead budget =
-    let document = load_document source in
-    let options = options_of ~engine ~lookahead ~budget in
-    let outcome = Pipeline.run_document ~options document in
-    let num_assumptions =
-      List.length (fst (Document.split document))
+  let run source engine lookahead time_budget fuel deadline =
+    let options =
+      options_of ?fuel ?deadline ~engine ~lookahead ~time_budget ()
     in
-    if num_assumptions > 0 then
-      Format.printf "environment assumptions: %d@." num_assumptions;
-    Format.printf "%a@." Pipeline.pp_outcome outcome;
-    match outcome.Pipeline.report.Realizability.verdict with
-    | Realizability.Consistent -> ()
-    | Realizability.Inconsistent -> exit 1
-    | Realizability.Inconclusive _ -> exit 2
+    match robot_spec source with
+    | Some scenario ->
+      (* formal built-in: already LTL, with a fixed partition *)
+      let partition =
+        {
+          Speccc_partition.Partition.inputs = scenario.Robot.inputs;
+          outputs = scenario.Robot.outputs;
+        }
+      in
+      Format.printf "formal built-in: %d robot(s), %d room(s), %d formulas@."
+        scenario.Robot.robots scenario.Robot.rooms
+        (List.length scenario.Robot.formulas);
+      let _, report =
+        Pipeline.check_formulas ~options ~partition scenario.Robot.formulas
+      in
+      let verdict =
+        match report.Realizability.verdict with
+        | Realizability.Consistent -> "CONSISTENT (realizable)"
+        | Realizability.Inconsistent -> "INCONSISTENT (unrealizable)"
+        | Realizability.Inconclusive why -> "INCONCLUSIVE: " ^ why
+      in
+      Format.printf "verdict: %s (engine: %s, %.3fs)@." verdict
+        report.Realizability.engine_used report.Realizability.wall_time;
+      print_degradation report;
+      exit_of_verdict report.Realizability.verdict
+    | None ->
+      let document = load_document source in
+      let outcome = Pipeline.run_document ~options document in
+      let num_assumptions =
+        List.length (fst (Document.split document))
+      in
+      if num_assumptions > 0 then
+        Format.printf "environment assumptions: %d@." num_assumptions;
+      Format.printf "%a@." Pipeline.pp_outcome outcome;
+      exit_of_verdict outcome.Pipeline.report.Realizability.verdict
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Run the full consistency pipeline (Fig. 1)")
-    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ budget_arg)
+    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg
+          $ time_budget_arg $ fuel_arg $ deadline_arg)
 
 (* ---------- localize ---------- *)
 
 let localize_cmd =
-  let run source engine lookahead budget =
+  let run source engine lookahead time_budget =
     let texts = load_spec source in
-    let options = options_of ~engine ~lookahead ~budget in
+    let options = options_of ~engine ~lookahead ~time_budget () in
     let outcome = Pipeline.run ~options texts in
     match outcome.Pipeline.report.Realizability.verdict with
     | Realizability.Consistent ->
@@ -217,7 +295,7 @@ let localize_cmd =
   Cmd.v
     (Cmd.info "localize"
        ~doc:"Locate inconsistent requirements and suggest refinements")
-    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ budget_arg)
+    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ time_budget_arg)
 
 (* ---------- synth ---------- *)
 
@@ -237,9 +315,9 @@ let synth_cmd =
          & info [ "verilog" ]
            ~doc:"Print the controller as a synthesizable Verilog module.")
   in
-  let run source engine lookahead budget dot st verilog =
+  let run source engine lookahead time_budget dot st verilog =
     let texts = load_spec source in
-    let options = options_of ~engine ~lookahead ~budget in
+    let options = options_of ~engine ~lookahead ~time_budget () in
     let outcome = Pipeline.run ~options texts in
     match outcome.Pipeline.report.Realizability.verdict with
     | Realizability.Consistent ->
@@ -287,15 +365,15 @@ let synth_cmd =
     (Cmd.info "synth"
        ~doc:"Synthesize a controller (or a counterstrategy) from the \
              specification")
-    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ budget_arg
+    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ time_budget_arg
           $ dot_arg $ st_arg $ verilog_arg)
 
 (* ---------- testgen ---------- *)
 
 let testgen_cmd =
-  let run source engine lookahead budget =
+  let run source engine lookahead time_budget =
     let texts = load_spec source in
-    let options = options_of ~engine ~lookahead ~budget in
+    let options = options_of ~engine ~lookahead ~time_budget () in
     let outcome = Pipeline.run ~options texts in
     match outcome.Pipeline.report.Realizability.controller with
     | None ->
@@ -322,7 +400,7 @@ let testgen_cmd =
     (Cmd.info "testgen"
        ~doc:"Derive a conformance test suite from the synthesized \
              controller")
-    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ budget_arg)
+    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ time_budget_arg)
 
 (* ---------- patterns ---------- *)
 
@@ -408,9 +486,9 @@ let report_cmd =
          & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the markdown report to $(docv) instead of stdout.")
   in
-  let run source engine lookahead budget output =
+  let run source engine lookahead time_budget output =
     let document = load_document source in
-    let options = options_of ~engine ~lookahead ~budget in
+    let options = options_of ~engine ~lookahead ~time_budget () in
     let outcome = Pipeline.run_document ~options document in
     let buffer = Buffer.create 8192 in
     let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
@@ -533,7 +611,7 @@ let report_cmd =
        ~doc:"Produce a full markdown consistency report (translations, \
              patterns, lint, abstraction, partition, verdict, \
              refinement advice)")
-    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ budget_arg
+    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg $ time_budget_arg
           $ output_arg)
 
 (* ---------- monitor ---------- *)
@@ -700,6 +778,11 @@ let table_cmd =
   Cmd.v (Cmd.info "table" ~doc:"Reproduce Table I")
     Term.(const run $ rows_arg $ lookahead_arg)
 
+(* Exit codes: 0 consistent / success, 1 inconsistent (or lint /
+   monitor findings), 2 unknown or degraded verdict, 3 usage or parse
+   error.  Cmdliner reports its own CLI errors as 124; fold them into
+   3, and confine user-input exceptions (unknown spec, malformed
+   sentence, bad flag value) to 3 as well. *)
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -707,8 +790,25 @@ let () =
       ~doc:"Formal consistency checking over specifications in natural \
             languages (SpecCC)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group ~default info
-          [ translate_cmd; tree_cmd; check_cmd; localize_cmd; synth_cmd; lint_cmd; monitor_cmd; report_cmd;
-            testgen_cmd; patterns_cmd; table_cmd ]))
+  let group =
+    Cmd.group ~default info
+      [ translate_cmd; tree_cmd; check_cmd; localize_cmd; synth_cmd;
+        lint_cmd; monitor_cmd; report_cmd; testgen_cmd; patterns_cmd;
+        table_cmd ]
+  in
+  let code =
+    try Cmd.eval ~catch:false group with
+    | Failure message | Sys_error message ->
+      Format.eprintf "speccc: %s@." message;
+      3
+    | Invalid_argument message ->
+      Format.eprintf "speccc: invalid argument: %s@." message;
+      3
+    | Speccc_nlp.Parser.Error message ->
+      Format.eprintf "speccc: parse error: %s@." message;
+      3
+    | exn ->
+      Format.eprintf "speccc: internal error: %s@." (Printexc.to_string exn);
+      Cmd.Exit.internal_error
+  in
+  exit (if code = Cmd.Exit.cli_error then 3 else code)

@@ -43,9 +43,18 @@ type node = {
 
 let init_id = -1
 
-let build_tableau formula =
+let build_tableau ?budget formula =
   let counter = ref 0 in
-  let fresh_id () = incr counter; !counter in
+  let fresh_id () =
+    (* One fuel unit per tableau node: the expansion is exponential in
+       the formula, and node creation dominates its cost. *)
+    (match budget with
+     | Some budget ->
+       Speccc_runtime.Budget.checkpoint budget ~stage:"tableau"
+     | None -> ());
+    Speccc_runtime.Fault.hit "tableau.expand";
+    incr counter; !counter
+  in
   let completed : node list ref = ref [] in
   let rec expand node =
     match Ltl.Set.choose_opt node.to_process with
@@ -191,9 +200,9 @@ let until_subformulas formula =
 
 (* Build the generalized Büchi automaton, then degeneralize with the
    usual acceptance counter. *)
-let of_ltl formula =
+let of_ltl ?budget formula =
   let core = to_core formula in
-  let nodes = build_tableau core in
+  let nodes = build_tableau ?budget core in
   let untils = until_subformulas core in
   (* Map tableau ids to dense indices; index 0 is the dedicated initial
      state (GPVW's "init" pseudo-node). *)

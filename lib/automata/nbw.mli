@@ -20,8 +20,12 @@ type t = {
   atoms : string list;     (** propositions mentioned by the guards *)
 }
 
-val of_ltl : Speccc_logic.Ltl.t -> t
-(** Büchi automaton accepting exactly the models of the formula. *)
+val of_ltl : ?budget:Speccc_runtime.Budget.t -> Speccc_logic.Ltl.t -> t
+(** Büchi automaton accepting exactly the models of the formula.  When
+    [budget] is given, one fuel unit is spent per tableau node (stage
+    ["tableau"]) and exhaustion raises
+    [Speccc_runtime.Runtime.Interrupt]; the fault checkpoint
+    ["tableau.expand"] is announced per node. *)
 
 val guard_holds : guard -> (string * bool) list -> bool
 (** Is the guard enabled by the (total or partial, missing = false)

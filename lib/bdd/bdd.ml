@@ -13,6 +13,7 @@ type manager = {
   mutable quant_vars : int list;               (* vars of the current quantification *)
   mutable quant_key : int;                     (* cache key for quant_vars *)
   mutable next_quant_key : int;
+  mutable budget : Speccc_runtime.Budget.t option;
 }
 
 let manager () = {
@@ -23,7 +24,10 @@ let manager () = {
   quant_vars = [];
   quant_key = -1;
   next_quant_key = 0;
+  budget = None;
 }
+
+let set_budget m budget = m.budget <- budget
 
 let node_count m = Hashtbl.length m.unique
 
@@ -34,7 +38,13 @@ let clear_caches m =
 let zero _ = Zero
 let one _ = One
 
+(* Every BDD operation (ite, quantification, composition) funnels
+   through [mk], so charging fuel here governs them all: work between
+   two [mk] calls is bounded by the operation caches. *)
 let mk m v low high =
+  (match m.budget with
+   | Some budget -> Speccc_runtime.Budget.checkpoint budget ~stage:"bdd"
+   | None -> ());
   if node_id low = node_id high then low
   else begin
     let key = (v, node_id low, node_id high) in

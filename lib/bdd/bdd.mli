@@ -22,6 +22,13 @@ val node_count : manager -> int
 val clear_caches : manager -> unit
 (** Drop operation caches (unique table is kept). *)
 
+val set_budget : manager -> Speccc_runtime.Budget.t option -> unit
+(** Govern this manager: every subsequent node construction spends one
+    fuel unit of the budget (stage ["bdd"]), so runaway
+    [ite]/quantification fixpoints abort with
+    [Speccc_runtime.Runtime.Interrupt] instead of hanging.  [None]
+    removes the governor. *)
+
 (** {1 Constants and variables} *)
 
 val zero : manager -> t

@@ -11,6 +11,9 @@ type options = {
   engine : Realizability.engine;
   lookahead : int;
   bound : int;
+  fuel : int option;
+  deadline : float option;
+  cancel : Speccc_runtime.Cancellation.token option;
 }
 
 let default_options () = {
@@ -20,6 +23,9 @@ let default_options () = {
   engine = Realizability.Auto;
   lookahead = 6;
   bound = 8;
+  fuel = None;
+  deadline = None;
+  cancel = None;
 }
 
 type stage_times = {
@@ -57,6 +63,121 @@ let abstract_times options formulas =
     in
     (List.map (Timeabs.apply solution) formulas, Some solution)
 
+let governed options =
+  options.fuel <> None || options.deadline <> None || options.cancel <> None
+
+let make_budget options =
+  Speccc_runtime.Budget.create ?fuel:options.fuel
+    ?deadline_in:options.deadline ?cancel:options.cancel ()
+
+(* The ladder's floor: when every synthesis engine degraded, a lint
+   pass can still return a sound verdict — an unsatisfiable requirement
+   or a conflicting pair refutes realizability outright.  The pass runs
+   on a small reserved budget of its own, because it is exactly the
+   engines' fuel that is gone; a partial verdict beats none. *)
+let lint_reserve_fuel = 20_000
+
+let lint_floor formulas (report : Realizability.report) =
+  let reserve = Speccc_runtime.Budget.create ~fuel:lint_reserve_fuel () in
+  let started = Unix.gettimeofday () in
+  let result =
+    Speccc_runtime.Runtime.guard ~stage:"lint" (fun () ->
+        Speccc_lint.Lint.check ~budget:reserve formulas)
+  in
+  let wall = Unix.gettimeofday () -. started in
+  let rung outcome error =
+    {
+      Realizability.rung_engine = "lint";
+      rung_outcome = outcome;
+      rung_error = error;
+      rung_wall = wall;
+    }
+  in
+  match result with
+  | Ok findings ->
+    let conflict =
+      List.find_opt
+        (function
+          | Speccc_lint.Lint.Unsatisfiable _
+          | Speccc_lint.Lint.Pair_conflict _ ->
+            true
+          | Speccc_lint.Lint.Valid _ | Speccc_lint.Lint.Vacuous_guard _ ->
+            false)
+        findings
+    in
+    (match conflict with
+     | Some finding ->
+       let detail =
+         Format.asprintf "%a"
+           (Speccc_lint.Lint.pp_finding ~requirement_text:(fun _ -> None))
+           finding
+       in
+       {
+         report with
+         Realizability.verdict = Realizability.Inconsistent;
+         engine_used = "lint";
+         wall_time = report.Realizability.wall_time +. wall;
+         detail;
+       }
+     | None ->
+       {
+         report with
+         Realizability.verdict =
+           Realizability.Inconclusive
+             "all engines degraded under the budget; lint found no conflict";
+         wall_time = report.Realizability.wall_time +. wall;
+         degradation =
+           report.Realizability.degradation
+           @ [ rung "completed: no conflicts found" None ];
+       })
+  | Error error ->
+    {
+      report with
+      Realizability.wall_time = report.Realizability.wall_time +. wall;
+      degradation =
+        report.Realizability.degradation
+        @ [ rung (Speccc_runtime.Runtime.to_string error) (Some error) ];
+    }
+
+let synthesize options ?(assumptions = []) ~inputs ~outputs formulas =
+  if not (governed options) then
+    Realizability.check ~engine:options.engine ~lookahead:options.lookahead
+      ~bound:options.bound ~assumptions ~inputs ~outputs formulas
+  else
+    let budget = make_budget options in
+    match
+      Realizability.check_governed ~budget ~engine:options.engine
+        ~lookahead:options.lookahead ~bound:options.bound ~assumptions
+        ~inputs ~outputs formulas
+    with
+    | Ok
+        ({ Realizability.verdict = Realizability.Inconclusive _; _ } as
+         report)
+      when report.Realizability.degradation <> [] ->
+      lint_floor formulas report
+    | Ok report -> report
+    | Error error ->
+      (* the wall-clock deadline passed or the run was cancelled: too
+         late even for the lint floor *)
+      let why = Speccc_runtime.Runtime.to_string error in
+      {
+        Realizability.verdict = Realizability.Inconclusive why;
+        engine_used = "none";
+        controller = None;
+        counterstrategy = None;
+        wall_time = 0.;
+        detail = why;
+        degradation =
+          [
+            {
+              Realizability.rung_engine = "ladder";
+              rung_outcome = why;
+              rung_error = Some error;
+              rung_wall = 0.;
+            };
+          ];
+      }
+
 let check_formulas ?options ?partition formulas =
   let options =
     match options with Some o -> o | None -> default_options ()
@@ -67,8 +188,7 @@ let check_formulas ?options ?partition formulas =
     | None -> (Partition.of_requirements formulas).Partition.partition
   in
   let report =
-    Realizability.check ~engine:options.engine ~lookahead:options.lookahead
-      ~bound:options.bound ~inputs:partition.Partition.inputs
+    synthesize options ~inputs:partition.Partition.inputs
       ~outputs:partition.Partition.outputs formulas
   in
   (partition, report)
@@ -91,8 +211,7 @@ let run ?options texts =
   in
   let report, synthesis_s =
     timed (fun () ->
-        Realizability.check ~engine:options.engine
-          ~lookahead:options.lookahead ~bound:options.bound
+        synthesize options
           ~inputs:partition.Partition.partition.Partition.inputs
           ~outputs:partition.Partition.partition.Partition.outputs formulas)
   in
@@ -160,8 +279,7 @@ let run_document ?options document =
   in
   let report, synthesis_s =
     timed (fun () ->
-        Realizability.check ~engine:options.engine
-          ~lookahead:options.lookahead ~bound:options.bound ~assumptions
+        synthesize options ~assumptions
           ~inputs:partition.Partition.partition.Partition.inputs
           ~outputs:partition.Partition.partition.Partition.outputs guarantees)
   in
@@ -190,6 +308,13 @@ let pp_outcome ppf outcome =
     | Realizability.Inconsistent -> "INCONSISTENT (unrealizable)"
     | Realizability.Inconclusive why -> "INCONCLUSIVE: " ^ why
   in
-  Format.fprintf ppf "verdict: %s (engine: %s, %.3fs)@]" verdict
+  Format.fprintf ppf "verdict: %s (engine: %s, %.3fs)" verdict
     outcome.report.Realizability.engine_used
-    outcome.report.Realizability.wall_time
+    outcome.report.Realizability.wall_time;
+  List.iter
+    (fun rung ->
+       Format.fprintf ppf "@,degraded: %s — %s (%.3fs)"
+         rung.Realizability.rung_engine rung.Realizability.rung_outcome
+         rung.Realizability.rung_wall)
+    outcome.report.Realizability.degradation;
+  Format.fprintf ppf "@]"

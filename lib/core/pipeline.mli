@@ -14,9 +14,21 @@ type options = {
   engine : Speccc_synthesis.Realizability.engine;
   lookahead : int;
   bound : int;
+  fuel : int option;
+      (** deterministic step budget for the synthesis stage; [None] =
+          ungoverned.  Setting any of [fuel], [deadline] or [cancel]
+          routes synthesis through
+          {!Speccc_synthesis.Realizability.check_governed} and its
+          fallback ladder, with a lint pass as the ladder's floor. *)
+  deadline : float option;
+      (** wall-clock seconds allowed for the synthesis stage *)
+  cancel : Speccc_runtime.Cancellation.token option;
+      (** cooperative cancellation, polled at budget checkpoints *)
 }
 
 val default_options : unit -> options
+(** Ungoverned: [fuel], [deadline] and [cancel] are all [None], so
+    {!run} behaves exactly as before the resource-governance layer. *)
 
 type stage_times = {
   translation_s : float;

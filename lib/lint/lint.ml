@@ -7,8 +7,8 @@ type finding =
   | Pair_conflict of int * int * Trace.t
   | Vacuous_guard of int
 
-let satisfiable formula = Nbw.find_word (Nbw.of_ltl formula)
-let valid formula = satisfiable (Ltl.neg formula) = None
+let satisfiable ?budget formula = Nbw.find_word (Nbw.of_ltl ?budget formula)
+let valid ?budget formula = satisfiable ?budget (Ltl.neg formula) = None
 let equivalent f g = valid (Ltl.iff f g)
 
 (* The guard of a translated requirement: □(guard → _). *)
@@ -19,7 +19,10 @@ let guard_of = function
   | Ltl.Until _ | Ltl.Weak_until _ | Ltl.Release _ ->
     None
 
-let check formulas =
+let check ?budget formulas =
+  Speccc_runtime.Fault.hit "pipeline.lint";
+  let satisfiable f = satisfiable ?budget f in
+  let valid f = valid ?budget f in
   let formulas = Array.of_list formulas in
   let n = Array.length formulas in
   let findings = ref [] in

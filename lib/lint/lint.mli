@@ -25,16 +25,22 @@ type finding =
           never hold under the whole specification — the requirement
           never fires *)
 
-val satisfiable : Speccc_logic.Ltl.t -> Speccc_logic.Trace.t option
-(** A model of the formula, or [None] if unsatisfiable. *)
+val satisfiable :
+  ?budget:Speccc_runtime.Budget.t ->
+  Speccc_logic.Ltl.t ->
+  Speccc_logic.Trace.t option
+(** A model of the formula, or [None] if unsatisfiable.  [budget]
+    governs the underlying tableau (exhaustion raises
+    [Speccc_runtime.Runtime.Interrupt]). *)
 
-val valid : Speccc_logic.Ltl.t -> bool
+val valid : ?budget:Speccc_runtime.Budget.t -> Speccc_logic.Ltl.t -> bool
 (** Is the formula true on every word? *)
 
 val equivalent : Speccc_logic.Ltl.t -> Speccc_logic.Ltl.t -> bool
 (** Language equality (via validity of the biconditional). *)
 
-val check : Speccc_logic.Ltl.t list -> finding list
+val check :
+  ?budget:Speccc_runtime.Budget.t -> Speccc_logic.Ltl.t list -> finding list
 (** All findings over a specification, cheapest checks first.
     [Pair_conflict] is only reported for pairs where neither member is
     already [Unsatisfiable], and the quadratic pass is skipped for

@@ -1,0 +1,78 @@
+type t = {
+  mutable fuel : int;          (* steps remaining; ignored if infinite *)
+  infinite : bool;
+  deadline : float option;     (* absolute Unix time *)
+  cancel : Cancellation.token option;
+  poll_every : int;
+  mutable until_poll : int;
+  mutable steps : int;
+}
+
+let max_poll_interval = 1024
+
+let create ?fuel ?deadline_in ?cancel ?(poll_every = 256) () =
+  let poll_every = max 1 (min poll_every max_poll_interval) in
+  {
+    fuel = (match fuel with Some f -> max 0 f | None -> 0);
+    infinite = fuel = None;
+    deadline =
+      Option.map (fun seconds -> Unix.gettimeofday () +. seconds) deadline_in;
+    cancel;
+    poll_every;
+    until_poll = poll_every;
+    steps = 0;
+  }
+
+let unlimited () = create ()
+
+let spent budget = budget.steps
+let remaining budget = if budget.infinite then None else Some budget.fuel
+let exhausted budget = (not budget.infinite) && budget.fuel <= 0
+
+let poll budget ~stage =
+  budget.until_poll <- budget.poll_every;
+  (match budget.cancel with
+   | Some token when Cancellation.is_cancelled token ->
+     raise (Runtime.Interrupt (Runtime.Cancelled stage))
+   | Some _ | None -> ());
+  match budget.deadline with
+  | Some deadline when Unix.gettimeofday () > deadline ->
+    raise (Runtime.Interrupt (Runtime.Timeout stage))
+  | Some _ | None -> ()
+
+let checkpoint budget ~stage =
+  budget.steps <- budget.steps + 1;
+  if not budget.infinite then begin
+    budget.fuel <- budget.fuel - 1;
+    if budget.fuel < 0 then begin
+      budget.fuel <- 0;
+      raise (Runtime.Interrupt (Runtime.Fuel_exhausted stage))
+    end
+  end;
+  budget.until_poll <- budget.until_poll - 1;
+  if budget.until_poll <= 0 then poll budget ~stage
+
+let check budget ~stage =
+  Runtime.guard ~stage (fun () ->
+      if exhausted budget then
+        raise (Runtime.Interrupt (Runtime.Fuel_exhausted stage));
+      poll budget ~stage)
+
+let child parent ~fuel =
+  let fuel =
+    if parent.infinite then fuel
+    else min fuel parent.fuel
+  in
+  {
+    fuel = max 0 fuel;
+    infinite = false;
+    deadline = parent.deadline;
+    cancel = parent.cancel;
+    poll_every = parent.poll_every;
+    until_poll = parent.poll_every;
+    steps = 0;
+  }
+
+let absorb parent c =
+  parent.steps <- parent.steps + c.steps;
+  if not parent.infinite then parent.fuel <- max 0 (parent.fuel - c.steps)

@@ -1,0 +1,5 @@
+type token = { mutable cancelled : bool }
+
+let create () = { cancelled = false }
+let cancel token = token.cancelled <- true
+let is_cancelled token = token.cancelled

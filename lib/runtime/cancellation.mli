@@ -1,0 +1,18 @@
+(** Cooperative cancellation.
+
+    A token is a cheap shared flag: the owner calls {!cancel} (from a
+    signal handler, another thread, or a supervising loop) and every
+    engine polling the token through {!Budget.checkpoint} aborts with
+    [Runtime.Cancelled] at its next poll.  Polls happen at least every
+    {!Budget.max_poll_interval} budget steps, so responsiveness is
+    bounded. *)
+
+type token
+
+val create : unit -> token
+(** A fresh, un-cancelled token. *)
+
+val cancel : token -> unit
+(** Idempotent. *)
+
+val is_cancelled : token -> bool

@@ -1,0 +1,74 @@
+type action =
+  | Fail of string
+  | Timeout_now
+  | Exhaust
+  | Delay of float
+
+type trigger = {
+  checkpoint : string;
+  after : int;
+  action : action;
+}
+
+type armed = {
+  resolved_after : int;
+  trigger_action : action;
+  mutable fired : bool;
+}
+
+type plan = {
+  triggers : (string, armed) Hashtbl.t;   (* may hold several per name *)
+  counts : (string, int) Hashtbl.t;
+}
+
+let state : plan option ref = ref None
+
+(* A tiny deterministic LCG so negative [after] fields resolve
+   reproducibly from the seed, independent of any global RNG state. *)
+let lcg x = (x * 1103515245) + 12345
+
+let install ?(seed = 0) triggers =
+  let plan = { triggers = Hashtbl.create 8; counts = Hashtbl.create 8 } in
+  List.iteri
+    (fun i { checkpoint; after; action } ->
+       let resolved_after =
+         if after >= 0 then after
+         else abs (lcg (seed + i)) mod 8
+       in
+       Hashtbl.add plan.triggers checkpoint
+         { resolved_after; trigger_action = action; fired = false })
+    triggers;
+  state := Some plan
+
+let clear () = state := None
+
+let active () = !state <> None
+
+let hits name =
+  match !state with
+  | None -> 0
+  | Some plan ->
+    (match Hashtbl.find_opt plan.counts name with Some n -> n | None -> 0)
+
+let perform name = function
+  | Fail message ->
+    raise (Runtime.Interrupt (Runtime.Engine_failure (name, message)))
+  | Timeout_now -> raise (Runtime.Interrupt (Runtime.Timeout name))
+  | Exhaust -> raise (Runtime.Interrupt (Runtime.Fuel_exhausted name))
+  | Delay seconds -> if seconds > 0.0 then Unix.sleepf seconds
+
+let hit name =
+  match !state with
+  | None -> ()
+  | Some plan ->
+    let count =
+      match Hashtbl.find_opt plan.counts name with Some n -> n | None -> 0
+    in
+    Hashtbl.replace plan.counts name (count + 1);
+    List.iter
+      (fun armed ->
+         if (not armed.fired) && armed.resolved_after = count then begin
+           armed.fired <- true;
+           perform name armed.trigger_action
+         end)
+      (Hashtbl.find_all plan.triggers name)

@@ -1,0 +1,48 @@
+(** Deterministic fault injection.
+
+    Engines announce named checkpoints ({!hit}).  Normally a hit is a
+    single memory read; when a plan is {!install}ed, the n-th hit of a
+    named checkpoint deterministically performs its action — raising a
+    typed error or delaying — so every recovery path of the fallback
+    ladder is exercisable from tests without pathological inputs.
+
+    Checkpoints currently announced by the pipeline:
+    ["engine.symbolic"], ["engine.explicit"], ["engine.sat"],
+    ["pipeline.lint"], ["sat.solve"], ["tableau.expand"],
+    ["bdd.fixpoint"].
+
+    Installation is global and {e off by default}; [install]/[clear]
+    are meant for tests and chaos drills, not concurrent use. *)
+
+type action =
+  | Fail of string    (** raise [Engine_failure (checkpoint, message)] *)
+  | Timeout_now       (** raise [Timeout checkpoint] *)
+  | Exhaust           (** raise [Fuel_exhausted checkpoint] *)
+  | Delay of float    (** sleep this many seconds, then continue *)
+
+type trigger = {
+  checkpoint : string;
+  after : int;
+      (** fire on the [after]-th hit (0 = first); negative = derive a
+          small deterministic count from the installed seed *)
+  action : action;
+}
+
+val install : ?seed:int -> trigger list -> unit
+(** Replace the active plan.  [seed] (default 0) resolves negative
+    [after] fields reproducibly. *)
+
+val clear : unit -> unit
+(** Disarm all triggers and reset hit counters. *)
+
+val active : unit -> bool
+
+val hit : string -> unit
+(** Announce a checkpoint.  No-op (one read) when no plan is
+    installed; otherwise counts the hit and performs a matching
+    trigger's action, raising {!Runtime.Interrupt} for failing
+    actions.  A trigger fires at most once. *)
+
+val hits : string -> int
+(** Hits recorded at a checkpoint since the last [install]/[clear]
+    (0 when inactive). *)

@@ -1,32 +1,51 @@
+module Runtime = Speccc_runtime.Runtime
+
+exception Malformed of Runtime.error
+
+let malformed ~line message =
+  raise (Malformed (Runtime.invalid_input ~stage:"dimacs" ~line message))
+
 let parse text =
   let lines = String.split_on_char '\n' text in
   let nvars = ref 0 in
   let clauses = ref [] in
   let current = ref [] in
-  let handle_line line =
+  let handle_line lineno line =
     let line = String.trim line in
     if line = "" || line.[0] = 'c' then ()
     else if line.[0] = 'p' then begin
       match String.split_on_char ' ' line |> List.filter (( <> ) "") with
       | [ "p"; "cnf"; vars; _clauses ] ->
-        (try nvars := int_of_string vars
-         with Failure _ -> failwith "Dimacs.parse: bad header")
-      | _ -> failwith "Dimacs.parse: bad header"
+        (match int_of_string_opt vars with
+         | Some n when n >= 0 -> nvars := n
+         | Some _ | None ->
+           malformed ~line:lineno
+             (Printf.sprintf "bad variable count %S in header" vars))
+      | _ -> malformed ~line:lineno ("bad problem header " ^ String.escaped line)
     end
     else
       String.split_on_char ' ' line
       |> List.filter (( <> ) "")
       |> List.iter (fun token ->
           match int_of_string_opt token with
-          | None -> failwith ("Dimacs.parse: bad literal " ^ token)
+          | None -> malformed ~line:lineno ("bad literal " ^ String.escaped token)
           | Some 0 ->
             clauses := List.rev !current :: !clauses;
             current := []
           | Some lit -> current := lit :: !current)
   in
-  List.iter handle_line lines;
-  if !current <> [] then clauses := List.rev !current :: !clauses;
-  (!nvars, List.rev !clauses)
+  match
+    List.iteri (fun i line -> handle_line (i + 1) line) lines;
+    if !current <> [] then clauses := List.rev !current :: !clauses;
+    (!nvars, List.rev !clauses)
+  with
+  | result -> Ok result
+  | exception Malformed error -> Error error
+
+let parse_exn text =
+  match parse text with
+  | Ok result -> result
+  | Error error -> failwith (Runtime.to_string error)
 
 let print ppf ~nvars clauses =
   Format.fprintf ppf "p cnf %d %d@\n" nvars (List.length clauses);

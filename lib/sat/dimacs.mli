@@ -1,8 +1,14 @@
 (** DIMACS CNF reading and writing (for interoperability and for
     debugging the solver against external tools). *)
 
-val parse : string -> int * int list list
-(** [parse text] returns [(num_vars, clauses)].  Raises [Failure] on
-    malformed input. *)
+val parse :
+  string -> (int * int list list, Speccc_runtime.Runtime.error) result
+(** [parse text] returns [Ok (num_vars, clauses)], or
+    [Error (Invalid_input _)] carrying the 1-based source line of the
+    first malformed header or literal.  Never raises. *)
+
+val parse_exn : string -> int * int list list
+(** {!parse}, raising [Failure] with the rendered error instead.  For
+    quick scripts and tests on known-good input. *)
 
 val print : Format.formatter -> nvars:int -> int list list -> unit

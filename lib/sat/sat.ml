@@ -344,7 +344,16 @@ let model solver =
 
 exception Answer of outcome
 
-let solve ?(assumptions = []) solver =
+let solve ?budget ?(assumptions = []) solver =
+  Speccc_runtime.Fault.hit "sat.solve";
+  (* One fuel unit per decision and per conflict: both bound the
+     search tree, so fuel exhaustion implies bounded work. *)
+  let tick =
+    match budget with
+    | Some budget ->
+      fun () -> Speccc_runtime.Budget.checkpoint budget ~stage:"sat"
+    | None -> Fun.id
+  in
   if solver.unsat then Unsat
   else begin
     backtrack solver 0;
@@ -358,6 +367,7 @@ let solve ?(assumptions = []) solver =
       while true do
         match propagate solver with
         | Some conflict ->
+          tick ();
           solver.conflicts <- solver.conflicts + 1;
           incr conflicts_since_restart;
           if solver.level = 0 then begin
@@ -399,6 +409,7 @@ let solve ?(assumptions = []) solver =
                | -1 -> raise (Answer Unsat)
                | _ -> decide solver lit)
             | None ->
+              tick ();
               let v = pick_branch_var solver in
               if v = 0 then raise (Answer (Sat (model solver)))
               else
@@ -411,7 +422,7 @@ let solve ?(assumptions = []) solver =
       outcome
   end
 
-let solve_clauses ?assumptions clauses =
+let solve_clauses ?budget ?assumptions clauses =
   let solver = create () in
   List.iter (add_clause solver) clauses;
-  solve ?assumptions solver
+  solve ?budget ?assumptions solver

@@ -30,7 +30,13 @@ val add_clause : t -> int list -> unit
 (** Add a clause.  The empty clause makes the instance trivially
     unsatisfiable.  Raises [Invalid_argument] on literal [0]. *)
 
-val solve : ?assumptions:int list -> t -> outcome
+val solve :
+  ?budget:Speccc_runtime.Budget.t -> ?assumptions:int list -> t -> outcome
+(** When [budget] is given, one fuel unit is spent per decision and
+    per conflict; exhaustion raises
+    [Speccc_runtime.Runtime.Interrupt] out of the search (the solver
+    may be left mid-search — discard it afterwards).  The fault
+    checkpoint ["sat.solve"] is announced on entry. *)
 
 val num_vars : t -> int
 val num_clauses : t -> int
@@ -39,5 +45,9 @@ val num_clauses : t -> int
 val num_conflicts : t -> int
 (** Total conflicts over the solver's lifetime (diagnostics). *)
 
-val solve_clauses : ?assumptions:int list -> int list list -> outcome
+val solve_clauses :
+  ?budget:Speccc_runtime.Budget.t ->
+  ?assumptions:int list ->
+  int list list ->
+  outcome
 (** One-shot convenience: build a solver, add the clauses, solve. *)

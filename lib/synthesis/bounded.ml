@@ -103,8 +103,14 @@ let successor_counts auto by_src ~bound counts letter =
    fixpoint.  [system_moves_second] selects the quantifier order:
    true = ∀input ∃output (system synthesis), false = ∃input ∀output
    (environment synthesis for the dual game). *)
-let solve_game auto by_src ~bound ~num_input_bits ~num_output_bits
+let solve_game ?budget auto by_src ~bound ~num_input_bits ~num_output_bits
     ~system_moves_second =
+  let tick () =
+    match budget with
+    | Some budget ->
+      Speccc_runtime.Budget.checkpoint budget ~stage:"explicit"
+    | None -> ()
+  in
   let num_inputs = 1 lsl num_input_bits in
   let num_outputs = 1 lsl num_output_bits in
   let num_letters = num_inputs * num_outputs in
@@ -121,6 +127,9 @@ let solve_game auto by_src ~bound ~num_input_bits ~num_output_bits
     match Hashtbl.find_opt game.states key with
     | Some id -> id
     | None ->
+      (* One fuel unit per game position: the counting-function space
+         is the exponential blow-up this engine is prone to. *)
+      tick ();
       let id = game.num_states in
       Hashtbl.add game.states key id;
       game.num_states <- id + 1;
@@ -169,6 +178,7 @@ let solve_game auto by_src ~bound ~num_input_bits ~num_output_bits
   let stable = ref false in
   while not !stable do
     stable := true;
+    tick ();
     for id = 0 to game.num_states - 1 do
       if alive.(id) then begin
         let table = Hashtbl.find game.successor id in
@@ -357,15 +367,16 @@ let check_size ~max_letters ~inputs ~outputs =
           letter budget (max_letters = %d); use the symbolic engine"
          bits max_letters)
 
-let solve ?(bound = 3) ?(max_letters = 4096) ~inputs ~outputs spec =
+let solve ?budget ?(bound = 3) ?(max_letters = 4096) ~inputs ~outputs spec =
+  Speccc_runtime.Fault.hit "engine.explicit";
   check_size ~max_letters ~inputs ~outputs;
   let num_input_bits = List.length inputs in
   let num_output_bits = List.length outputs in
   (* System game: UCW of the negation. *)
-  let ucw = Nbw.of_ltl (Ltl.neg spec) in
+  let ucw = Nbw.of_ltl ?budget (Ltl.neg spec) in
   let by_src = compile_automaton ucw ~inputs ~outputs in
   match
-    solve_game ucw by_src ~bound ~num_input_bits ~num_output_bits
+    solve_game ?budget ucw by_src ~bound ~num_input_bits ~num_output_bits
       ~system_moves_second:true
   with
   | Some (game, alive, initial_id, combined) ->
@@ -375,10 +386,10 @@ let solve ?(bound = 3) ?(max_letters = 4096) ~inputs ~outputs spec =
     (* Dual game: the environment tries to realize the negation; it
        moves first (Moore), i.e. picks the input before seeing the
        output.  Winning it proves unrealizability exactly. *)
-    let ucw_dual = Nbw.of_ltl spec in
+    let ucw_dual = Nbw.of_ltl ?budget spec in
     let by_src_dual = compile_automaton ucw_dual ~inputs ~outputs in
     (match
-       solve_game ucw_dual by_src_dual ~bound ~num_input_bits
+       solve_game ?budget ucw_dual by_src_dual ~bound ~num_input_bits
          ~num_output_bits ~system_moves_second:false
      with
      | Some (game, alive, initial_id, combined) ->
@@ -387,9 +398,10 @@ let solve ?(bound = 3) ?(max_letters = 4096) ~inputs ~outputs spec =
             ~outputs)
      | None -> Unknown bound)
 
-let solve_iterative ?(max_bound = 8) ?max_letters ~inputs ~outputs spec =
+let solve_iterative ?budget ?(max_bound = 8) ?max_letters ~inputs ~outputs
+    spec =
   let rec escalate bound =
-    match solve ~bound ?max_letters ~inputs ~outputs spec with
+    match solve ?budget ~bound ?max_letters ~inputs ~outputs spec with
     | Realizable _ as verdict -> verdict
     | Unrealizable _ as verdict -> verdict
     | Unknown _ when 2 * bound <= max_bound -> escalate (2 * bound)

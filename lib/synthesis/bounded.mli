@@ -48,6 +48,7 @@ val refute : counterstrategy -> Mealy.t -> Speccc_logic.Trace.t
     disagree. *)
 
 val solve :
+  ?budget:Speccc_runtime.Budget.t ->
   ?bound:int ->
   ?max_letters:int ->
   inputs:string list ->
@@ -55,9 +56,14 @@ val solve :
   Speccc_logic.Ltl.t ->
   verdict
 (** [solve ~inputs ~outputs spec].  Default [bound] is [3]; default
-    [max_letters] is [4096] ([= 2^12] combined valuations). *)
+    [max_letters] is [4096] ([= 2^12] combined valuations).  When
+    [budget] is given, one fuel unit is spent per explored game
+    position and per fixpoint sweep (stage ["explicit"]); exhaustion
+    raises [Speccc_runtime.Runtime.Interrupt].  The fault checkpoint
+    ["engine.explicit"] is announced on entry. *)
 
 val solve_iterative :
+  ?budget:Speccc_runtime.Budget.t ->
   ?max_bound:int ->
   ?max_letters:int ->
   inputs:string list ->

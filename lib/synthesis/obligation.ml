@@ -59,7 +59,8 @@ let closure_of roots =
   Ltl.Set.elements
     (List.fold_left (fun acc root -> Ltl.Set.add root acc) acc roots)
 
-let solve ~inputs ~outputs spec =
+let solve ?budget ~inputs ~outputs spec =
+  Speccc_runtime.Fault.hit "engine.symbolic";
   let spec = Nnf.of_formula spec in
   let roots = flatten_conjunction spec in
   let closure =
@@ -82,6 +83,10 @@ let solve ~inputs ~outputs spec =
     sorted
   in
   let manager = Bdd.manager () in
+  (* The manager is private to this solve, so installing the budget
+     governs every BDD built below — including the strategy object's
+     later steps, which reuse the manager but do bounded work. *)
+  Bdd.set_budget manager budget;
   let props = inputs @ outputs in
   let num_props = List.length props in
   let prop_var =
@@ -207,6 +212,11 @@ let solve ~inputs ~outputs spec =
     result
   in
   let rec fixpoint w rounds =
+    Speccc_runtime.Fault.hit "bdd.fixpoint";
+    (match budget with
+     | Some budget ->
+       Speccc_runtime.Budget.checkpoint budget ~stage:"symbolic"
+     | None -> ());
     let t0 = Unix.gettimeofday () in
     let w' = Bdd.and_ manager w (cpre w) in
     if debug then

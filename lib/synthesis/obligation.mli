@@ -28,12 +28,19 @@ type verdict =
 and strategy
 
 val solve :
+  ?budget:Speccc_runtime.Budget.t ->
   inputs:string list ->
   outputs:string list ->
   Speccc_logic.Ltl.t ->
   verdict
 (** Raises [Invalid_argument] if the formula is not syntactic safety
-    (contains [Until]/[Eventually] after NNF). *)
+    (contains [Until]/[Eventually] after NNF).  [budget] governs the
+    BDD manager for the whole solve (one fuel unit per node
+    construction, stage ["bdd"]) plus one unit per fixpoint round
+    (stage ["symbolic"]); exhaustion raises
+    [Speccc_runtime.Runtime.Interrupt].  The fault checkpoints
+    ["engine.symbolic"] (entry) and ["bdd.fixpoint"] (per round) are
+    announced. *)
 
 val strategy_step :
   strategy -> (string * bool) list -> (string * bool) list

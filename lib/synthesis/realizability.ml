@@ -1,4 +1,5 @@
 open Speccc_logic
+open Speccc_runtime
 
 type engine = Explicit | Symbolic | Auto
 
@@ -7,6 +8,13 @@ type verdict =
   | Inconsistent
   | Inconclusive of string
 
+type rung = {
+  rung_engine : string;
+  rung_outcome : string;
+  rung_error : Runtime.error option;
+  rung_wall : float;
+}
+
 type report = {
   verdict : verdict;
   engine_used : string;
@@ -14,6 +22,7 @@ type report = {
   counterstrategy : Bounded.counterstrategy option;
   wall_time : float;
   detail : string;
+  degradation : rung list;
 }
 
 let with_timer f =
@@ -21,7 +30,7 @@ let with_timer f =
   let result = f () in
   (result, Unix.gettimeofday () -. start)
 
-let run_explicit ~bound ~inputs ~outputs spec =
+let run_explicit ?budget ~bound ~inputs ~outputs spec =
   let verdict_of = function
     | Bounded.Realizable controller ->
       ( Consistent,
@@ -42,7 +51,8 @@ let run_explicit ~bound ~inputs ~outputs spec =
   let (verdict, controller, counterstrategy, detail), wall_time =
     with_timer (fun () ->
         verdict_of
-          (Bounded.solve_iterative ~max_bound:bound ~inputs ~outputs spec))
+          (Bounded.solve_iterative ?budget ~max_bound:bound ~inputs ~outputs
+             spec))
   in
   {
     verdict;
@@ -51,16 +61,17 @@ let run_explicit ~bound ~inputs ~outputs spec =
     counterstrategy;
     wall_time;
     detail;
+    degradation = [];
   }
 
-let run_symbolic ~lookahead ~inputs ~outputs spec =
+let run_symbolic ?budget ~lookahead ~inputs ~outputs spec =
   let had_liveness = Classify.has_liveness spec in
   let solve_at bound =
     let safety_spec =
       if had_liveness then Classify.bound_liveness ~bound spec
       else Nnf.of_formula spec
     in
-    Obligation.solve ~inputs ~outputs safety_spec
+    Obligation.solve ?budget ~inputs ~outputs safety_spec
   in
   (* Bounding eventualities is a strengthening, so a loss at one
      look-ahead may be won at a larger one — escalate a few times, as
@@ -87,6 +98,7 @@ let run_symbolic ~lookahead ~inputs ~outputs spec =
       wall_time;
       detail =
         Printf.sprintf "%s lookahead=%d" (Obligation.stats strategy) bound;
+      degradation = [];
     }
   | Error bound ->
     let verdict, detail =
@@ -104,17 +116,49 @@ let run_symbolic ~lookahead ~inputs ~outputs spec =
       counterstrategy = None;
       wall_time;
       detail;
+      degradation = [];
     }
+
+let run_sat ?budget ~inputs ~outputs spec =
+  let result, wall_time =
+    with_timer (fun () ->
+        Satsynth.solve_iterative ?budget ~inputs ~outputs spec)
+  in
+  match result with
+  | Satsynth.Realizable machine ->
+    {
+      verdict = Consistent;
+      engine_used = "sat";
+      controller = Some (Minimize.minimize machine);
+      counterstrategy = None;
+      wall_time;
+      detail = Satsynth.stats ();
+      degradation = [];
+    }
+  | Satsynth.No_machine_within { states; bound } ->
+    {
+      verdict =
+        Inconclusive
+          (Printf.sprintf "no Mealy machine with <= %d states (bound %d)"
+             states bound);
+      engine_used = "sat";
+      controller = None;
+      counterstrategy = None;
+      wall_time;
+      detail = Satsynth.stats ();
+      degradation = [];
+    }
+
+let spec_of ~assumptions requirements =
+  let guarantees = Ltl.conj_list requirements in
+  match assumptions with
+  | [] -> guarantees
+  | _ -> Ltl.implies (Ltl.conj_list assumptions) guarantees
 
 let check ?(engine = Auto) ?(lookahead = 6) ?(bound = 8)
     ?(explicit_prop_limit = 12) ?(assumptions = []) ~inputs ~outputs
     requirements =
-  let guarantees = Ltl.conj_list requirements in
-  let spec =
-    match assumptions with
-    | [] -> guarantees
-    | _ -> Ltl.implies (Ltl.conj_list assumptions) guarantees
-  in
+  let spec = spec_of ~assumptions requirements in
   let chosen =
     match engine with
     | Explicit -> `Explicit
@@ -130,3 +174,114 @@ let check ?(engine = Auto) ?(lookahead = 6) ?(bound = 8)
   match chosen with
   | `Explicit -> run_explicit ~bound ~inputs ~outputs spec
   | `Symbolic -> run_symbolic ~lookahead ~inputs ~outputs spec
+
+(* ---------- resource-governed checking with a fallback ladder ---------- *)
+
+let ladder_stages ~assumptions =
+  (* The symbolic obligation game is incomplete for the top-level
+     temporal disjunction introduced by assumptions (it could report a
+     spurious loss, which the ladder would trust as Inconsistent), so
+     assumption-carrying checks start at the exact explicit engine. *)
+  if assumptions = [] then [ `Symbolic; `Explicit; `Sat ]
+  else [ `Explicit; `Sat ]
+
+let stage_name = function
+  | `Symbolic -> "symbolic"
+  | `Explicit -> "explicit"
+  | `Sat -> "sat"
+
+let check_governed ?budget ?(engine = Auto) ?(lookahead = 6) ?(bound = 8)
+    ?(explicit_prop_limit = 12) ?(assumptions = []) ~inputs ~outputs
+    requirements =
+  ignore explicit_prop_limit;
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let spec = spec_of ~assumptions requirements in
+  let run_stage stage rung_budget =
+    match stage with
+    | `Symbolic ->
+      run_symbolic ~budget:rung_budget ~lookahead ~inputs ~outputs spec
+    | `Explicit ->
+      run_explicit ~budget:rung_budget ~bound ~inputs ~outputs spec
+    | `Sat -> run_sat ~budget:rung_budget ~inputs ~outputs spec
+  in
+  let stages =
+    match engine with
+    | Explicit -> [ `Explicit ]
+    | Symbolic -> [ `Symbolic ]
+    | Auto -> ladder_stages ~assumptions
+  in
+  (* Fuel slicing: every rung but the last gets half of what remains,
+     so a stuck early engine cannot starve the ladder's floor. *)
+  let slice_for ~last =
+    match Budget.remaining budget with
+    | None -> max_int / 2
+    | Some r -> if last then r else max 1 (r / 2)
+  in
+  let total_wall = ref 0.0 in
+  let rec descend stages log last_inconclusive =
+    match stages with
+    | [] ->
+      let detail =
+        match last_inconclusive with
+        | Some report -> report.detail
+        | None -> "every engine in the ladder degraded"
+      in
+      Ok
+        {
+          verdict =
+            Inconclusive
+              "all engines degraded or inconclusive under the budget";
+          engine_used =
+            (match last_inconclusive with
+             | Some report -> report.engine_used
+             | None -> "none");
+          controller = None;
+          counterstrategy = None;
+          wall_time = !total_wall;
+          detail;
+          degradation = List.rev log;
+        }
+    | stage :: rest ->
+      let name = stage_name stage in
+      let rung_budget = Budget.child budget ~fuel:(slice_for ~last:(rest = [])) in
+      let result, rung_wall =
+        with_timer (fun () ->
+            Runtime.guard ~stage:name (fun () -> run_stage stage rung_budget))
+      in
+      Budget.absorb budget rung_budget;
+      total_wall := !total_wall +. rung_wall;
+      (match result with
+       | Ok ({ verdict = Consistent | Inconsistent; _ } as report) ->
+         Ok
+           {
+             report with
+             wall_time = !total_wall;
+             degradation = List.rev log;
+           }
+       | Ok ({ verdict = Inconclusive why; _ } as report) ->
+         let rung =
+           {
+             rung_engine = name;
+             rung_outcome = "inconclusive: " ^ why;
+             rung_error = None;
+             rung_wall;
+           }
+         in
+         descend rest (rung :: log) (Some report)
+       | Error ((Runtime.Timeout _ | Runtime.Cancelled _) as error) ->
+         (* The wall-clock deadline and cancellation are global: no
+            point starting a cheaper engine that will be killed at its
+            first poll. *)
+         Error error
+       | Error error ->
+         let rung =
+           {
+             rung_engine = name;
+             rung_outcome = Runtime.to_string error;
+             rung_error = Some error;
+             rung_wall;
+           }
+         in
+         descend rest (rung :: log) last_inconclusive)
+  in
+  descend stages [] None

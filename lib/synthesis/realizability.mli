@@ -4,15 +4,22 @@
     input propositions and driving the output propositions exists
     (Sec. V-A).
 
-    Two engines are available:
+    Three engines are available:
     - [Explicit]: exact bounded synthesis with a dual-game
       unrealizability check ({!Bounded}); cost is exponential in the
       number of propositions, so it is reserved for small alphabets.
     - [Symbolic]: BDD obligation game ({!Obligation}); liveness is
       first strengthened to [lookahead]-bounded eventualities, exactly
       as G4LTL's unroll parameter does.
+    - the SAT-based bounded-machine search ({!Satsynth}), used only as
+      a fallback rung by {!check_governed}.
     - [Auto] picks [Explicit] for small alphabets and [Symbolic]
-      otherwise. *)
+      otherwise.
+
+    {!check} is the classic ungoverned entry point; {!check_governed}
+    runs under a {!Speccc_runtime.Budget} and degrades down a fallback
+    ladder (symbolic → explicit → SAT) instead of hanging or raising,
+    recording every degradation step. *)
 
 type engine = Explicit | Symbolic | Auto
 
@@ -21,6 +28,16 @@ type verdict =
   | Inconsistent      (** definitely unrealizable *)
   | Inconclusive of string
       (** bound/lookahead exhausted; the string says which limit *)
+
+type rung = {
+  rung_engine : string;       (** ["symbolic"], ["explicit"], ["sat"] *)
+  rung_outcome : string;      (** why the ladder moved past this rung *)
+  rung_error : Speccc_runtime.Runtime.error option;
+      (** present when the rung failed or ran out of resources;
+          [None] when it completed but was inconclusive *)
+  rung_wall : float;          (** seconds spent on this rung *)
+}
+(** One abandoned step of the fallback ladder. *)
 
 type report = {
   verdict : verdict;
@@ -31,8 +48,12 @@ type report = {
           environment's winning strategy, usable with
           {!Bounded.refute} to demonstrate the inconsistency against
           any candidate implementation *)
-  wall_time : float;             (** seconds *)
+  wall_time : float;             (** seconds (all rungs included) *)
   detail : string;               (** engine diagnostics *)
+  degradation : rung list;
+      (** engines tried and abandoned before this verdict, in order;
+          [[]] when the first engine concluded (always [[]] from
+          {!check}) *)
 }
 
 val check :
@@ -58,3 +79,31 @@ val check :
     fragment, so [Auto] routes assumption-carrying checks to the
     explicit engine; forcing [Symbolic] stays sound but may report
     spurious unrealizability. *)
+
+val check_governed :
+  ?budget:Speccc_runtime.Budget.t ->
+  ?engine:engine ->
+  ?lookahead:int ->
+  ?bound:int ->
+  ?explicit_prop_limit:int ->
+  ?assumptions:Speccc_logic.Ltl.t list ->
+  inputs:string list ->
+  outputs:string list ->
+  Speccc_logic.Ltl.t list ->
+  (report, Speccc_runtime.Runtime.error) result
+(** Resource-governed {!check}.  Under [engine = Auto] (the default)
+    the engines form a fallback ladder — symbolic under a fuel slice,
+    then the exact explicit engine with its escalating counting
+    bound, then the SAT-based bounded-machine search — where each rung
+    gets half of the remaining fuel (the last gets all of it) and a
+    rung's fuel exhaustion, engine failure or inconclusive verdict
+    drops to the next rung, recorded in [report.degradation].  Forcing
+    [engine] runs a one-rung ladder.  Assumption-carrying checks skip
+    the symbolic rung (see {!check}).
+
+    Never raises.  Returns [Error] only for the {e global} resource
+    events — [Timeout] (wall-clock deadline) and [Cancelled] — that
+    make running further rungs pointless; everything else, including
+    full fuel exhaustion, yields [Ok] with a sound verdict
+    ([Inconclusive] when no engine concluded) and a populated
+    degradation log. *)

@@ -33,12 +33,13 @@ let guard_requirements ~input_index ~output_index ~imask guard =
    usable bound collapses). *)
 let bits_for bound = Speccc_smt.Bitvec.width_for 0 bound
 
-let solve ?(bound = 3) ~machine_states ~inputs ~outputs spec =
+let solve ?budget ?(bound = 3) ~machine_states ~inputs ~outputs spec =
+  Speccc_runtime.Fault.hit "engine.sat";
   if machine_states < 1 then
     invalid_arg "Satsynth.solve: machine_states < 1";
   if List.length inputs + List.length outputs > 16 then
     invalid_arg "Satsynth.solve: too many propositions for the encoding";
-  let ucw = Nbw.of_ltl (Ltl.neg spec) in
+  let ucw = Nbw.of_ltl ?budget (Ltl.neg spec) in
   let num_q = ucw.Nbw.num_states in
   let num_inputs = 1 lsl List.length inputs in
   let num_output_bits = List.length outputs in
@@ -108,8 +109,15 @@ let solve ?(bound = 3) ~machine_states ~inputs ~outputs spec =
     (fun (src, guard, dst) -> by_src.(src) <- (guard, dst) :: by_src.(src))
     ucw.Nbw.transitions;
   (* propagation constraints *)
+  let tick () =
+    match budget with
+    | Some budget ->
+      Speccc_runtime.Budget.checkpoint budget ~stage:"sat-synth"
+    | None -> ()
+  in
   for s = 0 to machine_states - 1 do
     for imask = 0 to num_inputs - 1 do
+      tick ();
       for q = 0 to num_q - 1 do
         List.iter
           (fun (guard, q') ->
@@ -147,7 +155,7 @@ let solve ?(bound = 3) ~machine_states ~inputs ~outputs spec =
       done
     done
   done;
-  let outcome = Sat.solve sat in
+  let outcome = Sat.solve ?budget sat in
   last_stats :=
     Printf.sprintf "vars=%d clauses=%d conflicts=%d" (Sat.num_vars sat)
       (Sat.num_clauses sat) (Sat.num_conflicts sat);
@@ -186,10 +194,10 @@ let solve ?(bound = 3) ~machine_states ~inputs ~outputs spec =
         step = (fun s imask -> step_table.(s).(imask));
       }
 
-let solve_iterative ?(bound = 3) ?(max_machine_states = 8) ~inputs ~outputs
-    spec =
+let solve_iterative ?budget ?(bound = 3) ?(max_machine_states = 8) ~inputs
+    ~outputs spec =
   let rec escalate n =
-    match solve ~bound ~machine_states:n ~inputs ~outputs spec with
+    match solve ?budget ~bound ~machine_states:n ~inputs ~outputs spec with
     | Realizable _ as verdict -> verdict
     | No_machine_within _ when 2 * n <= max_machine_states ->
       escalate (2 * n)

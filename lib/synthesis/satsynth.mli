@@ -26,6 +26,7 @@ type verdict =
   | No_machine_within of { states : int; bound : int }
 
 val solve :
+  ?budget:Speccc_runtime.Budget.t ->
   ?bound:int ->
   machine_states:int ->
   inputs:string list ->
@@ -34,9 +35,13 @@ val solve :
   verdict
 (** One SAT call at a fixed machine size.  Default [bound] is [3].
     Raises [Invalid_argument] when [machine_states < 1] or the
-    combined proposition count exceeds 16. *)
+    combined proposition count exceeds 16.  [budget] governs both the
+    UCW construction and the CDCL search; exhaustion raises
+    [Speccc_runtime.Runtime.Interrupt].  The fault checkpoint
+    ["engine.sat"] is announced on entry. *)
 
 val solve_iterative :
+  ?budget:Speccc_runtime.Budget.t ->
   ?bound:int ->
   ?max_machine_states:int ->
   inputs:string list ->

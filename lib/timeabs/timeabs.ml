@@ -24,21 +24,7 @@ type solution = {
   error_total : int;
 }
 
-let problem ?budget ?domains thetas =
-  if thetas = [] then invalid_arg "Timeabs.problem: empty Θ";
-  if List.exists (fun t -> t <= 0) thetas then
-    invalid_arg "Timeabs.problem: non-positive θ";
-  let max_theta = List.fold_left max 0 thetas in
-  let budget = match budget with Some b -> b | None -> max_theta in
-  if budget < 0 then invalid_arg "Timeabs.problem: negative budget";
-  let domains =
-    match domains with
-    | None -> List.map (fun _ -> Nonnegative) thetas
-    | Some ds ->
-      if List.length ds <> List.length thetas then
-        invalid_arg "Timeabs.problem: domain/θ length mismatch";
-      ds
-  in
+let build ~budget thetas domains =
   (* Deduplicate and sort θ descending, keeping each θ's first domain. *)
   let pairs =
     List.combine thetas domains
@@ -53,6 +39,41 @@ let problem ?budget ?domains thetas =
     |> List.rev
   in
   { thetas = List.map fst pairs; budget; domains = List.map snd pairs }
+
+let problem_checked ?budget ?domains thetas =
+  let module Runtime = Speccc_runtime.Runtime in
+  let invalid message =
+    Error (Runtime.invalid_input ~stage:"timeabs" message)
+  in
+  if thetas = [] then invalid "empty Θ: no timing constants to abstract"
+  else if List.exists (fun t -> t <= 0) thetas then
+    invalid
+      (Printf.sprintf "non-positive θ = %d: timing constants must be >= 1"
+         (List.find (fun t -> t <= 0) thetas))
+  else
+    let max_theta = List.fold_left max 0 thetas in
+    let budget = match budget with Some b -> b | None -> max_theta in
+    if budget < 0 then
+      invalid (Printf.sprintf "negative error budget %d" budget)
+    else
+      match domains with
+      | Some ds when List.length ds <> List.length thetas ->
+        invalid
+          (Printf.sprintf "domain/θ length mismatch: %d domains for %d θ"
+             (List.length ds) (List.length thetas))
+      | _ ->
+        let domains =
+          match domains with
+          | None -> List.map (fun _ -> Nonnegative) thetas
+          | Some ds -> ds
+        in
+        Ok (build ~budget thetas domains)
+
+let problem ?budget ?domains thetas =
+  match problem_checked ?budget ?domains thetas with
+  | Ok problem -> problem
+  | Error error ->
+    invalid_arg (Speccc_runtime.Runtime.to_string error)
 
 let thetas_of_formulas formulas =
   List.concat_map Ltl.next_chains formulas

@@ -45,10 +45,20 @@ type solution = {
   error_total : int;   (** Σ |Δi| *)
 }
 
+val problem_checked :
+  ?budget:int ->
+  ?domains:delta_domain list ->
+  int list ->
+  (problem, Speccc_runtime.Runtime.error) result
+(** Build a problem; default budget is [max Θ]; default domain is
+    [Nonnegative] for every θ (the Sec. IV-E example).  Returns
+    [Error (Invalid_input _)] (stage ["timeabs"]) on an empty or
+    non-positive Θ, a negative budget, or a domain/θ length mismatch —
+    all of which can arrive straight from user input.  Never raises. *)
+
 val problem : ?budget:int -> ?domains:delta_domain list -> int list -> problem
-(** Build a problem; default budget 0 is replaced by [max Θ]; default
-    domain is [Nonnegative] for every θ (the Sec. IV-E example).
-    Raises [Invalid_argument] on non-positive θ or length mismatch. *)
+(** {!problem_checked}, raising [Invalid_argument] with the rendered
+    error instead. *)
 
 val thetas_of_formulas : Speccc_logic.Ltl.t list -> int list
 (** Distinct maximal [X]-chain lengths over a whole specification,

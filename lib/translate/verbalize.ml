@@ -126,14 +126,34 @@ let sentence config formula =
   | Ltl.Weak_until _ | Ltl.Release _ ->
     None
 
-let roundtrips config formula =
+let roundtrip_checked config formula =
+  let module Runtime = Speccc_runtime.Runtime in
   match sentence config formula with
-  | None -> false
+  | None ->
+    Error
+      (Runtime.invalid_input ~stage:"verbalize"
+         (Printf.sprintf "formula outside the template fragment: %s"
+            (Ltl_print.to_string formula)))
   | Some text ->
+    (* The forward translator's tokenizer and parser both raise on
+       input outside their grammar; guard confines any such escape
+       (not just [Parser.Error]) to a typed value. *)
     (match
-       Translate.specification config.translate [ text ]
+       Runtime.guard ~stage:"verbalize" (fun () ->
+           Translate.specification config.translate [ text ])
      with
-     | { Translate.requirements = [ { Translate.formula = back; _ } ]; _ } ->
-       Ltl.equal back formula
-     | _ -> false
-     | exception Parser.Error _ -> false)
+     | Ok { Translate.requirements = [ { Translate.formula = back; _ } ]; _ }
+       ->
+       Ok back
+     | Ok _ ->
+       Error
+         (Runtime.invalid_input ~stage:"verbalize"
+            (Printf.sprintf
+               "re-translation of %S did not yield exactly one requirement"
+               text))
+     | Error error -> Error error)
+
+let roundtrips config formula =
+  match roundtrip_checked config formula with
+  | Ok back -> Ltl.equal back formula
+  | Error _ -> false

@@ -34,7 +34,18 @@ val sentence : config -> Speccc_logic.Ltl.t -> string option
 val proposition : config -> positive:bool -> string -> string
 (** English phrase for one (possibly negated) proposition. *)
 
+val roundtrip_checked :
+  config ->
+  Speccc_logic.Ltl.t ->
+  (Speccc_logic.Ltl.t, Speccc_runtime.Runtime.error) result
+(** Verbalize the formula and run the produced sentence back through
+    the forward translator, returning the re-translated formula.
+    [Error (Invalid_input _)] (stage ["verbalize"]) when the formula
+    is outside the fragment or re-translation does not yield exactly
+    one requirement; tokenizer/parser escapes surface as typed errors
+    instead of exceptions.  Never raises. *)
+
 val roundtrips : config -> Speccc_logic.Ltl.t -> bool
 (** Does [sentence] produce text that the forward pipeline translates
     back to the same formula?  ([false] also when [sentence] returns
-    [None].) *)
+    [None] or re-translation fails.) *)

@@ -1,0 +1,384 @@
+(* Tests for the resource-governance layer: budgets, cancellation,
+   fault injection, and the engine-fallback ladder.
+
+   The load-bearing checks are (1) the qcheck property that a budgeted
+   realizability check always terminates within its fuel and returns a
+   value instead of raising, and (2) the fault-injection cases that
+   force every rung of the ladder to fire. *)
+
+open Speccc_logic
+open Speccc_runtime
+open Speccc_synthesis
+open Speccc_core
+
+let parse = Ltl_parse.formula
+
+let with_faults ?seed triggers f =
+  Fault.install ?seed triggers;
+  Fun.protect ~finally:Fault.clear f
+
+(* ---------- budget ---------- *)
+
+let test_fuel_exhaustion () =
+  let budget = Budget.create ~fuel:10 () in
+  for _ = 1 to 10 do Budget.checkpoint budget ~stage:"s" done;
+  Alcotest.(check int) "spent" 10 (Budget.spent budget);
+  Alcotest.(check bool) "exhausted" true (Budget.exhausted budget);
+  match Budget.checkpoint budget ~stage:"s" with
+  | () -> Alcotest.fail "11th step must raise"
+  | exception Runtime.Interrupt (Runtime.Fuel_exhausted "s") -> ()
+
+let test_poll_interval_bound () =
+  (* A deadline in the past must be noticed within max_poll_interval
+     checkpoints even when a huge polling period is requested. *)
+  let budget =
+    Budget.create ~deadline_in:(-1.0) ~poll_every:1_000_000 ()
+  in
+  let steps = ref 0 in
+  (try
+     while !steps <= Budget.max_poll_interval do
+       Budget.checkpoint budget ~stage:"s";
+       incr steps
+     done
+   with Runtime.Interrupt (Runtime.Timeout "s") -> ());
+  Alcotest.(check bool)
+    (Printf.sprintf "timeout within %d steps (took %d)"
+       Budget.max_poll_interval !steps)
+    true
+    (!steps <= Budget.max_poll_interval)
+
+let test_child_absorb () =
+  let parent = Budget.create ~fuel:100 () in
+  let child = Budget.child parent ~fuel:60 in
+  Alcotest.(check (option int)) "child fuel" (Some 60)
+    (Budget.remaining child);
+  for _ = 1 to 5 do Budget.checkpoint child ~stage:"c" done;
+  Budget.absorb parent child;
+  Alcotest.(check int) "parent spent" 5 (Budget.spent parent);
+  Alcotest.(check (option int)) "parent remaining" (Some 95)
+    (Budget.remaining parent);
+  (* a child never gets more than the parent has left *)
+  let greedy = Budget.child parent ~fuel:1_000 in
+  Alcotest.(check (option int)) "child capped" (Some 95)
+    (Budget.remaining greedy)
+
+let test_cancellation () =
+  let token = Cancellation.create () in
+  let budget = Budget.create ~cancel:token ~poll_every:1 () in
+  Budget.checkpoint budget ~stage:"s";
+  Alcotest.(check bool) "not cancelled yet" false
+    (Cancellation.is_cancelled token);
+  Cancellation.cancel token;
+  (match Budget.checkpoint budget ~stage:"s" with
+   | () -> Alcotest.fail "checkpoint after cancel must raise"
+   | exception Runtime.Interrupt (Runtime.Cancelled "s") -> ());
+  match Budget.check budget ~stage:"s" with
+  | Error (Runtime.Cancelled _) -> ()
+  | Ok () | Error _ -> Alcotest.fail "check must report Cancelled"
+
+(* ---------- typed errors on user-input paths ---------- *)
+
+let test_dimacs_typed_errors () =
+  (match Speccc_sat.Dimacs.parse "p cnf x 2" with
+   | Error (Runtime.Invalid_input { stage = "dimacs"; line = Some 1; _ }) ->
+     ()
+   | Ok _ | Error _ -> Alcotest.fail "bad header must blame line 1");
+  (match Speccc_sat.Dimacs.parse "c ok\np cnf 2 1\n1 zz 0" with
+   | Error (Runtime.Invalid_input { stage = "dimacs"; line = Some 3; _ }) ->
+     ()
+   | Ok _ | Error _ -> Alcotest.fail "bad literal must blame line 3");
+  match Speccc_sat.Dimacs.parse "p cnf 2 2\n1 -2 0\n2 0" with
+  | Ok (2, [ [ 1; -2 ]; [ 2 ] ]) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "well-formed input must parse"
+
+let test_timeabs_typed_errors () =
+  (match Speccc_timeabs.Timeabs.problem_checked ~budget:(-1) [ 4; 6 ] with
+   | Error error ->
+     Alcotest.(check string) "stage" "timeabs" (Runtime.stage_of error)
+   | Ok _ -> Alcotest.fail "negative budget must be rejected");
+  (match Speccc_timeabs.Timeabs.problem_checked [ 4; 0 ] with
+   | Error (Runtime.Invalid_input _) -> ()
+   | Ok _ | Error _ -> Alcotest.fail "non-positive θ must be rejected");
+  match Speccc_timeabs.Timeabs.problem_checked [ 4; 6 ] with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "valid Θ must build"
+
+let test_verbalize_typed_errors () =
+  let config = Speccc_translate.Verbalize.default_config () in
+  match
+    Speccc_translate.Verbalize.roundtrip_checked config
+      (parse "a U b")   (* outside the template fragment *)
+  with
+  | Error (Runtime.Invalid_input { stage = "verbalize"; _ }) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "out-of-fragment must be typed"
+
+(* ---------- fault injection ---------- *)
+
+let test_fault_counts_and_fires () =
+  with_faults
+    [ { Fault.checkpoint = "sat.solve"; after = 1; action = Fault.Fail "boom" } ]
+    (fun () ->
+       let solver = Speccc_sat.Sat.create () in
+       Speccc_sat.Sat.add_clause solver [ 1 ];
+       (* first hit passes... *)
+       (match Speccc_sat.Sat.solve solver with
+        | Speccc_sat.Sat.Sat _ -> ()
+        | Speccc_sat.Sat.Unsat -> Alcotest.fail "1 must be satisfiable");
+       (* ...second hit fires the trigger *)
+       (match
+          Runtime.guard ~stage:"sat" (fun () ->
+              Speccc_sat.Sat.solve solver)
+        with
+        | Error (Runtime.Engine_failure ("sat.solve", "boom")) -> ()
+        | Ok _ | Error _ -> Alcotest.fail "second solve must fail");
+       Alcotest.(check int) "hits counted" 2 (Fault.hits "sat.solve"));
+  Alcotest.(check bool) "cleared" false (Fault.active ())
+
+let test_budgeted_tableau_is_interruptible () =
+  let budget = Budget.create ~fuel:3 () in
+  match
+    Runtime.guard ~stage:"tableau" (fun () ->
+        Speccc_automata.Nbw.of_ltl ~budget (parse "G (a -> F b)"))
+  with
+  | Error (Runtime.Fuel_exhausted "tableau") -> ()
+  | Ok _ -> Alcotest.fail "3 steps cannot build this tableau"
+  | Error e -> Alcotest.fail (Runtime.to_string e)
+
+(* ---------- the fallback ladder ---------- *)
+
+let inputs = [ "i" ]
+let outputs = [ "o" ]
+let realizable_spec = [ parse "G (i -> o)" ]
+
+let governed ?budget ?(faults = []) formulas =
+  with_faults faults (fun () ->
+      Realizability.check_governed ?budget ~inputs ~outputs formulas)
+
+let rung_engines report =
+  List.map (fun r -> r.Realizability.rung_engine)
+    report.Realizability.degradation
+
+let fail_at checkpoint =
+  { Fault.checkpoint; after = 0; action = Fault.Fail "injected" }
+
+let test_ladder_no_fault () =
+  match governed ~budget:(Budget.create ~fuel:500_000 ()) realizable_spec with
+  | Ok report ->
+    Alcotest.(check bool) "consistent" true
+      (report.Realizability.verdict = Realizability.Consistent);
+    Alcotest.(check (list string)) "no degradation" [] (rung_engines report)
+  | Error e -> Alcotest.fail (Runtime.to_string e)
+
+let test_ladder_first_rung_fails () =
+  match
+    governed ~faults:[ fail_at "engine.symbolic" ] realizable_spec
+  with
+  | Ok report ->
+    Alcotest.(check bool) "consistent" true
+      (report.Realizability.verdict = Realizability.Consistent);
+    Alcotest.(check string) "fell to explicit" "explicit"
+      report.Realizability.engine_used;
+    Alcotest.(check (list string)) "one rung logged" [ "symbolic" ]
+      (rung_engines report)
+  | Error e -> Alcotest.fail (Runtime.to_string e)
+
+let test_ladder_two_rungs_fail () =
+  match
+    governed
+      ~faults:[ fail_at "engine.symbolic"; fail_at "engine.explicit" ]
+      realizable_spec
+  with
+  | Ok report ->
+    Alcotest.(check bool) "consistent" true
+      (report.Realizability.verdict = Realizability.Consistent);
+    Alcotest.(check string) "fell to sat" "sat"
+      report.Realizability.engine_used;
+    Alcotest.(check (list string)) "two rungs logged"
+      [ "symbolic"; "explicit" ] (rung_engines report)
+  | Error e -> Alcotest.fail (Runtime.to_string e)
+
+let test_ladder_all_rungs_fail () =
+  match
+    governed
+      ~faults:
+        [ fail_at "engine.symbolic"; fail_at "engine.explicit";
+          fail_at "engine.sat" ]
+      realizable_spec
+  with
+  | Ok report ->
+    (match report.Realizability.verdict with
+     | Realizability.Inconclusive _ -> ()
+     | _ -> Alcotest.fail "no engine left: must be inconclusive");
+    Alcotest.(check (list string)) "three rungs logged"
+      [ "symbolic"; "explicit"; "sat" ] (rung_engines report)
+  | Error e -> Alcotest.fail (Runtime.to_string e)
+
+let test_ladder_fuel_exhaust_rung () =
+  (* An Exhaust fault is indistinguishable from real fuel starvation:
+     the rung degrades with a resource error and the ladder goes on. *)
+  match
+    governed
+      ~faults:
+        [ { Fault.checkpoint = "engine.symbolic"; after = 0;
+            action = Fault.Exhaust } ]
+      realizable_spec
+  with
+  | Ok report ->
+    Alcotest.(check bool) "consistent" true
+      (report.Realizability.verdict = Realizability.Consistent);
+    (match report.Realizability.degradation with
+     | [ { Realizability.rung_error = Some error; _ } ] ->
+       Alcotest.(check bool) "resource error" true
+         (Runtime.is_resource error)
+     | _ -> Alcotest.fail "expected exactly one degraded rung")
+  | Error e -> Alcotest.fail (Runtime.to_string e)
+
+let test_ladder_global_timeout_aborts () =
+  (* A wall-clock timeout is global: the ladder must stop instead of
+     descending to engines that would be killed at their first poll. *)
+  match
+    governed
+      ~faults:
+        [ { Fault.checkpoint = "engine.symbolic"; after = 0;
+            action = Fault.Timeout_now } ]
+      realizable_spec
+  with
+  | Error (Runtime.Timeout _) -> ()
+  | Error e -> Alcotest.fail (Runtime.to_string e)
+  | Ok _ -> Alcotest.fail "injected timeout must abort the ladder"
+
+let test_pipeline_lint_floor () =
+  (* Every synthesis engine degraded, but the two requirements are a
+     plain propositional conflict — the pipeline's lint floor must
+     still deliver the sound Inconsistent verdict. *)
+  let options =
+    { (Pipeline.default_options ()) with Pipeline.fuel = Some 1_000_000 }
+  in
+  with_faults
+    [ fail_at "engine.symbolic"; fail_at "engine.explicit";
+      fail_at "engine.sat" ]
+    (fun () ->
+       let _, report =
+         Pipeline.check_formulas ~options [ parse "G o"; parse "G !o" ]
+       in
+       Alcotest.(check bool) "inconsistent" true
+         (report.Realizability.verdict = Realizability.Inconsistent);
+       Alcotest.(check string) "lint concluded" "lint"
+         report.Realizability.engine_used;
+       Alcotest.(check bool) "engines logged" true
+         (List.length report.Realizability.degradation >= 3))
+
+(* ---------- pipeline under tight budgets ---------- *)
+
+let test_cara_under_tight_budget () =
+  (* The CARA working-mode document is the paper's running example; a
+     starved run must terminate promptly with a populated degradation
+     log instead of hanging. *)
+  let document =
+    List.map
+      (fun (id, text) -> { Document.id; text })
+      Speccc_casestudies.Cara.working_modes
+  in
+  let options =
+    { (Pipeline.default_options ()) with Pipeline.fuel = Some 2_000 }
+  in
+  let outcome = Pipeline.run_document ~options document in
+  match outcome.Pipeline.report.Realizability.verdict with
+  | Realizability.Consistent | Realizability.Inconsistent -> ()
+  | Realizability.Inconclusive _ ->
+    Alcotest.(check bool) "degradation recorded" true
+      (outcome.Pipeline.report.Realizability.degradation <> [])
+
+(* ---------- the termination property ---------- *)
+
+let prop_names = [ "i"; "o"; "p" ]
+
+let formula_gen =
+  let open QCheck2.Gen in
+  int_range 0 8 >>= fix (fun self size ->
+      if size <= 1 then
+        oneof
+          [ return Ltl.True; return Ltl.False; map Ltl.prop (oneofl prop_names) ]
+      else
+        let sub = self (size / 2) in
+        oneof
+          [
+            map Ltl.prop (oneofl prop_names);
+            map (fun f -> Ltl.Not f) sub;
+            map2 (fun f g -> Ltl.And (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Or (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Implies (f, g)) sub sub;
+            map (fun f -> Ltl.Next f) sub;
+            map (fun f -> Ltl.Eventually f) sub;
+            map (fun f -> Ltl.Always f) sub;
+            map2 (fun f g -> Ltl.Until (f, g)) sub sub;
+          ])
+
+(* check_governed under a fuel-only budget must (a) never raise,
+   (b) never return Error — fuel exhaustion is not a global event —
+   and (c) never spend more than the fuel it was given. *)
+let prop_governed_check_terminates =
+  QCheck2.Test.make ~count:60
+    ~name:"budgeted check_governed terminates within fuel, never raises"
+    QCheck2.Gen.(pair formula_gen (int_range 50 5_000))
+    (fun (formula, fuel) ->
+       let budget = Budget.create ~fuel () in
+       match
+         Realizability.check_governed ~budget ~inputs:[ "i" ]
+           ~outputs:[ "o"; "p" ] [ formula ]
+       with
+       | Ok _ -> Budget.spent budget <= fuel
+       | Error (Runtime.Timeout _ | Runtime.Fuel_exhausted _) ->
+         (* allowed by the contract, though fuel-only budgets take the
+            Ok path; spending must still respect the cap *)
+         Budget.spent budget <= fuel
+       | Error _ -> false)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+          Alcotest.test_case "poll interval bound" `Quick
+            test_poll_interval_bound;
+          Alcotest.test_case "child/absorb" `Quick test_child_absorb;
+          Alcotest.test_case "cancellation" `Quick test_cancellation;
+        ] );
+      ( "typed-errors",
+        [
+          Alcotest.test_case "dimacs" `Quick test_dimacs_typed_errors;
+          Alcotest.test_case "timeabs" `Quick test_timeabs_typed_errors;
+          Alcotest.test_case "verbalize" `Quick test_verbalize_typed_errors;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "counts and fires" `Quick
+            test_fault_counts_and_fires;
+          Alcotest.test_case "budgeted tableau" `Quick
+            test_budgeted_tableau_is_interruptible;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "no fault" `Quick test_ladder_no_fault;
+          Alcotest.test_case "first rung fails" `Quick
+            test_ladder_first_rung_fails;
+          Alcotest.test_case "two rungs fail" `Quick
+            test_ladder_two_rungs_fail;
+          Alcotest.test_case "all rungs fail" `Quick
+            test_ladder_all_rungs_fail;
+          Alcotest.test_case "fuel-exhaust rung" `Quick
+            test_ladder_fuel_exhaust_rung;
+          Alcotest.test_case "global timeout aborts" `Quick
+            test_ladder_global_timeout_aborts;
+          Alcotest.test_case "pipeline lint floor" `Quick
+            test_pipeline_lint_floor;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "CARA under tight budget" `Quick
+            test_cara_under_tight_budget;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_governed_check_terminates ] );
+    ]

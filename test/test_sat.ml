@@ -191,7 +191,7 @@ let test_tseitin_xor_ite () =
 let test_dimacs_roundtrip () =
   let clauses = [ [ 1; -2; 3 ]; [ -1 ]; [ 2; 3 ] ] in
   let text = Format.asprintf "%a" (fun ppf -> Dimacs.print ppf ~nvars:3) clauses in
-  let nvars, parsed = Dimacs.parse text in
+  let nvars, parsed = Dimacs.parse_exn text in
   Alcotest.(check int) "nvars" 3 nvars;
   Alcotest.(check (list (list int))) "clauses" clauses parsed
 
