@@ -22,13 +22,13 @@ open Speccc_casestudies
 let builtin_spec = function
   | "cara" ->
     Some
-      (List.map
-         (fun (id, text) -> { Document.id; text })
+      (List.mapi
+         (fun line (id, text) -> { Document.id; text; line = line + 1 })
          Cara.working_modes)
   | "cara:modes" ->
     Some
-      (List.map
-         (fun (id, text) -> { Document.id; text })
+      (List.mapi
+         (fun line (id, text) -> { Document.id; text; line = line + 1 })
          Cara.mode_description)
   | name ->
     (match String.index_opt name ':' with
@@ -48,8 +48,8 @@ let builtin_spec = function
           (match int_of_string_opt row with
            | Some masters when masters >= 1 && masters <= 4 ->
              Some
-               (List.map
-                  (fun (id, text) -> { Document.id; text })
+               (List.mapi
+                  (fun line (id, text) -> { Document.id; text; line = line + 1 })
                   (Arbiter.instance ~masters).Arbiter.document)
            | Some _ | None -> None)
         | _ -> None)
@@ -197,19 +197,45 @@ let exit_of_verdict = function
   | Realizability.Inconsistent -> exit 1
   | Realizability.Inconclusive _ -> exit 2
 
+(* Rendered via [canonical_degradation]: deduplicated and stably
+   sorted by ladder position, so a given report always prints the same
+   lines in the same order regardless of which path assembled it. *)
 let print_degradation report =
   List.iter
     (fun rung ->
        Format.printf "degraded: %s — %s (%.3fs)@."
          rung.Realizability.rung_engine rung.Realizability.rung_outcome
          rung.Realizability.rung_wall)
-    report.Realizability.degradation
+    (Realizability.canonical_degradation report)
+
+let certify_arg =
+  Arg.(value & flag
+       & info [ "certify" ]
+         ~doc:"Validate the verdict's witness (controller, \
+               counterstrategy or unsat core) with independent \
+               machinery before reporting; a rejected certificate \
+               downgrades the verdict to unknown.")
+
+let recover_arg =
+  Arg.(value & flag
+       & info [ "recover" ]
+         ~doc:"Keep going past ungrammatical requirements: each one \
+               is reported with its line and column span and the \
+               remaining requirements are checked.")
+
+let print_certificate outcome =
+  match outcome.Pipeline.certificate with
+  | None -> ()
+  | Some certificate ->
+    Format.printf "certificate: %a@." Speccc_certify.Certify.pp_outcome
+      certificate
 
 let check_cmd =
-  let run source engine lookahead time_budget fuel deadline =
+  let run source engine lookahead time_budget fuel deadline certify recover =
     let options =
       options_of ?fuel ?deadline ~engine ~lookahead ~time_budget ()
     in
+    let options = { options with Pipeline.certify; recover } in
     match robot_spec source with
     | Some scenario ->
       (* formal built-in: already LTL, with a fixed partition *)
@@ -225,6 +251,15 @@ let check_cmd =
       let _, report =
         Pipeline.check_formulas ~options ~partition scenario.Robot.formulas
       in
+      let report, certificate =
+        if not certify then (report, None)
+        else
+          let report, outcome =
+            Speccc_certify.Certify.apply ~assumptions:[]
+              scenario.Robot.formulas report
+          in
+          (report, Some outcome)
+      in
       let verdict =
         match report.Realizability.verdict with
         | Realizability.Consistent -> "CONSISTENT (realizable)"
@@ -234,6 +269,11 @@ let check_cmd =
       Format.printf "verdict: %s (engine: %s, %.3fs)@." verdict
         report.Realizability.engine_used report.Realizability.wall_time;
       print_degradation report;
+      Option.iter
+        (fun c ->
+           Format.printf "certificate: %a@."
+             Speccc_certify.Certify.pp_outcome c)
+        certificate;
       exit_of_verdict report.Realizability.verdict
     | None ->
       let document = load_document source in
@@ -244,12 +284,70 @@ let check_cmd =
       if num_assumptions > 0 then
         Format.printf "environment assumptions: %d@." num_assumptions;
       Format.printf "%a@." Pipeline.pp_outcome outcome;
+      print_certificate outcome;
       exit_of_verdict outcome.Pipeline.report.Realizability.verdict
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Run the full consistency pipeline (Fig. 1)")
     Term.(const run $ spec_arg $ engine_arg $ lookahead_arg
-          $ time_budget_arg $ fuel_arg $ deadline_arg)
+          $ time_budget_arg $ fuel_arg $ deadline_arg $ certify_arg
+          $ recover_arg)
+
+(* ---------- batch ---------- *)
+
+let batch_cmd =
+  let files_arg =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"FILE"
+           ~doc:"Requirement documents (one sentence per line).")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+           ~doc:"JSON-Lines run journal, appended and flushed after \
+                 every document so an interrupted run loses at most \
+                 the document in flight.")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+           ~doc:"Skip documents whose verdict is already in the \
+                 journal (requires $(b,--journal)).")
+  in
+  let retries_arg =
+    Arg.(value & opt int 2
+         & info [ "retries" ]
+           ~doc:"Extra attempts per document after the first, each \
+                 under half the previous budget with exponential \
+                 backoff in between.")
+  in
+  let run files engine lookahead time_budget fuel deadline certify recover
+      journal resume retries =
+    if resume && journal = None then
+      failwith "--resume requires --journal PATH";
+    if retries < 0 then
+      failwith (Printf.sprintf "--retries must be >= 0 (got %d)" retries);
+    let options =
+      options_of ?fuel ?deadline ~engine ~lookahead ~time_budget ()
+    in
+    let options = { options with Pipeline.certify; recover } in
+    let config =
+      { (Speccc_harness.Harness.default_config ()) with
+        Speccc_harness.Harness.options; retries; journal; resume }
+    in
+    let summary = Speccc_harness.Harness.run_files config files in
+    Format.printf "%a@." Speccc_harness.Harness.pp_summary summary;
+    if summary.Speccc_harness.Harness.exit_code <> 0 then
+      exit summary.Speccc_harness.Harness.exit_code
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Check many requirement documents under one crash-safe \
+             supervisor: per-document error confinement, degraded-\
+             budget retries, and a resumable run journal")
+    Term.(const run $ files_arg $ engine_arg $ lookahead_arg
+          $ time_budget_arg $ fuel_arg $ deadline_arg $ certify_arg
+          $ recover_arg $ journal_arg $ resume_arg $ retries_arg)
 
 (* ---------- localize ---------- *)
 
@@ -784,7 +882,26 @@ let table_cmd =
    3, and confine user-input exceptions (unknown spec, malformed
    sentence, bad flag value) to 3 as well. *)
 let () =
-  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let list_faults_arg =
+    Arg.(value & flag
+         & info [ "list-faults" ]
+           ~doc:"List the registered fault-injection checkpoint names \
+                 (the targets $(b,Speccc_runtime.Fault.install) trigger \
+                 plans name) and exit.")
+  in
+  let default =
+    let run list_faults =
+      if list_faults then begin
+        List.iter
+          (fun (name, description) ->
+             Format.printf "%-28s %s@." name description)
+          Speccc_runtime.Fault.Checkpoint.all;
+        `Ok ()
+      end
+      else `Help (`Pager, None)
+    in
+    Term.(ret (const run $ list_faults_arg))
+  in
   let info =
     Cmd.info "speccc" ~version:"1.0.0"
       ~doc:"Formal consistency checking over specifications in natural \
@@ -792,9 +909,9 @@ let () =
   in
   let group =
     Cmd.group ~default info
-      [ translate_cmd; tree_cmd; check_cmd; localize_cmd; synth_cmd;
-        lint_cmd; monitor_cmd; report_cmd; testgen_cmd; patterns_cmd;
-        table_cmd ]
+      [ translate_cmd; tree_cmd; check_cmd; batch_cmd; localize_cmd;
+        synth_cmd; lint_cmd; monitor_cmd; report_cmd; testgen_cmd;
+        patterns_cmd; table_cmd ]
   in
   let code =
     try Cmd.eval ~catch:false group with

@@ -17,8 +17,8 @@ let () =
     inst.Arbiter.document;
 
   let document =
-    List.map
-      (fun (id, text) -> { Document.id; text })
+    List.mapi
+      (fun line (id, text) -> { Document.id; text; line = line + 1 })
       inst.Arbiter.document
   in
   let options =

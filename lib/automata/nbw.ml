@@ -52,7 +52,7 @@ let build_tableau ?budget formula =
      | Some budget ->
        Speccc_runtime.Budget.checkpoint budget ~stage:"tableau"
      | None -> ());
-    Speccc_runtime.Fault.hit "tableau.expand";
+    Speccc_runtime.Fault.hit Speccc_runtime.Fault.Checkpoint.tableau_expand;
     incr counter; !counter
   in
   let completed : node list ref = ref [] in

@@ -1,0 +1,76 @@
+(** Certification of realizability verdicts: every engine answer is
+    re-checked against its witness with machinery independent of the
+    engine that produced it, so a buggy (or fault-injected) engine
+    cannot silently ship a wrong verdict.
+
+    The witnesses and their validators:
+    - [Consistent] ships a Mealy controller.  The controller is
+      replayed on pseudo-random ultimately periodic input words; every
+      resulting combined lasso must satisfy the specification under
+      the exact trace semantics ({!Speccc_logic.Trace.holds}), and
+      runtime monitoring by formula progression
+      ({!Speccc_monitor.Monitor.run_trace}) must never report a
+      violation.  Neither checker shares code with the game solvers.
+    - [Inconsistent] proved game-theoretically ships an environment
+      counterstrategy.  It is played against a panel of candidate
+      controllers ({!Speccc_synthesis.Bounded.refute}); every
+      resulting play must violate the specification.
+    - [Inconsistent] proved by the lint floor ships an unsat core
+      (requirement indices).  The core's conjunction is re-checked
+      unsatisfiable with a fresh tableau call
+      ({!Speccc_lint.Lint.satisfiable}).
+
+    A witness that fails its validator {e downgrades} the verdict: the
+    report becomes [Inconclusive] with a typed
+    [Engine_failure ("certify", _)] in the degradation log — a wrong
+    answer is never preferred over no answer. *)
+
+type outcome =
+  | Certified of string
+      (** the witness checked out; the string names the method, e.g.
+          ["controller replay: 32/32 lassos satisfy the spec"] *)
+  | Rejected of string
+      (** the witness contradicts the verdict; the string is the
+          concrete evidence *)
+  | No_witness of string
+      (** nothing to validate: the verdict was [Inconclusive], or a
+          definite verdict carried no witness *)
+
+val certificate :
+  ?budget:Speccc_runtime.Budget.t ->
+  ?trials:int ->
+  ?seed:int ->
+  assumptions:Speccc_logic.Ltl.t list ->
+  Speccc_logic.Ltl.t list ->
+  Speccc_synthesis.Realizability.report ->
+  outcome
+(** [certificate ~assumptions guarantees report] validates the
+    report's witness against the checked specification
+    [(∧assumptions) → (∧guarantees)].  [trials] (default 32) random
+    input lassos are generated from [seed] (default 1) by a
+    deterministic linear congruential generator, so certification is
+    reproducible.  [budget] governs the tableau re-checks; exhaustion
+    raises [Speccc_runtime.Runtime.Interrupt] (confine with
+    {!Speccc_runtime.Runtime.guard} or use {!apply}). *)
+
+val apply :
+  ?budget:Speccc_runtime.Budget.t ->
+  ?trials:int ->
+  ?seed:int ->
+  assumptions:Speccc_logic.Ltl.t list ->
+  Speccc_logic.Ltl.t list ->
+  Speccc_synthesis.Realizability.report ->
+  Speccc_synthesis.Realizability.report * outcome
+(** Certify and enforce the downgrade rule: on [Rejected] the verdict
+    becomes [Inconclusive ("certificate rejected: ...")] and a
+    ["certify"] rung carrying [Engine_failure ("certify", _)] is
+    appended to the degradation log; on [No_witness] over a definite
+    verdict a ["certify"] rung records the gap but the verdict stands;
+    on [Certified] (and on [No_witness] over an already-inconclusive
+    verdict) the report is returned unchanged.  Never raises: a
+    validator that runs out of budget (or fails) is confined by
+    {!Speccc_runtime.Runtime.guard}; the verdict then stands
+    uncertified — [No_witness] with a ["certify"] rung carrying the
+    typed error — because an aborted check is evidence of nothing. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

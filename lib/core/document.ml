@@ -1,6 +1,7 @@
 type item = {
   id : string;
   text : string;
+  line : int;
 }
 
 type t = item list
@@ -20,15 +21,15 @@ let split_identifier line =
 let parse text =
   let lines =
     String.split_on_char '\n' text
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    |> List.mapi (fun i line -> (i + 1, String.trim line))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
   in
   List.mapi
-    (fun index line ->
-       match split_identifier line with
-       | Some (id, text) when text <> "" -> { id; text }
+    (fun index (line, content) ->
+       match split_identifier content with
+       | Some (id, text) when text <> "" -> { id; text; line }
        | Some _ | None ->
-         { id = Printf.sprintf "R%d" (index + 1); text = line })
+         { id = Printf.sprintf "R%d" (index + 1); text = content; line })
     lines
 
 let of_file path =
@@ -40,7 +41,8 @@ let of_file path =
 
 let of_texts texts =
   List.mapi
-    (fun index text -> { id = Printf.sprintf "R%d" (index + 1); text })
+    (fun index text ->
+       { id = Printf.sprintf "R%d" (index + 1); text; line = index + 1 })
     texts
 
 let texts document = List.map (fun item -> item.text) document

@@ -16,6 +16,11 @@
 type item = {
   id : string;
   text : string;
+  line : int;
+      (** 1-based source line in the document file ({!parse} tracks
+          blank and comment lines), or the 1-based position for
+          documents assembled in memory — the anchor parse-error
+          diagnostics report *)
 }
 
 type t = item list

@@ -14,6 +14,8 @@ type options = {
   fuel : int option;
   deadline : float option;
   cancel : Speccc_runtime.Cancellation.token option;
+  recover : bool;
+  certify : bool;
 }
 
 let default_options () = {
@@ -26,6 +28,8 @@ let default_options () = {
   fuel = None;
   deadline = None;
   cancel = None;
+  recover = false;
+  certify = false;
 }
 
 type stage_times = {
@@ -42,6 +46,8 @@ type outcome = {
   partition : Partition.analysis;
   report : Realizability.report;
   times : stage_times;
+  diagnostics : (string * Speccc_nlp.Parser.diagnostic) list;
+  certificate : Speccc_certify.Certify.outcome option;
 }
 
 let timed f =
@@ -76,6 +82,11 @@ let make_budget options =
    on a small reserved budget of its own, because it is exactly the
    engines' fuel that is gone; a partial verdict beats none. *)
 let lint_reserve_fuel = 20_000
+
+(* Fuel reserved for re-checking witnesses when [options.certify]: the
+   tableau re-check of an unsat core is the only validator that can
+   genuinely blow up. *)
+let certify_reserve_fuel = 50_000
 
 let lint_floor formulas (report : Realizability.report) =
   let reserve = Speccc_runtime.Budget.create ~fuel:lint_reserve_fuel () in
@@ -112,10 +123,17 @@ let lint_floor formulas (report : Realizability.report) =
            (Speccc_lint.Lint.pp_finding ~requirement_text:(fun _ -> None))
            finding
        in
+       let core =
+         match finding with
+         | Speccc_lint.Lint.Unsatisfiable i -> [ i ]
+         | Speccc_lint.Lint.Pair_conflict (i, j, _) -> [ i; j ]
+         | Speccc_lint.Lint.Valid _ | Speccc_lint.Lint.Vacuous_guard _ -> []
+       in
        {
          report with
          Realizability.verdict = Realizability.Inconsistent;
          engine_used = "lint";
+         unsat_core = Some (Realizability.emit_core core);
          wall_time = report.Realizability.wall_time +. wall;
          detail;
        }
@@ -165,6 +183,7 @@ let synthesize options ?(assumptions = []) ~inputs ~outputs formulas =
         engine_used = "none";
         controller = None;
         counterstrategy = None;
+        unsat_core = None;
         wall_time = 0.;
         detail = why;
         degradation =
@@ -193,44 +212,39 @@ let check_formulas ?options ?partition formulas =
   in
   (partition, report)
 
-let run ?options texts =
-  let options =
-    match options with Some o -> o | None -> default_options ()
-  in
-  let translation, translation_s =
-    timed (fun () -> Translate.specification options.translate texts)
-  in
-  let raw_formulas =
-    List.map (fun r -> r.Translate.formula) translation.Translate.requirements
-  in
-  let (formulas, time_solution), abstraction_s =
-    timed (fun () -> abstract_times options raw_formulas)
-  in
-  let partition, partition_s =
-    timed (fun () -> Partition.of_requirements formulas)
-  in
-  let report, synthesis_s =
-    timed (fun () ->
-        synthesize options
-          ~inputs:partition.Partition.partition.Partition.inputs
-          ~outputs:partition.Partition.partition.Partition.outputs formulas)
-  in
-  {
-    requirements = translation.Translate.requirements;
-    formulas;
-    time_solution;
-    partition;
-    report;
-    times = { translation_s; abstraction_s; partition_s; synthesis_s };
-  }
+(* Translation front-end shared by {!run} and {!run_document}.  With
+   [options.recover] set, ungrammatical requirements are dropped with a
+   located diagnostic and the rest of the document proceeds; the
+   returned document lists only the surviving items so downstream
+   stages stay aligned with the translation. *)
+let translate_document options document =
+  if not options.recover then
+    ( Translate.specification options.translate (Document.texts document),
+      document,
+      [] )
+  else
+    let translation, kept, diagnostics =
+      Translate.specification_recover options.translate
+        (List.map
+           (fun item -> (item.Document.line, item.Document.text))
+           document)
+    in
+    let survivors =
+      List.filter_map (fun index -> List.nth_opt document index) kept
+    in
+    let diagnostics =
+      List.map
+        (fun (index, diag) -> (Document.id_at document index, diag))
+        diagnostics
+    in
+    (translation, survivors, diagnostics)
 
 let run_document ?options document =
   let options =
     match options with Some o -> o | None -> default_options ()
   in
-  let texts = Document.texts document in
-  let translation, translation_s =
-    timed (fun () -> Translate.specification options.translate texts)
+  let (translation, document, diagnostics), translation_s =
+    timed (fun () -> translate_document options document)
   in
   let raw_formulas =
     List.map (fun r -> r.Translate.formula) translation.Translate.requirements
@@ -283,6 +297,21 @@ let run_document ?options document =
           ~inputs:partition.Partition.partition.Partition.inputs
           ~outputs:partition.Partition.partition.Partition.outputs guarantees)
   in
+  let report, certificate =
+    if not options.certify then (report, None)
+    else
+      (* Certification runs on its own reserved budget: it is the
+         engines' fuel that may just have run out, and the validators
+         are cheap by comparison. *)
+      let reserve =
+        Speccc_runtime.Budget.create ~fuel:certify_reserve_fuel ()
+      in
+      let report, outcome =
+        Speccc_certify.Certify.apply ~budget:reserve ~assumptions guarantees
+          report
+      in
+      (report, Some outcome)
+  in
   {
     requirements = translation.Translate.requirements;
     formulas;
@@ -290,7 +319,11 @@ let run_document ?options document =
     partition;
     report;
     times = { translation_s; abstraction_s; partition_s; synthesis_s };
+    diagnostics;
+    certificate;
   }
+
+let run ?options texts = run_document ?options (Document.of_texts texts)
 
 let pp_outcome ppf outcome =
   Format.fprintf ppf "@[<v>";
@@ -316,5 +349,10 @@ let pp_outcome ppf outcome =
        Format.fprintf ppf "@,degraded: %s — %s (%.3fs)"
          rung.Realizability.rung_engine rung.Realizability.rung_outcome
          rung.Realizability.rung_wall)
-    outcome.report.Realizability.degradation;
+    (Realizability.canonical_degradation outcome.report);
+  List.iter
+    (fun (id, diag) ->
+       Format.fprintf ppf "@,skipped %s: %a" id
+         Speccc_nlp.Parser.pp_diagnostic diag)
+    outcome.diagnostics;
   Format.fprintf ppf "@]"

@@ -24,6 +24,17 @@ type options = {
       (** wall-clock seconds allowed for the synthesis stage *)
   cancel : Speccc_runtime.Cancellation.token option;
       (** cooperative cancellation, polled at budget checkpoints *)
+  recover : bool;
+      (** true: an ungrammatical requirement is dropped with a located
+          diagnostic ([outcome.diagnostics]) and checking continues
+          over the remaining requirements; false (default): the
+          translation stage raises {!Speccc_nlp.Parser.Error} as
+          before *)
+  certify : bool;
+      (** true: validate the verdict's witness with
+          {!Speccc_certify.Certify.apply} (on a small reserved budget)
+          before reporting; a rejected certificate downgrades the
+          verdict to [Inconclusive] *)
 }
 
 val default_options : unit -> options
@@ -45,10 +56,17 @@ type outcome = {
   partition : Speccc_partition.Partition.analysis;
   report : Speccc_synthesis.Realizability.report;
   times : stage_times;
+  diagnostics : (string * Speccc_nlp.Parser.diagnostic) list;
+      (** requirements dropped by error recovery, as [(id, where/why)]
+          pairs in document order; always empty unless
+          [options.recover] *)
+  certificate : Speccc_certify.Certify.outcome option;
+      (** witness-validation outcome; [None] unless [options.certify] *)
 }
 
 val run : ?options:options -> string list -> outcome
-(** Full pipeline from requirement sentences. *)
+(** Full pipeline from requirement sentences (positional identifiers;
+    equivalent to {!run_document} over {!Document.of_texts}). *)
 
 val run_document : ?options:options -> Document.t -> outcome
 (** Like {!run}, but items whose identifier marks them as environment

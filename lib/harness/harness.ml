@@ -1,0 +1,372 @@
+open Speccc_core
+module Runtime = Speccc_runtime.Runtime
+module Fault = Speccc_runtime.Fault
+module Realizability = Speccc_synthesis.Realizability
+
+type verdict_class =
+  | Consistent
+  | Inconsistent
+  | Unknown
+  | Failed of string
+
+type config = {
+  options : Pipeline.options;
+  retries : int;
+  backoff_base : float;
+  backoff_cap : float;
+  sleep : float -> float;
+  journal : string option;
+  resume : bool;
+}
+
+let default_config () = {
+  options = Pipeline.default_options ();
+  retries = 2;
+  backoff_base = 0.05;
+  backoff_cap = 1.0;
+  sleep = (fun s -> Unix.sleepf s; s);
+  journal = None;
+  resume = false;
+}
+
+type doc_result = {
+  doc : string;
+  verdict : verdict_class;
+  engine : string;
+  attempts : int;
+  wall : float;
+  detail : string;
+  fresh : bool;
+}
+
+type summary = {
+  results : doc_result list;
+  exit_code : int;
+}
+
+(* ---------- JSONL journal ---------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '\\' when i + 1 < n ->
+        (match s.[i + 1] with
+         | 'n' -> Buffer.add_char buf '\n'; go (i + 2)
+         | 'r' -> Buffer.add_char buf '\r'; go (i + 2)
+         | 't' -> Buffer.add_char buf '\t'; go (i + 2)
+         | 'u' when i + 5 < n ->
+           (match int_of_string_opt ("0x" ^ String.sub s (i + 2) 4) with
+            | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+            | Some _ | None -> Buffer.add_char buf '?');
+           go (i + 6)
+         | c -> Buffer.add_char buf c; go (i + 2))
+      | c -> Buffer.add_char buf c; go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+(* Minimal field extraction for the journal's own output format: finds
+   ["key":"..."] handling escaped quotes.  Not a general JSON parser
+   and not meant to be one — the journal only ever contains lines this
+   module wrote. *)
+let field_string line key =
+  let marker = Printf.sprintf "\"%s\":\"" key in
+  let mlen = String.length marker in
+  let n = String.length line in
+  let rec find i =
+    if i + mlen > n then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let rec close i =
+      if i >= n then None
+      else
+        match line.[i] with
+        | '\\' -> close (i + 2)
+        | '"' -> Some i
+        | _ -> close (i + 1)
+    in
+    (match close start with
+     | None -> None
+     | Some stop -> Some (json_unescape (String.sub line start (stop - start))))
+
+let field_number line key =
+  let marker = Printf.sprintf "\"%s\":" key in
+  let mlen = String.length marker in
+  let n = String.length line in
+  let rec find i =
+    if i + mlen > n then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < n
+      && (match line.[!stop] with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false)
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.sub line start (!stop - start))
+
+let verdict_tag = function
+  | Consistent -> "consistent"
+  | Inconsistent -> "inconsistent"
+  | Unknown -> "unknown"
+  | Failed _ -> "failed"
+
+let verdict_of_tag detail = function
+  | "consistent" -> Some Consistent
+  | "inconsistent" -> Some Inconsistent
+  | "unknown" -> Some Unknown
+  | "failed" -> Some (Failed detail)
+  | _ -> None
+
+let journal_line result =
+  Printf.sprintf
+    "{\"doc\":\"%s\",\"verdict\":\"%s\",\"engine\":\"%s\",\"attempts\":%d,\"wall\":%.3f,\"detail\":\"%s\"}"
+    (json_escape result.doc)
+    (verdict_tag result.verdict)
+    (json_escape result.engine)
+    result.attempts result.wall
+    (json_escape result.detail)
+
+(* Append one line and flush before returning: the journal must
+   survive the process dying right after this call. *)
+let journal_append path result =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       output_string oc (journal_line result);
+       output_char oc '\n';
+       flush oc)
+
+let journal_read path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then lines := line :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.filter_map
+      (fun line ->
+         match field_string line "doc" with
+         | None -> None
+         | Some doc ->
+           let detail =
+             Option.value ~default:"" (field_string line "detail")
+           in
+           let verdict =
+             Option.bind (field_string line "verdict")
+               (verdict_of_tag detail)
+           in
+           (match verdict with
+            | None -> None
+            | Some verdict ->
+              Some
+                ( doc,
+                  {
+                    doc;
+                    verdict;
+                    engine =
+                      Option.value ~default:"?" (field_string line "engine");
+                    attempts = 0;
+                    wall =
+                      Option.value ~default:0.
+                        (field_number line "wall");
+                    detail;
+                    fresh = false;
+                  } )))
+      (List.rev !lines)
+  end
+
+(* ---------- per-document supervision ---------- *)
+
+let default_first_fuel = 200_000
+
+let classify (outcome : Pipeline.outcome) =
+  match outcome.Pipeline.report.Realizability.verdict with
+  | Realizability.Consistent -> Consistent
+  | Realizability.Inconsistent -> Inconsistent
+  | Realizability.Inconclusive _ -> Unknown
+
+let detail_of outcome =
+  let report = outcome.Pipeline.report in
+  let base =
+    match report.Realizability.verdict with
+    | Realizability.Inconclusive why -> why
+    | Realizability.Consistent | Realizability.Inconsistent ->
+      report.Realizability.detail
+  in
+  let dropped =
+    match outcome.Pipeline.diagnostics with
+    | [] -> ""
+    | diags -> Printf.sprintf " [%d requirement(s) skipped]" (List.length diags)
+  in
+  base ^ dropped
+
+(* Attempt [i] (0-based) runs under [first_fuel / 2^i]: a document
+   that blew through its budget gets cheaper, ladder-floor-leaning
+   retries rather than the same explosion again. *)
+let attempt_fuel config i =
+  let first =
+    match config.options.Pipeline.fuel with
+    | Some fuel -> fuel
+    | None -> default_first_fuel
+  in
+  max 1_000 (first / (1 lsl i))
+
+let backoff config i =
+  Float.min config.backoff_cap (config.backoff_base *. (2. ** float_of_int i))
+
+let check_once config document ~fuel =
+  let options = { config.options with Pipeline.fuel = Some fuel } in
+  Runtime.guard ~stage:"harness" (fun () ->
+      Pipeline.run_document ~options document)
+
+let supervise config (key, document) =
+  let started = Unix.gettimeofday () in
+  let rec attempt i last_error =
+    if i > config.retries then
+      {
+        doc = key;
+        verdict = Failed (Runtime.to_string last_error);
+        engine = "none";
+        attempts = i;
+        wall = Unix.gettimeofday () -. started;
+        detail = Runtime.to_string last_error;
+        fresh = true;
+      }
+    else begin
+      if i > 0 then ignore (config.sleep (backoff config (i - 1)));
+      match check_once config document ~fuel:(attempt_fuel config i) with
+      | Ok outcome ->
+        {
+          doc = key;
+          verdict = classify outcome;
+          engine = outcome.Pipeline.report.Realizability.engine_used;
+          attempts = i + 1;
+          wall = Unix.gettimeofday () -. started;
+          detail = detail_of outcome;
+          fresh = true;
+        }
+      | Error error -> attempt (i + 1) error
+    end
+  in
+  attempt 0 (Runtime.Engine_failure ("harness", "not attempted"))
+
+(* ---------- the batch loop ---------- *)
+
+let severity = function
+  | Consistent -> 0
+  | Inconsistent -> 1
+  | Unknown | Failed _ -> 2
+
+let run_loaded config documents =
+  let journaled =
+    match config.journal with
+    | Some path when config.resume -> journal_read path
+    | Some _ | None -> []
+  in
+  let results =
+    List.map
+      (fun (key, loaded) ->
+         match List.assoc_opt key journaled with
+         | Some replayed -> replayed
+         | None ->
+           (* Announced OUTSIDE the guard on purpose: an injected
+              fault here models the whole process dying between
+              documents, which is the scenario --resume exists for. *)
+           Fault.hit Fault.Checkpoint.harness_document;
+           let result =
+             match loaded with
+             | Ok document -> supervise config (key, document)
+             | Error message ->
+               {
+                 doc = key;
+                 verdict = Failed message;
+                 engine = "none";
+                 attempts = 1;
+                 wall = 0.;
+                 detail = message;
+                 fresh = true;
+               }
+           in
+           Option.iter
+             (fun path -> journal_append path result)
+             config.journal;
+           result)
+      documents
+  in
+  let exit_code =
+    List.fold_left (fun acc r -> max acc (severity r.verdict)) 0 results
+  in
+  { results; exit_code }
+
+let run config documents =
+  run_loaded config
+    (List.map (fun (key, document) -> (key, Ok document)) documents)
+
+let run_files config paths =
+  run_loaded config
+    (List.map
+       (fun path ->
+          match Document.of_file path with
+          | document -> (path, Ok document)
+          | exception Sys_error message -> (path, Error message))
+       paths)
+
+let pp_verdict ppf = function
+  | Consistent -> Format.pp_print_string ppf "CONSISTENT"
+  | Inconsistent -> Format.pp_print_string ppf "INCONSISTENT"
+  | Unknown -> Format.pp_print_string ppf "UNKNOWN"
+  | Failed why -> Format.fprintf ppf "FAILED (%s)" why
+
+let pp_summary ppf summary =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+       Format.fprintf ppf "%s: %a (engine: %s, attempts: %d, %.3fs)%s@," r.doc
+         pp_verdict r.verdict r.engine r.attempts r.wall
+         (if r.fresh then "" else " [journaled]"))
+    summary.results;
+  let count c =
+    List.length (List.filter (fun r -> severity r.verdict = c) summary.results)
+  in
+  Format.fprintf ppf "%d document(s): %d consistent, %d inconsistent, %d unknown/failed"
+    (List.length summary.results) (count 0) (count 1) (count 2);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,88 @@
+(** Crash-safe batch checking: a supervisor that runs the pipeline
+    over many requirement documents with per-document error
+    confinement, retry-with-degraded-budget, and a journal that makes
+    interrupted runs resumable.
+
+    The contract is the batch analogue of the single-run ladder: one
+    document's failure — a parser crash, an engine blow-up, an
+    injected fault — never takes down the run; it is confined by
+    {!Speccc_runtime.Runtime.guard}, retried under a smaller budget
+    after a bounded exponential backoff, and finally recorded as
+    [Failed] if every attempt dies.
+
+    {2 Journal format}
+
+    The journal is JSON Lines: one object per completed document,
+    appended and flushed as soon as the document's verdict is known,
+    so a crash loses at most the document in flight.  Fields:
+
+    {v
+    {"doc":"<key>","verdict":"consistent|inconsistent|unknown|failed",
+     "engine":"<engine_used>","attempts":<n>,"wall":<seconds>,
+     "detail":"<one-line diagnostics>"}
+    v}
+
+    A resumed run ({!config.resume}) reads the journal back and skips
+    every document whose key already has a line, reporting the
+    journaled verdict with [fresh = false]. *)
+
+type verdict_class =
+  | Consistent
+  | Inconsistent
+  | Unknown
+      (** the pipeline answered [Inconclusive] (including certificate
+          downgrades) *)
+  | Failed of string
+      (** every attempt died; the payload is the last confined error *)
+
+type config = {
+  options : Speccc_core.Pipeline.options;
+      (** per-document pipeline options; [options.fuel] (default
+          200k when unset) is the first attempt's budget *)
+  retries : int;        (** extra attempts after the first (default 2) *)
+  backoff_base : float; (** seconds before the first retry (default 0.05) *)
+  backoff_cap : float;  (** ceiling on any single backoff (default 1.0) *)
+  sleep : float -> float;
+      (** sleeping primitive, returning the seconds actually slept —
+          injectable so tests can record schedules instead of waiting
+          (default [Unix.sleepf] returning its argument) *)
+  journal : string option;  (** JSONL path; [None] = no journal *)
+  resume : bool;
+      (** skip documents already present in the journal *)
+}
+
+val default_config : unit -> config
+
+type doc_result = {
+  doc : string;                (** document key (file path or name) *)
+  verdict : verdict_class;
+  engine : string;
+  attempts : int;              (** 1 + retries actually used; 0 when
+                                   replayed from the journal *)
+  wall : float;
+  detail : string;
+  fresh : bool;                (** false when replayed from the journal *)
+}
+
+type summary = {
+  results : doc_result list;   (** one per requested document, in order *)
+  exit_code : int;
+      (** severity aggregate over the batch: 0 all consistent, 1 some
+          inconsistency, 2 some document unknown or failed — the
+          single-document CLI convention, taken as a maximum *)
+}
+
+val run : config -> (string * Speccc_core.Document.t) list -> summary
+(** Check each [(key, document)] pair in order.  Never raises on
+    per-document failures.  The fault checkpoint ["harness.document"]
+    is announced before each document {e outside} the confinement
+    guard: an injected raise there aborts the whole run, which is how
+    the resume tests simulate a crash. *)
+
+val run_files : config -> string list -> summary
+(** {!run} over files, keyed by path ({!Speccc_core.Document.of_file}; an
+    unreadable file is a [Failed] result, not an exception). *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** One line per document plus the severity tally — the [speccc batch]
+    report. *)

@@ -20,7 +20,7 @@ let guard_of = function
     None
 
 let check ?budget formulas =
-  Speccc_runtime.Fault.hit "pipeline.lint";
+  Speccc_runtime.Fault.hit Speccc_runtime.Fault.Checkpoint.pipeline_lint;
   let satisfiable f = satisfiable ?budget f in
   let valid f = valid ?budget f in
   let formulas = Array.of_list formulas in

@@ -73,6 +73,20 @@ let run monitor letters =
   List.iter (fun letter -> ignore (step monitor letter)) letters;
   monitor.verdict
 
+let run_trace monitor ?(unroll = 2) trace =
+  let positions =
+    Trace.loop_start trace
+    + (max 1 unroll * (Trace.length trace - Trace.loop_start trace))
+  in
+  let rec feed i =
+    if i >= positions then monitor.verdict
+    else
+      match step monitor (Trace.letter_at trace i) with
+      | Violated _ | Satisfied _ as final -> final
+      | Running _ -> feed (i + 1)
+  in
+  feed 0
+
 let reset monitor =
   let fresh = create monitor.original in
   monitor.residual <- fresh.residual;

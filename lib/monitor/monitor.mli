@@ -32,6 +32,16 @@ val step : t -> (string * bool) list -> status
 val run : t -> (string * bool) list list -> status
 (** Feed a whole prefix. *)
 
+val run_trace : t -> ?unroll:int -> Speccc_logic.Trace.t -> status
+(** Feed a lasso word: the prefix, then [unroll] (default 2) copies of
+    the loop.  Stops early once the verdict is decided.  A [Violated]
+    answer is sound for the infinite word [u·v^ω] (bad prefixes stay
+    bad); [Satisfied]/[Running] answers say nothing about liveness
+    obligations beyond the unrolled horizon — use
+    {!Speccc_logic.Trace.holds} for the exact lasso semantics.  This
+    is the replay primitive the certification layer drives synthesized
+    controllers with. *)
+
 val status : t -> status
 val reset : t -> unit
 

@@ -1,6 +1,61 @@
 exception Error of string
 
-let fail fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+type diagnostic = {
+  diag_message : string;
+  diag_line : int;
+  diag_start : int;
+  diag_end : int;
+}
+
+(* Internal: a failure that remembers the offending words so
+   [sentence_result] can point at them in the source text.  Confined
+   to this module; the public surface re-raises plain [Error] (the
+   historical contract) or returns a [diagnostic]. *)
+exception Located of string * string list
+
+let fail_at words fmt =
+  Printf.ksprintf (fun msg -> raise (Located (msg, words))) fmt
+
+let fail fmt = fail_at [] fmt
+
+(* Map the (lowercased) culprit tokens back to a character span in the
+   original sentence.  Best-effort: an unlocatable culprit widens to
+   the whole sentence, so diagnostics never raise. *)
+let span_of_words text words =
+  let lower = String.lowercase_ascii text in
+  let length = String.length lower in
+  let find_from start word =
+    let wl = String.length word in
+    let boundary i = i < 0 || i >= length || not (Tokenizer.is_word_char lower.[i]) in
+    let rec go i =
+      if wl = 0 || i + wl > length then None
+      else if String.sub lower i wl = word && boundary (i - 1) && boundary (i + wl)
+      then Some i
+      else go (i + 1)
+    in
+    go start
+  in
+  match words with
+  | [] -> (0, length)
+  | first :: rest ->
+    (match find_from 0 first with
+     | None -> (0, length)
+     | Some start ->
+       let stop =
+         List.fold_left
+           (fun acc word ->
+              match find_from acc word with
+              | Some i -> i + String.length word
+              | None -> acc)
+           (start + String.length first) rest
+       in
+       (start, stop))
+
+let pp_diagnostic ppf diag =
+  if diag.diag_line > 0 then
+    Format.fprintf ppf "line %d, " diag.diag_line;
+  Format.fprintf ppf "columns %d-%d: %s" (diag.diag_start + 1) diag.diag_end
+    diag.diag_message
 
 (* ---------- segmentation ---------- *)
 
@@ -159,7 +214,7 @@ let parse_predicate lexicon words =
        | Some (lemma, _) ->
          verb := Some lemma;
          rest
-       | None -> fail "cannot interpret %S as a verb" w)
+       | None -> fail_at [ w ] "cannot interpret %S as a verb" w)
   and copula_content = function
     | [] ->
       (* bare copula: "the system is" — incomplete *)
@@ -263,7 +318,7 @@ let parse_clause lexicon previous_subject words =
   in
   let words = strip_modifiers words in
   match find_predicate_start lexicon words with
-  | None -> fail "no predicate found in clause %S" (String.concat " " words)
+  | None -> fail_at words "no predicate found in clause %S" (String.concat " " words)
   | Some idx ->
     let subject_words = List.filteri (fun i _ -> i < idx) words in
     let rest_words = List.filteri (fun i _ -> i >= idx) words in
@@ -281,7 +336,7 @@ let parse_clause lexicon previous_subject words =
         match previous_subject with
         | Some s -> s
         | None ->
-          fail "clause %S has no subject" (String.concat " " words)
+          fail_at words "clause %S has no subject" (String.concat " " words)
       else subject
     in
     let predicate, time_bound, inner_modifier, remaining =
@@ -309,13 +364,13 @@ let parse_clause_group lexicon words =
     | conj_word :: rest when is_conjunction lexicon conj_word ->
       let conj = if conj_word = "or" then Syntax.Or else Syntax.And in
       go (Some clause.Syntax.subject) acc (conj :: conjs) rest
-    | w :: _ -> fail "unexpected word %S after clause" w
+    | w :: _ -> fail_at [ w ] "unexpected word %S after clause" w
   in
   go None [] [] words
 
 (* ---------- sentences ---------- *)
 
-let sentence lexicon text =
+let sentence_located lexicon text =
   let tokens =
     try Tokenizer.tokenize text
     with Failure msg -> fail "%s" msg
@@ -354,6 +409,17 @@ let sentence lexicon text =
   match main with
   | None -> fail "sentence %S has no main clause" text
   | Some main -> { Syntax.leading; main; trailing }
+
+let sentence lexicon text =
+  try sentence_located lexicon text
+  with Located (message, _) -> raise (Error message)
+
+let sentence_result ?(line = 0) lexicon text =
+  match sentence_located lexicon text with
+  | tree -> Ok tree
+  | exception Located (message, words) ->
+    let diag_start, diag_end = span_of_words text words in
+    Error { diag_message = message; diag_line = line; diag_start; diag_end }
 
 let sentence_opt lexicon text =
   try Some (sentence lexicon text) with Error _ -> None

@@ -15,9 +15,31 @@
 
 exception Error of string
 
+type diagnostic = {
+  diag_message : string;
+  diag_line : int;      (** 1-based source line; 0 when unknown *)
+  diag_start : int;     (** 0-based char offset of the offending span *)
+  diag_end : int;       (** exclusive end of the span *)
+}
+(** Where and why a sentence fell outside the grammar.  The span
+    points at the offending word(s) in the sentence text when the
+    failure names any, and covers the whole sentence otherwise. *)
+
 val sentence : Lexicon.t -> string -> Syntax.sentence
 (** Parse one requirement sentence.  Raises {!Error} with a diagnostic
     when the text falls outside the grammar. *)
+
+val sentence_result :
+  ?line:int -> Lexicon.t -> string -> (Syntax.sentence, diagnostic) result
+(** Non-raising {!sentence}: a malformed requirement becomes an
+    [Error diagnostic] carrying the source line (as passed by the
+    caller, who knows the document layout) and the column span of the
+    offending words — the error-recovery entry point document-level
+    callers use to keep going with the remaining requirements. *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+(** ["line L, columns A-B: message"] (columns are 1-based and
+    inclusive; the line part is omitted when unknown). *)
 
 val sentence_opt : Lexicon.t -> string -> Syntax.sentence option
 

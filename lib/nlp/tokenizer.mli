@@ -9,6 +9,11 @@ type token =
   | Comma
   | Period
 
+val is_word_char : char -> bool
+(** Characters that may appear inside a word token (letters, digits,
+    [-], [_], [']).  Exposed so diagnostics can re-locate tokens in
+    the original text with the same word-boundary rule. *)
+
 val tokenize : string -> token list
 (** Raises [Failure] on characters outside the structured subset. *)
 

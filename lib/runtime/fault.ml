@@ -3,6 +3,7 @@ type action =
   | Timeout_now
   | Exhaust
   | Delay of float
+  | Corrupt
 
 type trigger = {
   checkpoint : string;
@@ -56,19 +57,67 @@ let perform name = function
   | Timeout_now -> raise (Runtime.Interrupt (Runtime.Timeout name))
   | Exhaust -> raise (Runtime.Interrupt (Runtime.Fuel_exhausted name))
   | Delay seconds -> if seconds > 0.0 then Unix.sleepf seconds
+  | Corrupt -> ()
 
-let hit name =
+(* Count the hit and fire matching triggers.  [Corrupt] triggers fire
+   only when [allow_corrupt]; the return value says whether one did. *)
+let announce ~allow_corrupt name =
   match !state with
-  | None -> ()
+  | None -> false
   | Some plan ->
     let count =
       match Hashtbl.find_opt plan.counts name with Some n -> n | None -> 0
     in
     Hashtbl.replace plan.counts name (count + 1);
+    let corrupted = ref false in
     List.iter
       (fun armed ->
-         if (not armed.fired) && armed.resolved_after = count then begin
-           armed.fired <- true;
-           perform name armed.trigger_action
-         end)
-      (Hashtbl.find_all plan.triggers name)
+         if (not armed.fired) && armed.resolved_after = count then
+           match armed.trigger_action with
+           | Corrupt ->
+             if allow_corrupt then begin
+               armed.fired <- true;
+               corrupted := true
+             end
+           | action ->
+             armed.fired <- true;
+             perform name action)
+      (Hashtbl.find_all plan.triggers name);
+    !corrupted
+
+let hit name = ignore (announce ~allow_corrupt:false name)
+let corrupt name = announce ~allow_corrupt:true name
+
+module Checkpoint = struct
+  let sat_solve = "sat.solve"
+  let tableau_expand = "tableau.expand"
+  let bdd_fixpoint = "bdd.fixpoint"
+  let engine_symbolic = "engine.symbolic"
+  let engine_explicit = "engine.explicit"
+  let engine_sat = "engine.sat"
+  let pipeline_lint = "pipeline.lint"
+  let witness_controller = "witness.controller"
+  let witness_counterstrategy = "witness.counterstrategy"
+  let witness_core = "witness.core"
+  let harness_document = "harness.document"
+
+  let all = [
+    sat_solve, "CDCL solver entry (lib/sat)";
+    tableau_expand, "each GPVW tableau node expansion (lib/automata)";
+    bdd_fixpoint, "each symbolic obligation-game fixpoint round";
+    engine_symbolic, "BDD obligation-game engine entry";
+    engine_explicit, "explicit bounded-synthesis engine entry";
+    engine_sat, "SAT bounded-machine engine entry";
+    pipeline_lint, "lint pass entry (the ladder's floor)";
+    witness_controller,
+      "controller emission; Corrupt flips the controller's output bits";
+    witness_counterstrategy,
+      "counterstrategy emission; Corrupt zeroes the environment moves";
+    witness_core, "unsat-core emission; Corrupt empties the core";
+    harness_document,
+      "batch harness, before each document and outside its confinement \
+       (a raising trigger simulates a crash)";
+  ]
+
+  let mem name = List.mem_assoc name all
+end

@@ -1,15 +1,16 @@
 (** Deterministic fault injection.
 
-    Engines announce named checkpoints ({!hit}).  Normally a hit is a
-    single memory read; when a plan is {!install}ed, the n-th hit of a
-    named checkpoint deterministically performs its action — raising a
-    typed error or delaying — so every recovery path of the fallback
-    ladder is exercisable from tests without pathological inputs.
+    Engines announce named checkpoints ({!hit}, {!corrupt}).  Normally
+    a hit is a single memory read; when a plan is {!install}ed, the
+    n-th hit of a named checkpoint deterministically performs its
+    action — raising a typed error, delaying, or (for witness-emission
+    checkpoints) corrupting the emitted artifact — so every recovery
+    path of the fallback ladder {e and} every certificate-rejection
+    path is exercisable from tests without pathological inputs.
 
-    Checkpoints currently announced by the pipeline:
-    ["engine.symbolic"], ["engine.explicit"], ["engine.sat"],
-    ["pipeline.lint"], ["sat.solve"], ["tableau.expand"],
-    ["bdd.fixpoint"].
+    The full checkpoint vocabulary is registered in {!Checkpoint};
+    tests and the CLI ([speccc --list-faults]) read it from there
+    instead of hardcoding strings.
 
     Installation is global and {e off by default}; [install]/[clear]
     are meant for tests and chaos drills, not concurrent use. *)
@@ -19,6 +20,9 @@ type action =
   | Timeout_now       (** raise [Timeout checkpoint] *)
   | Exhaust           (** raise [Fuel_exhausted checkpoint] *)
   | Delay of float    (** sleep this many seconds, then continue *)
+  | Corrupt
+      (** at a {!corrupt} checkpoint: silently mangle the emitted
+          witness (the site decides how); ignored by {!hit} sites *)
 
 type trigger = {
   checkpoint : string;
@@ -41,8 +45,51 @@ val hit : string -> unit
 (** Announce a checkpoint.  No-op (one read) when no plan is
     installed; otherwise counts the hit and performs a matching
     trigger's action, raising {!Runtime.Interrupt} for failing
-    actions.  A trigger fires at most once. *)
+    actions.  [Corrupt] triggers never fire at a [hit] site.  A
+    trigger fires at most once. *)
+
+val corrupt : string -> bool
+(** Announce a witness-emission checkpoint.  Counts like {!hit} and
+    performs raising/delaying triggers the same way; returns [true]
+    exactly when an armed [Corrupt] trigger fires at this hit, in
+    which case the caller must mangle the artifact it is about to
+    emit.  [false] (one read) when disarmed. *)
 
 val hits : string -> int
 (** Hits recorded at a checkpoint since the last [install]/[clear]
     (0 when inactive). *)
+
+(** The registered checkpoint vocabulary.  Announcing modules use
+    these constants; tests install triggers through them; the CLI
+    lists them.  Keeping the registry here (rather than spread over
+    the announcing libraries) gives [--list-faults] one authoritative
+    source. *)
+module Checkpoint : sig
+  val sat_solve : string
+  val tableau_expand : string
+  val bdd_fixpoint : string
+  val engine_symbolic : string
+  val engine_explicit : string
+  val engine_sat : string
+  val pipeline_lint : string
+
+  val witness_controller : string
+  (** controller emission ({!corrupt} site: output bits are flipped) *)
+
+  val witness_counterstrategy : string
+  (** counterstrategy emission ({!corrupt} site: moves are scrambled) *)
+
+  val witness_core : string
+  (** unsat-core emission ({!corrupt} site: the core is emptied) *)
+
+  val harness_document : string
+  (** announced by the batch harness before each document, {e outside}
+      the per-document confinement — a raising trigger here kills the
+      whole run, simulating a crash for resume drills *)
+
+  val all : (string * string) list
+  (** [(name, description)] for every registered checkpoint, in a
+      stable order. *)
+
+  val mem : string -> bool
+end

@@ -368,7 +368,7 @@ let check_size ~max_letters ~inputs ~outputs =
          bits max_letters)
 
 let solve ?budget ?(bound = 3) ?(max_letters = 4096) ~inputs ~outputs spec =
-  Speccc_runtime.Fault.hit "engine.explicit";
+  Speccc_runtime.Fault.hit Speccc_runtime.Fault.Checkpoint.engine_explicit;
   check_size ~max_letters ~inputs ~outputs;
   let num_input_bits = List.length inputs in
   let num_output_bits = List.length outputs in

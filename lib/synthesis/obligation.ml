@@ -60,7 +60,7 @@ let closure_of roots =
     (List.fold_left (fun acc root -> Ltl.Set.add root acc) acc roots)
 
 let solve ?budget ~inputs ~outputs spec =
-  Speccc_runtime.Fault.hit "engine.symbolic";
+  Speccc_runtime.Fault.hit Speccc_runtime.Fault.Checkpoint.engine_symbolic;
   let spec = Nnf.of_formula spec in
   let roots = flatten_conjunction spec in
   let closure =
@@ -212,7 +212,7 @@ let solve ?budget ~inputs ~outputs spec =
     result
   in
   let rec fixpoint w rounds =
-    Speccc_runtime.Fault.hit "bdd.fixpoint";
+    Speccc_runtime.Fault.hit Speccc_runtime.Fault.Checkpoint.bdd_fixpoint;
     (match budget with
      | Some budget ->
        Speccc_runtime.Budget.checkpoint budget ~stage:"symbolic"

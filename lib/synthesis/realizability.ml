@@ -20,6 +20,7 @@ type report = {
   engine_used : string;
   controller : Mealy.t option;
   counterstrategy : Bounded.counterstrategy option;
+  unsat_core : int list option;
   wall_time : float;
   detail : string;
   degradation : rung list;
@@ -30,17 +31,73 @@ let with_timer f =
   let result = f () in
   (result, Unix.gettimeofday () -. start)
 
+(* ---------- witness emission (with corruption drill points) ---------- *)
+
+(* Every controller and counterstrategy passes through a
+   [Fault.corrupt] checkpoint on its way into the report, so the
+   certification layer's rejection path is exercisable from tests: an
+   armed [Corrupt] trigger mangles the witness while the verdict stays
+   untouched, which certification must then catch. *)
+
+let emit_controller machine =
+  if Fault.corrupt Fault.Checkpoint.witness_controller then
+    let mask = (1 lsl List.length machine.Mealy.outputs) - 1 in
+    { machine with
+      Mealy.step =
+        (fun state input ->
+           let output, next = machine.Mealy.step state input in
+           (output lxor mask, next)) }
+  else machine
+
+let emit_counterstrategy cs =
+  if Fault.corrupt Fault.Checkpoint.witness_counterstrategy then
+    (* an environment that never raises an input cannot force an
+       input-dependent conflict, so certification's candidate panel
+       will produce a satisfying play and reject the witness *)
+    { cs with Bounded.cs_move = (fun _ -> 0) }
+  else cs
+
+let emit_core core =
+  if Fault.corrupt Fault.Checkpoint.witness_core then [] else core
+
+(* ---------- degradation-log hygiene ---------- *)
+
+let rung_rank = function
+  | "symbolic" -> 0
+  | "explicit" -> 1
+  | "sat" -> 2
+  | "lint" -> 3
+  | "certify" -> 4
+  | "ladder" -> 5
+  | _ -> 6
+
+let dedup_degradation rungs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun rung ->
+       if Hashtbl.mem seen rung.rung_engine then false
+       else begin
+         Hashtbl.add seen rung.rung_engine ();
+         true
+       end)
+    rungs
+
+let canonical_degradation report =
+  dedup_degradation report.degradation
+  |> List.stable_sort (fun a b ->
+      compare (rung_rank a.rung_engine) (rung_rank b.rung_engine))
+
 let run_explicit ?budget ~bound ~inputs ~outputs spec =
   let verdict_of = function
     | Bounded.Realizable controller ->
       ( Consistent,
-        Some (Minimize.minimize controller),
+        Some (emit_controller (Minimize.minimize controller)),
         None,
         "controller extracted and minimized" )
     | Bounded.Unrealizable counterstrategy ->
       ( Inconsistent,
         None,
-        Some counterstrategy,
+        Some (emit_counterstrategy counterstrategy),
         "environment wins the dual game (counterstrategy extracted)" )
     | Bounded.Unknown k ->
       ( Inconclusive (Printf.sprintf "counting bound %d exhausted" k),
@@ -59,6 +116,7 @@ let run_explicit ?budget ~bound ~inputs ~outputs spec =
     engine_used = "explicit";
     controller;
     counterstrategy;
+    unsat_core = None;
     wall_time;
     detail;
     degradation = [];
@@ -88,13 +146,16 @@ let run_symbolic ?budget ~lookahead ~inputs ~outputs spec =
   match result with
   | Ok (strategy, bound) ->
     let controller =
-      Option.map Minimize.minimize (Obligation.to_mealy strategy)
+      Option.map
+        (fun machine -> emit_controller (Minimize.minimize machine))
+        (Obligation.to_mealy strategy)
     in
     {
       verdict = Consistent;
       engine_used = "symbolic";
       controller;
       counterstrategy = None;
+      unsat_core = None;
       wall_time;
       detail =
         Printf.sprintf "%s lookahead=%d" (Obligation.stats strategy) bound;
@@ -114,6 +175,7 @@ let run_symbolic ?budget ~lookahead ~inputs ~outputs spec =
       engine_used = "symbolic";
       controller = None;
       counterstrategy = None;
+      unsat_core = None;
       wall_time;
       detail;
       degradation = [];
@@ -129,8 +191,9 @@ let run_sat ?budget ~inputs ~outputs spec =
     {
       verdict = Consistent;
       engine_used = "sat";
-      controller = Some (Minimize.minimize machine);
+      controller = Some (emit_controller (Minimize.minimize machine));
       counterstrategy = None;
+      unsat_core = None;
       wall_time;
       detail = Satsynth.stats ();
       degradation = [];
@@ -144,6 +207,7 @@ let run_sat ?budget ~inputs ~outputs spec =
       engine_used = "sat";
       controller = None;
       counterstrategy = None;
+      unsat_core = None;
       wall_time;
       detail = Satsynth.stats ();
       degradation = [];
@@ -237,9 +301,10 @@ let check_governed ?budget ?(engine = Auto) ?(lookahead = 6) ?(bound = 8)
              | None -> "none");
           controller = None;
           counterstrategy = None;
+          unsat_core = None;
           wall_time = !total_wall;
           detail;
-          degradation = List.rev log;
+          degradation = dedup_degradation (List.rev log);
         }
     | stage :: rest ->
       let name = stage_name stage in
@@ -256,7 +321,7 @@ let check_governed ?budget ?(engine = Auto) ?(lookahead = 6) ?(bound = 8)
            {
              report with
              wall_time = !total_wall;
-             degradation = List.rev log;
+             degradation = dedup_degradation (List.rev log);
            }
        | Ok ({ verdict = Inconclusive why; _ } as report) ->
          let rung =

@@ -48,13 +48,45 @@ type report = {
           environment's winning strategy, usable with
           {!Bounded.refute} to demonstrate the inconsistency against
           any candidate implementation *)
+  unsat_core : int list option;
+      (** present when [Inconsistent] was proved by unsatisfiability
+          of a requirement subset (the lint floor's witness): 0-based
+          requirement indices whose conjunction admits no behaviour at
+          all.  Engines that prove unrealizability game-theoretically
+          leave this [None] and ship a [counterstrategy] instead. *)
   wall_time : float;             (** seconds (all rungs included) *)
   detail : string;               (** engine diagnostics *)
   degradation : rung list;
-      (** engines tried and abandoned before this verdict, in order;
-          [[]] when the first engine concluded (always [[]] from
-          {!check}) *)
+      (** engines tried and abandoned before this verdict, in order,
+          at most one entry per engine; [[]] when the first engine
+          concluded (always [[]] from {!check}) *)
 }
+
+(** {2 Witnesses}
+
+    [controller], [counterstrategy] and [unsat_core] are the report's
+    {e witnesses}: independently checkable evidence for the verdict,
+    validated by [Speccc_certify.Certify] with machinery disjoint from
+    the engine that produced them.  Each witness passes through a
+    [Speccc_runtime.Fault.corrupt] checkpoint ([witness.controller],
+    [witness.counterstrategy], [witness.core]) on emission, so
+    certificate rejection is drillable from tests. *)
+
+val emit_core : int list -> int list
+(** Route an unsat core through its corruption checkpoint (used by the
+    pipeline's lint floor; exposed so every witness emission point
+    shares one drill mechanism). *)
+
+val dedup_degradation : rung list -> rung list
+(** Keep the first rung per engine, preserving order — the
+    once-per-engine invariant {!check_governed} maintains, exposed for
+    callers that append rungs themselves. *)
+
+val canonical_degradation : report -> rung list
+(** The degradation log in canonical rendering order: deduplicated,
+    stably sorted by ladder position (symbolic, explicit, sat, lint,
+    certify, ladder, then anything else).  CLI printers use this so a
+    given report always renders identically. *)
 
 val check :
   ?engine:engine ->

@@ -34,7 +34,7 @@ let guard_requirements ~input_index ~output_index ~imask guard =
 let bits_for bound = Speccc_smt.Bitvec.width_for 0 bound
 
 let solve ?budget ?(bound = 3) ~machine_states ~inputs ~outputs spec =
-  Speccc_runtime.Fault.hit "engine.sat";
+  Speccc_runtime.Fault.hit Speccc_runtime.Fault.Checkpoint.engine_sat;
   if machine_states < 1 then
     invalid_arg "Satsynth.solve: machine_states < 1";
   if List.length inputs + List.length outputs > 16 then

@@ -240,8 +240,7 @@ let sentence_formula config analyses sentence =
   in
   Ltl.always conditioned
 
-let specification config texts =
-  let sentences = List.map (Parser.sentence config.lexicon) texts in
+let of_parsed config texts sentences =
   let relations = relations_of_sentences config sentences in
   let analyses = Semantic.analyze config.dictionary relations in
   let requirements =
@@ -251,6 +250,25 @@ let specification config texts =
       texts sentences
   in
   { requirements; analyses; relations }
+
+let specification config texts =
+  of_parsed config texts (List.map (Parser.sentence config.lexicon) texts)
+
+let specification_recover config items =
+  let parsed, diagnostics =
+    List.fold_left
+      (fun (parsed, diags) (index, line, text) ->
+         match Parser.sentence_result ~line config.lexicon text with
+         | Ok tree -> ((index, text, tree) :: parsed, diags)
+         | Error diag -> (parsed, (index, diag) :: diags))
+      ([], [])
+      (List.mapi (fun index (line, text) -> (index, line, text)) items)
+  in
+  let parsed = List.rev parsed and diagnostics = List.rev diagnostics in
+  let texts = List.map (fun (_, text, _) -> text) parsed in
+  let sentences = List.map (fun (_, _, tree) -> tree) parsed in
+  let kept = List.map (fun (index, _, _) -> index) parsed in
+  (of_parsed config texts sentences, kept, diagnostics)
 
 let formula_of_sentence config text =
   match (specification config [ text ]).requirements with

@@ -47,5 +47,17 @@ val specification : config -> string list -> result
     discovered across requirements), then each sentence is translated.
     Raises {!Speccc_nlp.Parser.Error} on ungrammatical input. *)
 
+val specification_recover :
+  config ->
+  (int * string) list ->
+  result * int list * (int * Speccc_nlp.Parser.diagnostic) list
+(** Error-recovering {!specification} over [(source_line, text)]
+    pairs: ungrammatical sentences are dropped instead of aborting the
+    whole document.  Returns the translation of the surviving
+    sentences, the original 0-based indices they came from (so callers
+    can map reports back to requirement identifiers), and one located
+    diagnostic per rejected sentence.  Never raises on grammar
+    errors. *)
+
 val formula_of_sentence : config -> string -> Speccc_logic.Ltl.t
 (** Convenience wrapper for a single sentence. *)

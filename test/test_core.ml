@@ -223,8 +223,8 @@ let test_assumption_detection () =
 let test_arbiter () =
   let inst = Speccc_casestudies.Arbiter.instance ~masters:2 in
   let document =
-    List.map
-      (fun (id, text) -> { Document.id; text })
+    List.mapi
+      (fun line (id, text) -> { Document.id; text; line = line + 1 })
       inst.Speccc_casestudies.Arbiter.document
   in
   let outcome = Pipeline.run_document ~options:explicit_options document in

@@ -1,0 +1,233 @@
+(* Tests for the crash-safe batch harness: per-document confinement,
+   degraded-budget retries with recorded backoff, the JSONL journal,
+   and resuming an interrupted run without re-checking journaled
+   documents. *)
+
+open Speccc_runtime
+open Speccc_core
+open Speccc_harness
+
+let with_faults ?seed triggers f =
+  Fault.install ?seed triggers;
+  Fun.protect ~finally:Fault.clear f
+
+let doc texts = Document.of_texts texts
+
+let consistent_doc =
+  doc [ "If the start button is pressed, the pump is started." ]
+
+let inconsistent_doc =
+  doc
+    [ "If the pump is lost, the alarm is triggered.";
+      "If the pump is lost, the alarm is not triggered." ]
+
+let garbage_doc = doc [ "The frobnicator zorps quickly." ]
+
+(* A config that never really sleeps; the recorded schedule is the
+   backoff assertion surface. *)
+let test_config ?journal ?(resume = false) ?(retries = 2) ?sleeps () =
+  let sleep s =
+    Option.iter (fun r -> r := s :: !r) sleeps;
+    s
+  in
+  { (Harness.default_config ()) with
+    Harness.retries; journal; resume; sleep }
+
+let verdicts summary =
+  List.map
+    (fun r ->
+       match r.Harness.verdict with
+       | Harness.Consistent -> "consistent"
+       | Harness.Inconsistent -> "inconsistent"
+       | Harness.Unknown -> "unknown"
+       | Harness.Failed _ -> "failed")
+    summary.Harness.results
+
+(* ---------- confinement and severity ---------- *)
+
+let test_batch_confines_failures () =
+  let summary =
+    Harness.run (test_config ())
+      [ ("good", consistent_doc); ("bad", garbage_doc);
+        ("conflict", inconsistent_doc) ]
+  in
+  Alcotest.(check (list string)) "verdict classes"
+    [ "consistent"; "failed"; "inconsistent" ]
+    (verdicts summary);
+  Alcotest.(check int) "severity aggregate" 2 summary.Harness.exit_code
+
+let test_all_consistent_exit_zero () =
+  let summary =
+    Harness.run (test_config ()) [ ("a", consistent_doc); ("b", consistent_doc) ]
+  in
+  Alcotest.(check int) "exit 0" 0 summary.Harness.exit_code
+
+let test_recover_rescues_partial_garbage () =
+  (* With error recovery on, a document that is only partly garbage
+     still gets a verdict from its surviving requirements. *)
+  let mixed =
+    doc
+      [ "The frobnicator zorps quickly.";
+        "If the start button is pressed, the pump is started." ]
+  in
+  let config = test_config () in
+  let config =
+    { config with
+      Harness.options =
+        { config.Harness.options with Pipeline.recover = true } }
+  in
+  let summary = Harness.run config [ ("mixed", mixed) ] in
+  Alcotest.(check (list string)) "recovered" [ "consistent" ]
+    (verdicts summary)
+
+(* ---------- retries and backoff ---------- *)
+
+let test_retry_schedule () =
+  let sleeps = ref [] in
+  let summary =
+    Harness.run (test_config ~retries:3 ~sleeps ())
+      [ ("bad", garbage_doc) ]
+  in
+  (match summary.Harness.results with
+   | [ { Harness.verdict = Harness.Failed _; attempts; _ } ] ->
+     Alcotest.(check int) "all attempts used" 4 attempts
+   | _ -> Alcotest.fail "expected one failed result");
+  (* bounded exponential backoff: base 0.05, doubled, capped at 1.0 *)
+  Alcotest.(check (list (float 1e-9))) "backoff schedule"
+    [ 0.05; 0.1; 0.2 ] (List.rev !sleeps)
+
+let test_unreadable_file_is_failed () =
+  let summary =
+    Harness.run_files (test_config ()) [ "/nonexistent/doc.spec" ]
+  in
+  Alcotest.(check (list string)) "failed" [ "failed" ] (verdicts summary)
+
+(* ---------- journal and resume ---------- *)
+
+let temp_journal () =
+  let path = Filename.temp_file "speccc_journal" ".jsonl" in
+  Sys.remove path;
+  path
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> close_in ic; List.rev acc
+  in
+  go []
+
+let test_journal_written_per_document () =
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+       let summary =
+         Harness.run (test_config ~journal:path ())
+           [ ("a", consistent_doc); ("b", inconsistent_doc) ]
+       in
+       Alcotest.(check int) "exit 1" 1 summary.Harness.exit_code;
+       let lines = read_lines path in
+       Alcotest.(check int) "one line per document" 2 (List.length lines);
+       List.iter
+         (fun line ->
+            Alcotest.(check bool) "looks like a JSON object" true
+              (String.length line > 0 && line.[0] = '{'))
+         lines)
+
+let test_resume_skips_journaled () =
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+       let documents =
+         [ ("d1", consistent_doc); ("d2", inconsistent_doc);
+           ("d3", consistent_doc) ]
+       in
+       (* First run dies on the third document: the harness.document
+          checkpoint is announced outside the per-document guard, so
+          the injected failure aborts the whole run — the crash. *)
+       (match
+          with_faults
+            [ { Fault.checkpoint = Fault.Checkpoint.harness_document;
+                after = 2; action = Fault.Fail "simulated crash" } ]
+            (fun () -> Harness.run (test_config ~journal:path ()) documents)
+        with
+        | _ -> Alcotest.fail "third document must crash the run"
+        | exception Runtime.Interrupt (Runtime.Engine_failure (_, why)) ->
+          Alcotest.(check string) "crash cause" "simulated crash" why);
+       Alcotest.(check int) "two documents journaled" 2
+         (List.length (read_lines path));
+       (* Second run resumes: d1 and d2 are replayed from the journal
+          (attempts = 0), only d3 is actually re-checked. *)
+       let summary =
+         Harness.run (test_config ~journal:path ~resume:true ()) documents
+       in
+       (match summary.Harness.results with
+        | [ d1; d2; d3 ] ->
+          Alcotest.(check bool) "d1 replayed" false d1.Harness.fresh;
+          Alcotest.(check int) "d1 not re-run" 0 d1.Harness.attempts;
+          Alcotest.(check bool) "d2 replayed" false d2.Harness.fresh;
+          Alcotest.(check bool) "d2 verdict preserved" true
+            (d2.Harness.verdict = Harness.Inconsistent);
+          Alcotest.(check bool) "d3 freshly checked" true d3.Harness.fresh;
+          Alcotest.(check bool) "d3 verdict" true
+            (d3.Harness.verdict = Harness.Consistent)
+        | _ -> Alcotest.fail "expected three results");
+       Alcotest.(check int) "exit code still aggregates" 1
+         summary.Harness.exit_code;
+       Alcotest.(check int) "journal now complete" 3
+         (List.length (read_lines path)))
+
+let test_journal_escaping_roundtrip () =
+  (* Keys with quotes, backslashes and newlines must survive the
+     journal encode/decode cycle used by --resume. *)
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+       let weird = "spec \"v2\"\\final\n(draft)" in
+       let _ =
+         Harness.run (test_config ~journal:path ())
+           [ (weird, consistent_doc) ]
+       in
+       let summary =
+         Harness.run (test_config ~journal:path ~resume:true ())
+           [ (weird, consistent_doc) ]
+       in
+       match summary.Harness.results with
+       | [ r ] ->
+         Alcotest.(check bool) "replayed, not re-run" false r.Harness.fresh;
+         Alcotest.(check string) "key restored" weird r.Harness.doc
+       | _ -> Alcotest.fail "expected one result")
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "confinement",
+        [
+          Alcotest.test_case "failures confined per document" `Quick
+            test_batch_confines_failures;
+          Alcotest.test_case "all consistent exits 0" `Quick
+            test_all_consistent_exit_zero;
+          Alcotest.test_case "recover rescues partial garbage" `Quick
+            test_recover_rescues_partial_garbage;
+        ] );
+      ( "retries",
+        [
+          Alcotest.test_case "bounded exponential backoff" `Quick
+            test_retry_schedule;
+          Alcotest.test_case "unreadable file" `Quick
+            test_unreadable_file_is_failed;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "written per document" `Quick
+            test_journal_written_per_document;
+          Alcotest.test_case "resume skips journaled docs" `Quick
+            test_resume_skips_journaled;
+          Alcotest.test_case "escaping roundtrip" `Quick
+            test_journal_escaping_roundtrip;
+        ] );
+    ]

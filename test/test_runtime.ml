@@ -116,7 +116,8 @@ let test_verbalize_typed_errors () =
 
 let test_fault_counts_and_fires () =
   with_faults
-    [ { Fault.checkpoint = "sat.solve"; after = 1; action = Fault.Fail "boom" } ]
+    [ { Fault.checkpoint = Fault.Checkpoint.sat_solve; after = 1;
+        action = Fault.Fail "boom" } ]
     (fun () ->
        let solver = Speccc_sat.Sat.create () in
        Speccc_sat.Sat.add_clause solver [ 1 ];
@@ -131,7 +132,7 @@ let test_fault_counts_and_fires () =
         with
         | Error (Runtime.Engine_failure ("sat.solve", "boom")) -> ()
         | Ok _ | Error _ -> Alcotest.fail "second solve must fail");
-       Alcotest.(check int) "hits counted" 2 (Fault.hits "sat.solve"));
+       Alcotest.(check int) "hits counted" 2 (Fault.hits Fault.Checkpoint.sat_solve));
   Alcotest.(check bool) "cleared" false (Fault.active ())
 
 let test_budgeted_tableau_is_interruptible () =
@@ -171,7 +172,7 @@ let test_ladder_no_fault () =
 
 let test_ladder_first_rung_fails () =
   match
-    governed ~faults:[ fail_at "engine.symbolic" ] realizable_spec
+    governed ~faults:[ fail_at Fault.Checkpoint.engine_symbolic ] realizable_spec
   with
   | Ok report ->
     Alcotest.(check bool) "consistent" true
@@ -185,7 +186,7 @@ let test_ladder_first_rung_fails () =
 let test_ladder_two_rungs_fail () =
   match
     governed
-      ~faults:[ fail_at "engine.symbolic"; fail_at "engine.explicit" ]
+      ~faults:[ fail_at Fault.Checkpoint.engine_symbolic; fail_at Fault.Checkpoint.engine_explicit ]
       realizable_spec
   with
   | Ok report ->
@@ -201,8 +202,8 @@ let test_ladder_all_rungs_fail () =
   match
     governed
       ~faults:
-        [ fail_at "engine.symbolic"; fail_at "engine.explicit";
-          fail_at "engine.sat" ]
+        [ fail_at Fault.Checkpoint.engine_symbolic; fail_at Fault.Checkpoint.engine_explicit;
+          fail_at Fault.Checkpoint.engine_sat ]
       realizable_spec
   with
   | Ok report ->
@@ -219,7 +220,7 @@ let test_ladder_fuel_exhaust_rung () =
   match
     governed
       ~faults:
-        [ { Fault.checkpoint = "engine.symbolic"; after = 0;
+        [ { Fault.checkpoint = Fault.Checkpoint.engine_symbolic; after = 0;
             action = Fault.Exhaust } ]
       realizable_spec
   with
@@ -239,7 +240,7 @@ let test_ladder_global_timeout_aborts () =
   match
     governed
       ~faults:
-        [ { Fault.checkpoint = "engine.symbolic"; after = 0;
+        [ { Fault.checkpoint = Fault.Checkpoint.engine_symbolic; after = 0;
             action = Fault.Timeout_now } ]
       realizable_spec
   with
@@ -255,8 +256,8 @@ let test_pipeline_lint_floor () =
     { (Pipeline.default_options ()) with Pipeline.fuel = Some 1_000_000 }
   in
   with_faults
-    [ fail_at "engine.symbolic"; fail_at "engine.explicit";
-      fail_at "engine.sat" ]
+    [ fail_at Fault.Checkpoint.engine_symbolic; fail_at Fault.Checkpoint.engine_explicit;
+      fail_at Fault.Checkpoint.engine_sat ]
     (fun () ->
        let _, report =
          Pipeline.check_formulas ~options [ parse "G o"; parse "G !o" ]
@@ -275,8 +276,8 @@ let test_cara_under_tight_budget () =
      starved run must terminate promptly with a populated degradation
      log instead of hanging. *)
   let document =
-    List.map
-      (fun (id, text) -> { Document.id; text })
+    List.mapi
+      (fun line (id, text) -> { Document.id; text; line = line + 1 })
       Speccc_casestudies.Cara.working_modes
   in
   let options =
