@@ -363,42 +363,138 @@ let robot_sweep () =
        an interactive run stays pleasant; see EXPERIMENTS.md *)
     [ (1, 4); (1, 6); (1, 9); (1, 12); (2, 5); (2, 8); (3, 4) ]
 
-let localize_bench () =
-  Format.printf "@.== Localization scaling (Sec. V-B) ==@.@.";
-  Format.printf "%-14s %10s %10s %10s@." "requirements" "culprit" "partners"
-    "time(s)";
+let localize_sizes = [ 4; 8; 12; 16 ]
+
+(* One localization run: n requirements where the conflict is between
+   the first requirement and the last, with innocents in between.
+   Returns (culprit, partner count, wall seconds). *)
+let localize_row n =
   let explicit_options =
     { (Pipeline.default_options ()) with
       Pipeline.engine = Realizability.Explicit }
   in
+  let innocent k =
+    Ltl_parse.formula
+      (Printf.sprintf "G (i%d -> o%d)" (k mod 4) (k mod 4))
+  in
+  let formulas =
+    (Ltl_parse.formula "G (trigger -> flag)"
+     :: List.init (n - 2) (fun k -> innocent k))
+    @ [ Ltl_parse.formula "G (trigger -> !flag)" ]
+  in
+  let check subset =
+    let _, report =
+      Pipeline.check_formulas ~options:explicit_options subset
+    in
+    report.Realizability.verdict = Realizability.Consistent
+  in
+  let t0 = Unix.gettimeofday () in
+  match Localize.run ~check formulas with
+  | Some result ->
+    Some
+      ( result.Localize.culprit,
+        List.length result.Localize.partners,
+        Unix.gettimeofday () -. t0 )
+  | None -> None
+
+let localize_bench () =
+  Format.printf "@.== Localization scaling (Sec. V-B) ==@.@.";
+  Format.printf "%-14s %10s %10s %10s@." "requirements" "culprit" "partners"
+    "time(s)";
   List.iter
     (fun n ->
-       (* n innocent requirements; the conflict is between the first
-          requirement and a late one. *)
-       let innocent k =
-         Ltl_parse.formula
-           (Printf.sprintf "G (i%d -> o%d)" (k mod 4) (k mod 4))
-       in
-       let formulas =
-         (Ltl_parse.formula "G (trigger -> flag)"
-          :: List.init (n - 2) (fun k -> innocent k))
-         @ [ Ltl_parse.formula "G (trigger -> !flag)" ]
-       in
-       let check subset =
-         let _, report =
-           Pipeline.check_formulas ~options:explicit_options subset
-         in
-         report.Realizability.verdict = Realizability.Consistent
-       in
-       let t0 = Unix.gettimeofday () in
-       match Localize.run ~check formulas with
-       | Some result ->
-         Format.printf "%-14d %10d %10d %10.4f@." n
-           result.Localize.culprit
-           (List.length result.Localize.partners)
-           (Unix.gettimeofday () -. t0)
+       match localize_row n with
+       | Some (culprit, partners, seconds) ->
+         Format.printf "%-14d %10d %10d %10.4f@." n culprit partners seconds
        | None -> Format.printf "%-14d (consistent?)@." n)
-    [ 4; 8; 12; 16 ]
+    localize_sizes
+
+(* ---------- json trajectory output ----------
+
+   Machine-readable perf snapshot for tracking the trajectory across
+   PRs: localize scaling walls, single-shot Table I row walls, and the
+   memoization counters accumulated while producing them.  Set
+   SPECCC_BENCH_SMOKE=1 (as CI does) for a reduced quota. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let bench_json () =
+  let smoke = Sys.getenv_opt "SPECCC_BENCH_SMOKE" <> None in
+  let path = "BENCH_speccc.json" in
+  Format.printf "@.== JSON trajectory (%s%s) ==@.@." path
+    (if smoke then ", smoke quota" else "");
+  let sizes = if smoke then [ 4; 8 ] else localize_sizes in
+  let localize_entries =
+    List.filter_map
+      (fun n ->
+         match localize_row n with
+         | Some (culprit, partners, seconds) ->
+           Format.printf "localize n=%-3d %8.4fs@." n seconds;
+           Some
+             (Printf.sprintf
+                "{\"n\":%d,\"seconds\":%.4f,\"culprit\":%d,\"partners\":%d}"
+                n seconds culprit partners)
+         | None -> None)
+      sizes
+  in
+  let rows =
+    if smoke then
+      List.filteri (fun i _ -> i < 4) Table1.rows
+    else Table1.rows
+  in
+  let table1_entries =
+    List.map
+      (fun row ->
+         let p = prepare_row row in
+         let name = row.Table1.group ^ ":" ^ row.Table1.row_id in
+         let t0 = Unix.gettimeofday () in
+         let report = check_prepared p in
+         let seconds = Unix.gettimeofday () -. t0 in
+         Format.printf "table1 %-12s %8.4fs %s@." name seconds
+           (verdict_string report.Realizability.verdict);
+         Printf.sprintf "{\"row\":\"%s\",\"seconds\":%.4f,\"verdict\":\"%s\"}"
+           (json_escape name) seconds
+           (json_escape (verdict_string report.Realizability.verdict)))
+      rows
+  in
+  let cache_entries =
+    List.map
+      (fun s ->
+         Printf.sprintf
+           "{\"name\":\"%s\",\"hits\":%d,\"misses\":%d,\"evictions\":%d,\
+            \"size\":%d,\"capacity\":%d}"
+           (json_escape s.Speccc_cache.Cache.name)
+           s.Speccc_cache.Cache.hits s.Speccc_cache.Cache.misses
+           s.Speccc_cache.Cache.evictions s.Speccc_cache.Cache.size
+           s.Speccc_cache.Cache.capacity)
+      (Speccc_cache.Cache.stats ())
+  in
+  let h = Ltl.hashcons_stats () in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"schema\":\"speccc-bench-v1\",\"smoke\":%b,\n\
+     \"localize\":[%s],\n\
+     \"table1\":[%s],\n\
+     \"caches\":[%s],\n\
+     \"hashcons\":{\"nodes\":%d,\"hits\":%d,\"misses\":%d}}\n"
+    smoke
+    (String.concat "," localize_entries)
+    (String.concat "," table1_entries)
+    (String.concat "," cache_entries)
+    h.Ltl.nodes h.Ltl.hc_hits h.Ltl.hc_misses;
+  close_out oc;
+  Format.printf "wrote %s@." path
 
 let () =
   let groups =
@@ -424,5 +520,6 @@ let () =
        | "ablation-lookahead" -> ablation_lookahead ()
        | "robots" -> robot_sweep ()
        | "localize" -> localize_bench ()
+       | "json" -> bench_json ()
        | other -> Format.printf "unknown bench group %S@." other)
     groups

@@ -208,6 +208,21 @@ let print_degradation report =
          rung.Realizability.rung_wall)
     (Realizability.canonical_degradation report)
 
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+         ~doc:"After the run, print hash-consing and memoization \
+               cache counters (hits, misses, evictions, sizes).")
+
+(* Printed to stderr so piped verdict output stays clean. *)
+let print_stats () =
+  let h = Ltl.hashcons_stats () in
+  Format.eprintf "== caches ==@.";
+  Format.eprintf "ltl.unique-table  nodes=%d hits=%d misses=%d@."
+    h.Ltl.nodes h.Ltl.hc_hits h.Ltl.hc_misses;
+  Format.eprintf "%a@?" Speccc_cache.Cache.pp_stats
+    (Speccc_cache.Cache.stats ())
+
 let certify_arg =
   Arg.(value & flag
        & info [ "certify" ]
@@ -231,7 +246,8 @@ let print_certificate outcome =
       certificate
 
 let check_cmd =
-  let run source engine lookahead time_budget fuel deadline certify recover =
+  let run source engine lookahead time_budget fuel deadline certify recover
+      stats =
     let options =
       options_of ?fuel ?deadline ~engine ~lookahead ~time_budget ()
     in
@@ -274,6 +290,7 @@ let check_cmd =
            Format.printf "certificate: %a@."
              Speccc_certify.Certify.pp_outcome c)
         certificate;
+      if stats then print_stats ();
       exit_of_verdict report.Realizability.verdict
     | None ->
       let document = load_document source in
@@ -285,13 +302,14 @@ let check_cmd =
         Format.printf "environment assumptions: %d@." num_assumptions;
       Format.printf "%a@." Pipeline.pp_outcome outcome;
       print_certificate outcome;
+      if stats then print_stats ();
       exit_of_verdict outcome.Pipeline.report.Realizability.verdict
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Run the full consistency pipeline (Fig. 1)")
     Term.(const run $ spec_arg $ engine_arg $ lookahead_arg
           $ time_budget_arg $ fuel_arg $ deadline_arg $ certify_arg
-          $ recover_arg)
+          $ recover_arg $ stats_arg)
 
 (* ---------- batch ---------- *)
 
@@ -321,22 +339,33 @@ let batch_cmd =
                  under half the previous budget with exponential \
                  backoff in between.")
   in
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "jobs" ] ~docv:"N"
+           ~doc:"Worker domains checking documents in parallel \
+                 (default 1 = sequential).  Results and journal lines \
+                 are merged in input order, so verdict output matches \
+                 the sequential run.")
+  in
   let run files engine lookahead time_budget fuel deadline certify recover
-      journal resume retries =
+      journal resume retries jobs stats =
     if resume && journal = None then
       failwith "--resume requires --journal PATH";
     if retries < 0 then
       failwith (Printf.sprintf "--retries must be >= 0 (got %d)" retries);
+    if jobs < 1 then
+      failwith (Printf.sprintf "--jobs must be >= 1 (got %d)" jobs);
     let options =
       options_of ?fuel ?deadline ~engine ~lookahead ~time_budget ()
     in
     let options = { options with Pipeline.certify; recover } in
     let config =
       { (Speccc_harness.Harness.default_config ()) with
-        Speccc_harness.Harness.options; retries; journal; resume }
+        Speccc_harness.Harness.options; retries; journal; resume; jobs }
     in
     let summary = Speccc_harness.Harness.run_files config files in
     Format.printf "%a@." Speccc_harness.Harness.pp_summary summary;
+    if stats then print_stats ();
     if summary.Speccc_harness.Harness.exit_code <> 0 then
       exit summary.Speccc_harness.Harness.exit_code
   in
@@ -344,10 +373,12 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:"Check many requirement documents under one crash-safe \
              supervisor: per-document error confinement, degraded-\
-             budget retries, and a resumable run journal")
+             budget retries, a resumable run journal, and an optional \
+             parallel worker pool")
     Term.(const run $ files_arg $ engine_arg $ lookahead_arg
           $ time_budget_arg $ fuel_arg $ deadline_arg $ certify_arg
-          $ recover_arg $ journal_arg $ resume_arg $ retries_arg)
+          $ recover_arg $ journal_arg $ resume_arg $ retries_arg
+          $ jobs_arg $ stats_arg)
 
 (* ---------- localize ---------- *)
 

@@ -200,8 +200,10 @@ let until_subformulas formula =
 
 (* Build the generalized Büchi automaton, then degeneralize with the
    usual acceptance counter. *)
-let of_ltl ?budget formula =
-  let core = to_core formula in
+let build ?budget formula =
+  (* Interning the core makes the tableau's many [Ltl.Set] operations
+     short-circuit on physical equality of shared subterms. *)
+  let core = Ltl.intern (to_core formula) in
   let nodes = build_tableau ?budget core in
   let untils = until_subformulas core in
   (* Map tableau ids to dense indices; index 0 is the dedicated initial
@@ -284,6 +286,26 @@ let of_ltl ?budget formula =
     transitions;
     atoms;
   }
+
+(* The automaton for a formula is deterministic in the formula alone,
+   so ungoverned construction is memoized by formula id.  Two callers
+   must bypass the cache: a [Some] budget (fuel is charged per tableau
+   node, and a cached automaton would skip those checkpoints — the
+   deterministic-exhaustion tests rely on them), and an armed fault
+   plan (checkpoint hit counts must see every expansion). *)
+
+module C = Speccc_cache.Cache.Make (Speccc_cache.Cache.Int_key)
+
+let table = C.create_dls ~name:"nbw.of_ltl" ~capacity:256 ()
+
+let of_ltl ?budget formula =
+  match budget with
+  | Some _ -> build ?budget formula
+  | None ->
+    if Speccc_runtime.Fault.active () then build formula
+    else
+      C.memo (Domain.DLS.get table) (Ltl.id formula)
+        (fun () -> build formula)
 
 let guard_holds guard assignment =
   List.for_all

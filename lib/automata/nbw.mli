@@ -25,7 +25,14 @@ val of_ltl : ?budget:Speccc_runtime.Budget.t -> Speccc_logic.Ltl.t -> t
     [budget] is given, one fuel unit is spent per tableau node (stage
     ["tableau"]) and exhaustion raises
     [Speccc_runtime.Runtime.Interrupt]; the fault checkpoint
-    ["tableau.expand"] is announced per node. *)
+    ["tableau.expand"] is announced per node.
+
+    Ungoverned construction (no [budget], no armed fault plan) is
+    memoized per domain by formula id (cache ["nbw.of_ltl"]), so
+    repeated translations of the same formula — e.g. across the
+    bound-escalation loops of the explicit and SAT engines — are
+    free.  Governed calls always rebuild, preserving per-node fuel
+    accounting and fault-checkpoint hit counts. *)
 
 val guard_holds : guard -> (string * bool) list -> bool
 (** Is the guard enabled by the (total or partial, missing = false)

@@ -14,14 +14,11 @@ let props_set formula = String_set.of_list (Ltl.props formula)
 let shares_props a b =
   not (String_set.is_empty (String_set.inter (props_set a) (props_set b)))
 
-(* Minimal subset of [candidates] (indices into [formulas]) that is
-   inconsistent together with the culprit: drop candidates one at a
+(* Minimal subset of [candidates] (indices into the formula array) that
+   is inconsistent together with the culprit: drop candidates one at a
    time, keeping the set inconsistent. *)
-let shrink_partners ~check formulas culprit candidates =
-  let formula_of i = List.nth formulas i in
-  let inconsistent indices =
-    not (check (formula_of culprit :: List.map formula_of indices))
-  in
+let shrink_partners ~check_indices culprit candidates =
+  let inconsistent indices = not (check_indices (culprit :: indices)) in
   if not (inconsistent candidates) then
     (* The culprit only conflicts with the full context; keep all. *)
     candidates
@@ -36,21 +33,48 @@ let shrink_partners ~check formulas culprit candidates =
     in
     minimize [] candidates
 
+(* Subset verdicts are memoized by the sorted set of formula ids, so
+   the localization protocol never re-checks a conjunction set it has
+   already decided — most prominently, [grow]'s final step re-examines
+   the full set that [run] just checked, and the shrink loop revisits
+   sets that differ only in member order.  This leans on the checker
+   being extensional: its verdict must depend on the *set* of
+   requirements, not their order or multiplicity, which holds for the
+   realizability checkers used here (conjunction is the spec).
+
+   A fresh run must never see a previous run's verdicts — [check]
+   closes over per-document options and partitions — so every run salts
+   its keys with a distinct nonce; the shared bounded cache then needs
+   no per-run registration. *)
+
+module Verdicts = Speccc_cache.Cache.Make (Speccc_cache.Cache.Int_list_key)
+
+let verdicts = Verdicts.create_dls ~name:"localize.verdict" ~capacity:512 ()
+
+let run_nonce = Atomic.make 0
+
 let run ~check formulas =
   let formulas_array = Array.of_list formulas in
-  if check formulas then None
+  let n = Array.length formulas_array in
+  let ids = Array.map Ltl.id formulas_array in
+  let nonce = Atomic.fetch_and_add run_nonce 1 in
+  let cache = Domain.DLS.get verdicts in
+  let check_indices indices =
+    let key =
+      nonce :: List.sort_uniq Int.compare (List.map (fun i -> ids.(i)) indices)
+    in
+    Verdicts.memo cache key
+      (fun () -> check (List.map (fun i -> formulas_array.(i)) indices))
+  in
+  if check_indices (List.init n Fun.id) then None
   else begin
     (* Incremental growth: add requirements in order while the subset
        stays consistent. *)
     let rec grow accepted index =
-      if index >= Array.length formulas_array then None
-      else
-        let subset =
-          List.map (fun i -> formulas_array.(i)) (List.rev accepted)
-          @ [ formulas_array.(index) ]
-        in
-        if check subset then grow (index :: accepted) (index + 1)
-        else Some (List.rev accepted, index)
+      if index >= n then None
+      else if check_indices (List.rev (index :: accepted)) then
+        grow (index :: accepted) (index + 1)
+      else Some (List.rev accepted, index)
     in
     match grow [] 0 with
     | None ->
@@ -58,7 +82,7 @@ let run ~check formulas =
          instability cannot happen with a deterministic checker, but a
          non-monotone check (bound effects) can land here; report the
          last requirement as culprit. *)
-      let last = Array.length formulas_array - 1 in
+      let last = n - 1 in
       Some
         {
           culprit = last;
@@ -73,7 +97,7 @@ let run ~check formulas =
           (fun i -> shares_props formulas_array.(i) culprit_formula)
           prefix
       in
-      let partners = shrink_partners ~check formulas culprit relevant in
+      let partners = shrink_partners ~check_indices culprit relevant in
       Some { culprit; consistent_prefix = prefix; relevant; partners }
   end
 

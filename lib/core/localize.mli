@@ -26,6 +26,13 @@ val run :
     (typically realizability under a re-derived partition).  Returns
     [None] when the whole specification is consistent.  A requirement
     that is inconsistent on its own is reported as culprit with an
-    empty partner set. *)
+    empty partner set.
+
+    Within one [run], subset verdicts are memoized by the sorted set
+    of formula ids (cache ["localize.verdict"]), so [check] is invoked
+    at most once per distinct requirement set; it must therefore be
+    deterministic and extensional (order- and duplicate-insensitive),
+    which holds for conjunction-based consistency checks.  Verdicts
+    never leak between runs. *)
 
 val pp : Format.formatter -> result -> unit

@@ -17,6 +17,7 @@ type config = {
   sleep : float -> float;
   journal : string option;
   resume : bool;
+  jobs : int;
 }
 
 let default_config () = {
@@ -27,6 +28,7 @@ let default_config () = {
   sleep = (fun s -> Unix.sleepf s; s);
   journal = None;
   resume = false;
+  jobs = 1;
 }
 
 type doc_result = {
@@ -296,6 +298,119 @@ let severity = function
   | Inconsistent -> 1
   | Unknown | Failed _ -> 2
 
+let check_loaded config (key, loaded) =
+  match loaded with
+  | Ok document -> supervise config (key, document)
+  | Error message ->
+    {
+      doc = key;
+      verdict = Failed message;
+      engine = "none";
+      attempts = 1;
+      wall = 0.;
+      detail = message;
+      fresh = true;
+    }
+
+let run_sequential config journaled documents =
+  List.map
+    (fun (key, loaded) ->
+       match List.assoc_opt key journaled with
+       | Some replayed -> replayed
+       | None ->
+         (* Announced OUTSIDE the guard on purpose: an injected
+            fault here models the whole process dying between
+            documents, which is the scenario --resume exists for. *)
+         Fault.hit Fault.Checkpoint.harness_document;
+         let result = check_loaded config (key, loaded) in
+         Option.iter
+           (fun path -> journal_append path result)
+           config.journal;
+         result)
+    documents
+
+(* Parallel mode: a pool of [jobs] domains drains an atomic work
+   counter over the non-replayed documents while the spawning domain
+   plays coordinator — it waits for each document's slot *in input
+   order* and appends journal lines as slots fill, so the journal (and
+   the results list) is byte-identical to a sequential run's, minus
+   only the timing-dependent [wall] fields.  Each worker domain owns
+   private hash-consing and memo tables (they are domain-local), so
+   workers share no mutable formula state.
+
+   The [harness.document] checkpoint is announced by the coordinator
+   just before it would journal each fresh document, mirroring the
+   sequential "process dies between documents" semantics: on an
+   injected raise, the journal is a clean input-order prefix.  Workers
+   may by then have computed later documents, but un-journaled work is
+   simply re-checked on resume. *)
+let run_parallel config journaled documents =
+  let docs = Array.of_list documents in
+  let n = Array.length docs in
+  let slots = Array.make n None in
+  Array.iteri
+    (fun i (key, _) ->
+       match List.assoc_opt key journaled with
+       | Some replayed -> slots.(i) <- Some replayed
+       | None -> ())
+    docs;
+  (* Decided before any worker starts, so reads below cannot race. *)
+  let is_replayed = Array.map Option.is_some slots in
+  let pending =
+    Array.of_seq
+      (Seq.filter (fun i -> not is_replayed.(i)) (Seq.init n Fun.id))
+  in
+  let next = Atomic.make 0 in
+  let lock = Mutex.create () in
+  let filled = Condition.create () in
+  let worker () =
+    let rec loop () =
+      let j = Atomic.fetch_and_add next 1 in
+      if j < Array.length pending then begin
+        let i = pending.(j) in
+        let result = check_loaded config docs.(i) in
+        Mutex.lock lock;
+        slots.(i) <- Some result;
+        Condition.broadcast filled;
+        Mutex.unlock lock;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let worker_count = min config.jobs (max 1 (Array.length pending)) in
+  let domains = Array.init worker_count (fun _ -> Domain.spawn worker) in
+  let collect () =
+    Array.to_list
+      (Array.mapi
+         (fun i _ ->
+            if is_replayed.(i) then Option.get slots.(i)
+            else begin
+              Fault.hit Fault.Checkpoint.harness_document;
+              Mutex.lock lock;
+              while slots.(i) = None do
+                Condition.wait filled lock
+              done;
+              let result = Option.get slots.(i) in
+              Mutex.unlock lock;
+              Option.iter
+                (fun path -> journal_append path result)
+                config.journal;
+              result
+            end)
+         docs)
+  in
+  match collect () with
+  | results ->
+    Array.iter Domain.join domains;
+    results
+  | exception e ->
+    (* Simulated crash (or journal I/O error): stop handing out work,
+       let in-flight documents finish, then re-raise. *)
+    Atomic.set next (Array.length pending);
+    Array.iter Domain.join domains;
+    raise e
+
 let run_loaded config documents =
   let journaled =
     match config.journal with
@@ -303,34 +418,8 @@ let run_loaded config documents =
     | Some _ | None -> []
   in
   let results =
-    List.map
-      (fun (key, loaded) ->
-         match List.assoc_opt key journaled with
-         | Some replayed -> replayed
-         | None ->
-           (* Announced OUTSIDE the guard on purpose: an injected
-              fault here models the whole process dying between
-              documents, which is the scenario --resume exists for. *)
-           Fault.hit Fault.Checkpoint.harness_document;
-           let result =
-             match loaded with
-             | Ok document -> supervise config (key, document)
-             | Error message ->
-               {
-                 doc = key;
-                 verdict = Failed message;
-                 engine = "none";
-                 attempts = 1;
-                 wall = 0.;
-                 detail = message;
-                 fresh = true;
-               }
-           in
-           Option.iter
-             (fun path -> journal_append path result)
-             config.journal;
-           result)
-      documents
+    if config.jobs <= 1 then run_sequential config journaled documents
+    else run_parallel config journaled documents
   in
   let exit_code =
     List.fold_left (fun acc r -> max acc (severity r.verdict)) 0 results

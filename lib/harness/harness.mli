@@ -49,6 +49,20 @@ type config = {
   journal : string option;  (** JSONL path; [None] = no journal *)
   resume : bool;
       (** skip documents already present in the journal *)
+  jobs : int;
+      (** worker domains checking documents concurrently (default 1 =
+          the plain sequential loop).  With [jobs > 1] documents are
+          fanned out to a [Domain] pool; every worker owns its own
+          hash-consing and memo tables, per-document confinement and
+          retries are unchanged, and the coordinator merges results
+          {e in input order} — journal lines and the results list are
+          identical to a sequential run up to the timing-dependent
+          [wall] fields.  The ["harness.document"] checkpoint is
+          announced by the coordinator at each fresh document's
+          journal slot, so an injected crash still leaves an
+          input-order journal prefix; note that fault *plans* are
+          process-global and not domain-safe, so fault-injection runs
+          should keep [jobs = 1]. *)
 }
 
 val default_config : unit -> config

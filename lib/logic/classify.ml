@@ -1,18 +1,38 @@
-let rec nnf_has_until = function
+(* Both syntactic scans are memoized by formula id (one table, parity
+   picks the scan); only composite nodes pay the lookup, and shared
+   subterms of hash-consed formulas are scanned once. *)
+
+module C = Speccc_cache.Cache.Make (Speccc_cache.Cache.Int_key)
+
+let table = C.create_dls ~name:"logic.classify" ~capacity:16384 ()
+
+let rec nnf_has_until formula =
+  match formula with
   | Ltl.True | Ltl.False | Ltl.Prop _ | Ltl.Not _ -> false
   | Ltl.Until _ | Ltl.Eventually _ -> true
   | Ltl.And (f, g) | Ltl.Or (f, g) | Ltl.Release (f, g)
   | Ltl.Implies (f, g) | Ltl.Iff (f, g) | Ltl.Weak_until (f, g) ->
-    nnf_has_until f || nnf_has_until g
-  | Ltl.Next f | Ltl.Always f -> nnf_has_until f
+    C.memo (Domain.DLS.get table)
+      (2 * Ltl.id formula)
+      (fun () -> nnf_has_until f || nnf_has_until g)
+  | Ltl.Next f | Ltl.Always f ->
+    C.memo (Domain.DLS.get table)
+      (2 * Ltl.id formula)
+      (fun () -> nnf_has_until f)
 
-let rec nnf_has_release = function
+let rec nnf_has_release formula =
+  match formula with
   | Ltl.True | Ltl.False | Ltl.Prop _ | Ltl.Not _ -> false
   | Ltl.Release _ | Ltl.Always _ | Ltl.Weak_until _ -> true
   | Ltl.And (f, g) | Ltl.Or (f, g) | Ltl.Until (f, g)
   | Ltl.Implies (f, g) | Ltl.Iff (f, g) ->
-    nnf_has_release f || nnf_has_release g
-  | Ltl.Next f | Ltl.Eventually f -> nnf_has_release f
+    C.memo (Domain.DLS.get table)
+      ((2 * Ltl.id formula) + 1)
+      (fun () -> nnf_has_release f || nnf_has_release g)
+  | Ltl.Next f | Ltl.Eventually f ->
+    C.memo (Domain.DLS.get table)
+      ((2 * Ltl.id formula) + 1)
+      (fun () -> nnf_has_release f)
 
 let is_syntactic_safety f = not (nnf_has_until (Nnf.of_formula f))
 let is_syntactic_cosafety f = not (nnf_has_release (Nnf.of_formula f))

@@ -25,8 +25,12 @@ type t =
 (** {1 Smart constructors}
 
     These perform only constant folding (identities involving [True]
-    and [False]) so that formulas stay syntactically close to their
-    source requirement, as the paper's appendix output does. *)
+    and [False], plus collapsing physically equal operands of [conj]
+    and [disj]) so that formulas stay syntactically close to their
+    source requirement, as the paper's appendix output does.  Every
+    node they allocate is interned in a per-domain unique table
+    (hash-consing), so structurally equal results of smart
+    construction are physically equal within a domain. *)
 
 val tt : t
 val ff : t
@@ -51,6 +55,44 @@ val disj_list : t list -> t
 
 val next_n : int -> t -> t
 (** [next_n k f] is [X^k f]. Raises [Invalid_argument] if [k < 0]. *)
+
+(** {1 Hash-consing}
+
+    Every smart-constructor allocation goes through a per-domain
+    unique table, assigning each structurally-distinct formula a small
+    integer {!id}.  Ids are stable for the lifetime of the domain and
+    are the keys of every memo table in this library, but their
+    numeric order depends on interning order and therefore differs
+    between domains: use them for memoization, never for anything that
+    can leak into output ordering (that is what the structural
+    {!compare} below is for). *)
+
+val intern : t -> t
+(** The canonical (maximally shared) node for this formula in the
+    current domain.  Structurally equal inputs return the same
+    physical node; interning a formula built from raw constructors is
+    how pattern-built terms join the shared world. *)
+
+val id : t -> int
+(** The unique id of the formula's canonical node, interning it first
+    when needed.  Two formulas have the same id iff they are
+    structurally equal (within one domain). *)
+
+val equal_fast : t -> t -> bool
+(** Same relation as {!equal}; O(1) on interned formulas. *)
+
+val compare_fast : t -> t -> int
+(** A total order consistent with {!equal}, by id — cheap, but
+    domain-dependent; see the warning above. *)
+
+val hash_fast : t -> int
+(** The id, which is a perfect hash within a domain. *)
+
+type hashcons_stats = { nodes : int; hc_hits : int; hc_misses : int }
+
+val hashcons_stats : unit -> hashcons_stats
+(** Unique-table counters for the current domain: distinct nodes ever
+    interned, and lookup hits/misses (hits measure sharing). *)
 
 (** {1 Structure} *)
 

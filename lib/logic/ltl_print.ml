@@ -113,4 +113,16 @@ let pp ?(syntax = Ascii) ppf formula =
   in
   go 0 ppf formula
 
-let to_string ?syntax formula = Format.asprintf "%a" (pp ?syntax) formula
+(* Rendering is memoized by (syntax, formula id): reports and the
+   localizer print the same requirement formulas over and over. *)
+
+module C = Speccc_cache.Cache.Make (Speccc_cache.Cache.Int_key)
+
+let table = C.create_dls ~name:"logic.print" ~capacity:4096 ()
+
+let syntax_index = function Unicode -> 0 | Ascii -> 1 | Paper -> 2
+
+let to_string ?(syntax = Ascii) formula =
+  C.memo (Domain.DLS.get table)
+    ((3 * Ltl.id formula) + syntax_index syntax)
+    (fun () -> Format.asprintf "%a" (pp ~syntax) formula)

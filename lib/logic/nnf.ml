@@ -1,6 +1,29 @@
-let rec of_formula f = positive f
+(* Negation normal form is a pure function of the (hash-consed)
+   formula, so both polarities share one id-keyed memo table: key
+   [2*id] holds the positive translation, [2*id+1] the negative one.
+   Leaves skip the table — computing them is cheaper than a lookup. *)
 
-and positive = function
+module C = Speccc_cache.Cache.Make (Speccc_cache.Cache.Int_key)
+
+let table = C.create_dls ~name:"logic.nnf" ~capacity:16384 ()
+
+let rec positive f =
+  match f with
+  | Ltl.True | Ltl.False | Ltl.Prop _ -> f
+  | _ ->
+    C.memo (Domain.DLS.get table) (2 * Ltl.id f) (fun () -> positive_step f)
+
+and negative f =
+  match f with
+  | Ltl.True -> Ltl.False
+  | Ltl.False -> Ltl.True
+  | Ltl.Prop _ -> Ltl.neg f
+  | _ ->
+    C.memo (Domain.DLS.get table)
+      ((2 * Ltl.id f) + 1)
+      (fun () -> negative_step f)
+
+and positive_step = function
   | Ltl.True -> Ltl.True
   | Ltl.False -> Ltl.False
   | Ltl.Prop _ as p -> p
@@ -23,7 +46,7 @@ and positive = function
     Ltl.release psi (Ltl.disj phi psi)
   | Ltl.Release (g, h) -> Ltl.release (positive g) (positive h)
 
-and negative = function
+and negative_step = function
   | Ltl.True -> Ltl.False
   | Ltl.False -> Ltl.True
   | Ltl.Prop _ as p -> Ltl.neg p
@@ -44,6 +67,8 @@ and negative = function
     let nphi = negative g and npsi = negative h in
     Ltl.until npsi (Ltl.conj nphi npsi)
   | Ltl.Release (g, h) -> Ltl.until (negative g) (negative h)
+
+let of_formula f = positive f
 
 let rec is_nnf = function
   | Ltl.True | Ltl.False | Ltl.Prop _ -> true

@@ -39,66 +39,11 @@ let successor word i =
 let prop_true letter name =
   match List.assoc_opt name letter with Some b -> b | None -> false
 
-(* Evaluate a formula over all stored positions.  Boolean connectives
-   and [Next] are direct; [Until] is a least fixpoint (init false) and
-   [Release] a greatest fixpoint (init true), iterated to stability,
-   which takes at most [length] rounds. *)
-let rec values word formula : bool array =
-  let n = Array.length word.letters in
-  let pointwise op a b = Array.init n (fun i -> op a.(i) b.(i)) in
-  match formula with
-  | Ltl.True -> Array.make n true
-  | Ltl.False -> Array.make n false
-  | Ltl.Prop p -> Array.init n (fun i -> prop_true word.letters.(i) p)
-  | Ltl.Not f -> Array.map not (values word f)
-  | Ltl.And (f, g) -> pointwise ( && ) (values word f) (values word g)
-  | Ltl.Or (f, g) -> pointwise ( || ) (values word f) (values word g)
-  | Ltl.Implies (f, g) ->
-    pointwise (fun a b -> (not a) || b) (values word f) (values word g)
-  | Ltl.Iff (f, g) ->
-    pointwise (fun a b -> a = b) (values word f) (values word g)
-  | Ltl.Next f ->
-    let inner = values word f in
-    Array.init n (fun i -> inner.(successor word i))
-  | Ltl.Eventually f -> fixpoint word ~init:false (Array.make n true)
-                          (values word f)
-  | Ltl.Always f ->
-    fixpoint word ~init:true (values word f) (Array.make n false)
-  | Ltl.Until (f, g) -> fixpoint word ~init:false (values word f)
-                          (values word g)
-  | Ltl.Weak_until (f, g) ->
-    (* φ W ψ = (φ U ψ) ∨ G φ *)
-    let hold = values word f and target = values word g in
-    let until_vals = fixpoint word ~init:false hold target in
-    let always_vals =
-      fixpoint word ~init:true hold (Array.make n false)
-    in
-    pointwise ( || ) until_vals always_vals
-  | Ltl.Release (f, g) ->
-    (* ψ R φ: φ holds until (and including when) ψ holds; greatest
-       fixpoint of  v(i) = φ(i) ∧ (ψ(i) ∨ v(succ i)). *)
-    let release_vals = Array.make n true in
-    let trigger = values word f and hold = values word g in
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      for i = n - 1 downto 0 do
-        let v =
-          hold.(i) && (trigger.(i) || release_vals.(successor word i))
-        in
-        if v <> release_vals.(i) then begin
-          release_vals.(i) <- v;
-          changed := true
-        end
-      done
-    done;
-    release_vals
-
 (* Least fixpoint of  v(i) = target(i) ∨ (hold(i) ∧ v(succ i))
    when [init] is false (Until-style); greatest fixpoint of
    v(i) = hold(i) ∧ v(succ i)  when [init] is true (Always-style,
    [target] ignored as always-false). *)
-and fixpoint word ~init hold target =
+let fixpoint word ~init hold target =
   let n = Array.length hold in
   let vals = Array.make n init in
   let changed = ref true in
@@ -116,6 +61,79 @@ and fixpoint word ~init hold target =
     done
   done;
   vals
+
+(* Evaluate a formula over all stored positions.  Boolean connectives
+   and [Next] are direct; [Until] is a least fixpoint (init false) and
+   [Release] a greatest fixpoint (init true), iterated to stability,
+   which takes at most [length] rounds.  Composite subterms are
+   memoized by formula id for the duration of one call, so shared
+   subterms of hash-consed formulas are evaluated once; the returned
+   arrays are never mutated after construction, which makes the
+   sharing safe. *)
+let values word formula : bool array =
+  let n = Array.length word.letters in
+  let pointwise op a b = Array.init n (fun i -> op a.(i) b.(i)) in
+  let memo : (int, bool array) Hashtbl.t = Hashtbl.create 64 in
+  let rec values_of formula =
+    match formula with
+    | Ltl.True | Ltl.False | Ltl.Prop _ -> compute formula
+    | _ ->
+      let key = Ltl.id formula in
+      (match Hashtbl.find_opt memo key with
+       | Some vals -> vals
+       | None ->
+         let vals = compute formula in
+         Hashtbl.add memo key vals;
+         vals)
+  and compute = function
+    | Ltl.True -> Array.make n true
+    | Ltl.False -> Array.make n false
+    | Ltl.Prop p -> Array.init n (fun i -> prop_true word.letters.(i) p)
+    | Ltl.Not f -> Array.map not (values_of f)
+    | Ltl.And (f, g) -> pointwise ( && ) (values_of f) (values_of g)
+    | Ltl.Or (f, g) -> pointwise ( || ) (values_of f) (values_of g)
+    | Ltl.Implies (f, g) ->
+      pointwise (fun a b -> (not a) || b) (values_of f) (values_of g)
+    | Ltl.Iff (f, g) ->
+      pointwise (fun a b -> a = b) (values_of f) (values_of g)
+    | Ltl.Next f ->
+      let inner = values_of f in
+      Array.init n (fun i -> inner.(successor word i))
+    | Ltl.Eventually f ->
+      fixpoint word ~init:false (Array.make n true) (values_of f)
+    | Ltl.Always f ->
+      fixpoint word ~init:true (values_of f) (Array.make n false)
+    | Ltl.Until (f, g) ->
+      fixpoint word ~init:false (values_of f) (values_of g)
+    | Ltl.Weak_until (f, g) ->
+      (* φ W ψ = (φ U ψ) ∨ G φ *)
+      let hold = values_of f and target = values_of g in
+      let until_vals = fixpoint word ~init:false hold target in
+      let always_vals =
+        fixpoint word ~init:true hold (Array.make n false)
+      in
+      pointwise ( || ) until_vals always_vals
+    | Ltl.Release (f, g) ->
+      (* ψ R φ: φ holds until (and including when) ψ holds; greatest
+         fixpoint of  v(i) = φ(i) ∧ (ψ(i) ∨ v(succ i)). *)
+      let release_vals = Array.make n true in
+      let trigger = values_of f and hold = values_of g in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for i = n - 1 downto 0 do
+          let v =
+            hold.(i) && (trigger.(i) || release_vals.(successor word i))
+          in
+          if v <> release_vals.(i) then begin
+            release_vals.(i) <- v;
+            changed := true
+          end
+        done
+      done;
+      release_vals
+  in
+  values_of formula
 
 let holds_at word i formula =
   let vals = values word formula in

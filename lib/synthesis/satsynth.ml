@@ -7,8 +7,10 @@ type verdict =
   | Realizable of Mealy.t
   | No_machine_within of { states : int; bound : int }
 
-let last_stats = ref "no solve yet"
-let stats () = !last_stats
+(* Atomic so concurrent harness workers never tear a read; each worker
+   simply sees the most recent solve from any domain. *)
+let last_stats = Atomic.make "no solve yet"
+let stats () = Atomic.get last_stats
 
 (* Split a UCW guard against an input valuation: [None] when the guard
    contradicts the valuation or requires an unknown proposition;
@@ -156,9 +158,9 @@ let solve ?budget ?(bound = 3) ~machine_states ~inputs ~outputs spec =
     done
   done;
   let outcome = Sat.solve ?budget sat in
-  last_stats :=
-    Printf.sprintf "vars=%d clauses=%d conflicts=%d" (Sat.num_vars sat)
-      (Sat.num_clauses sat) (Sat.num_conflicts sat);
+  Atomic.set last_stats
+    (Printf.sprintf "vars=%d clauses=%d conflicts=%d" (Sat.num_vars sat)
+       (Sat.num_clauses sat) (Sat.num_conflicts sat));
   match outcome with
   | Sat.Unsat -> No_machine_within { states = machine_states; bound }
   | Sat.Sat model ->

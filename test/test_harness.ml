@@ -202,6 +202,85 @@ let test_journal_escaping_roundtrip () =
          Alcotest.(check string) "key restored" weird r.Harness.doc
        | _ -> Alcotest.fail "expected one result")
 
+(* ---------- parallel batch checking ---------- *)
+
+let parallel_documents =
+  [ ("good-1", consistent_doc); ("conflict", inconsistent_doc);
+    ("bad", garbage_doc); ("good-2", consistent_doc);
+    ("good-3", consistent_doc) ]
+
+(* Everything except the timing-dependent wall clock. *)
+let comparable r =
+  ( r.Harness.doc,
+    verdicts { Harness.results = [ r ]; exit_code = 0 },
+    r.Harness.engine, r.Harness.attempts, r.Harness.detail,
+    r.Harness.fresh )
+
+let test_parallel_matches_sequential () =
+  let sequential = Harness.run (test_config ()) parallel_documents in
+  let parallel =
+    Harness.run
+      { (test_config ()) with Harness.jobs = 4 }
+      parallel_documents
+  in
+  Alcotest.(check int) "same exit code" sequential.Harness.exit_code
+    parallel.Harness.exit_code;
+  Alcotest.(check int) "same result count"
+    (List.length sequential.Harness.results)
+    (List.length parallel.Harness.results);
+  List.iter2
+    (fun s p ->
+       Alcotest.(check bool)
+         ("result for " ^ s.Harness.doc ^ " identical modulo wall") true
+         (comparable s = comparable p))
+    sequential.Harness.results parallel.Harness.results
+
+(* Blank out the timing-dependent "wall":<float> field. *)
+let strip_wall line =
+  let n = String.length line in
+  let buf = Buffer.create n in
+  let is_float_char = function
+    | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+    | _ -> false
+  in
+  let rec go i =
+    if i >= n then ()
+    else if i + 7 <= n && String.sub line i 7 = "\"wall\":" then begin
+      Buffer.add_string buf "\"wall\":_";
+      let j = ref (i + 7) in
+      while !j < n && is_float_char line.[!j] do incr j done;
+      go !j
+    end
+    else begin
+      Buffer.add_char buf line.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let test_parallel_journal_order () =
+  let seq_path = temp_journal () and par_path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ seq_path; par_path ])
+    (fun () ->
+       let _ =
+         Harness.run (test_config ~journal:seq_path ()) parallel_documents
+       in
+       let _ =
+         Harness.run
+           { (test_config ~journal:par_path ()) with Harness.jobs = 4 }
+           parallel_documents
+       in
+       let seq_lines = List.map strip_wall (read_lines seq_path) in
+       let par_lines = List.map strip_wall (read_lines par_path) in
+       Alcotest.(check (list string))
+         "journals identical modulo wall, in input order" seq_lines
+         par_lines)
+
 let () =
   Alcotest.run "harness"
     [
@@ -229,5 +308,12 @@ let () =
             test_resume_skips_journaled;
           Alcotest.test_case "escaping roundtrip" `Quick
             test_journal_escaping_roundtrip;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "jobs=4 matches sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "journal in input order" `Quick
+            test_parallel_journal_order;
         ] );
     ]

@@ -224,6 +224,66 @@ let prop_simplify_preserves_semantics =
     QCheck2.Gen.(pair formula_gen trace_gen)
     (fun (f, w) -> Trace.holds w f = Trace.holds w (Nnf.simplify f))
 
+(* --- hash-consing --- *)
+
+(* Rebuild a raw AST bottom-up through the smart constructors; the
+   result may simplify but must keep the same models. *)
+let rec rebuild f =
+  match f with
+  | Ltl.True -> Ltl.tt
+  | Ltl.False -> Ltl.ff
+  | Ltl.Prop p -> Ltl.prop p
+  | Ltl.Not g -> Ltl.neg (rebuild g)
+  | Ltl.And (g, h) -> Ltl.conj (rebuild g) (rebuild h)
+  | Ltl.Or (g, h) -> Ltl.disj (rebuild g) (rebuild h)
+  | Ltl.Implies (g, h) -> Ltl.implies (rebuild g) (rebuild h)
+  | Ltl.Iff (g, h) -> Ltl.iff (rebuild g) (rebuild h)
+  | Ltl.Next g -> Ltl.next (rebuild g)
+  | Ltl.Eventually g -> Ltl.eventually (rebuild g)
+  | Ltl.Always g -> Ltl.always (rebuild g)
+  | Ltl.Until (g, h) -> Ltl.until (rebuild g) (rebuild h)
+  | Ltl.Weak_until (g, h) -> Ltl.weak_until (rebuild g) (rebuild h)
+  | Ltl.Release (g, h) -> Ltl.release (rebuild g) (rebuild h)
+
+let prop_smart_rebuild_preserves_semantics =
+  QCheck2.Test.make ~count:500
+    ~name:"smart-constructor rebuild has the same models"
+    QCheck2.Gen.(pair formula_gen trace_gen)
+    (fun (f, w) -> Trace.holds w f = Trace.holds w (rebuild f))
+
+let prop_intern_is_structural_identity =
+  QCheck2.Test.make ~count:500 ~name:"intern preserves structure"
+    formula_gen (fun f -> Ltl.equal f (Ltl.intern f))
+
+let prop_intern_idempotent =
+  QCheck2.Test.make ~count:500
+    ~name:"intern is idempotent with a stable id" formula_gen (fun f ->
+        let i = Ltl.intern f in
+        Ltl.intern i == i && Ltl.id i = Ltl.id (Ltl.intern f))
+
+let prop_equal_fast_agrees =
+  QCheck2.Test.make ~count:500
+    ~name:"equal_fast agrees with structural equality on interned terms"
+    QCheck2.Gen.(pair formula_gen formula_gen)
+    (fun (f, g) ->
+       Ltl.equal_fast (Ltl.intern f) (Ltl.intern g) = Ltl.equal f g)
+
+let test_hashcons_sharing () =
+  let f = parse "G (a -> F b) && (c U (a -> F b))" in
+  let g = parse "G (a -> F b) && (c U (a -> F b))" in
+  Alcotest.(check bool) "same parse is physically shared" true (f == g);
+  Alcotest.(check bool) "ids equal" true (Ltl.id f = Ltl.id g);
+  Alcotest.(check int) "compare_fast 0" 0 (Ltl.compare_fast f g)
+
+let test_temporal_idempotence () =
+  let p = Ltl.prop "p" in
+  Alcotest.(check bool) "F (F p) collapses" true
+    (Ltl.eventually (Ltl.eventually p) == Ltl.eventually p);
+  Alcotest.(check bool) "G (G p) collapses" true
+    (Ltl.always (Ltl.always p) == Ltl.always p);
+  Alcotest.(check bool) "conj self collapses" true (Ltl.conj p p == p);
+  Alcotest.(check bool) "disj self collapses" true (Ltl.disj p p == p)
+
 (* --- classification and bounding --- *)
 
 let test_classification () =
@@ -287,6 +347,16 @@ let () =
           Alcotest.test_case "until/release" `Quick test_trace_until_release;
           Alcotest.test_case "clairvoyance example" `Quick
             test_clairvoyance_example;
+        ] );
+      ( "hashcons",
+        [
+          Alcotest.test_case "maximal sharing" `Quick test_hashcons_sharing;
+          Alcotest.test_case "temporal idempotence" `Quick
+            test_temporal_idempotence;
+          QCheck_alcotest.to_alcotest prop_smart_rebuild_preserves_semantics;
+          QCheck_alcotest.to_alcotest prop_intern_is_structural_identity;
+          QCheck_alcotest.to_alcotest prop_intern_idempotent;
+          QCheck_alcotest.to_alcotest prop_equal_fast_agrees;
         ] );
       ( "nnf",
         [
