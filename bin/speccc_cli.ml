@@ -223,6 +223,83 @@ let print_stats () =
   Format.eprintf "%a@?" Speccc_cache.Cache.pp_stats
     (Speccc_cache.Cache.stats ())
 
+(* --inject CHECKPOINT[@AFTER]=ACTION[:ARG] — install a deterministic
+   fault plan before the run (chaos drills from the command line).
+   Examples: engine.symbolic=fail:boom, sat.solve@2=exhaust,
+   server.request@1=delay:0.5, witness.controller=corrupt. *)
+let inject_arg =
+  Arg.(value & opt_all string []
+       & info [ "inject" ] ~docv:"TRIGGER"
+         ~doc:"Install a deterministic fault trigger before the run: \
+               $(b,CHECKPOINT[@AFTER]=ACTION[:ARG]) with actions \
+               $(b,fail[:msg]), $(b,timeout), $(b,exhaust), \
+               $(b,delay:seconds), $(b,corrupt).  Repeatable; see \
+               $(b,--list-faults) for checkpoint names.")
+
+let seed_arg =
+  Arg.(value & opt int 0
+       & info [ "seed" ]
+         ~doc:"Seed resolving negative $(b,--inject) hit counts.")
+
+let parse_inject spec =
+  let module Fault = Speccc_runtime.Fault in
+  match String.index_opt spec '=' with
+  | None ->
+    failwith
+      (Printf.sprintf
+         "--inject %S: expected CHECKPOINT[@AFTER]=ACTION[:ARG]" spec)
+  | Some eq ->
+    let target = String.sub spec 0 eq in
+    let action = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+    let checkpoint, after =
+      match String.index_opt target '@' with
+      | None -> (target, 0)
+      | Some at ->
+        let name = String.sub target 0 at in
+        let count = String.sub target (at + 1) (String.length target - at - 1) in
+        (match int_of_string_opt count with
+         | Some n -> (name, n)
+         | None ->
+           failwith
+             (Printf.sprintf "--inject %S: bad hit count %S" spec count))
+    in
+    if not (Fault.Checkpoint.mem checkpoint) then
+      failwith
+        (Printf.sprintf
+           "--inject %S: unknown checkpoint %S (see --list-faults)" spec
+           checkpoint);
+    let action =
+      let arg_of s =
+        match String.index_opt s ':' with
+        | None -> (s, None)
+        | Some i ->
+          (String.sub s 0 i,
+           Some (String.sub s (i + 1) (String.length s - i - 1)))
+      in
+      match arg_of action with
+      | "fail", message -> Fault.Fail (Option.value message ~default:"injected")
+      | "timeout", None -> Fault.Timeout_now
+      | "exhaust", None -> Fault.Exhaust
+      | "delay", Some seconds ->
+        (match float_of_string_opt seconds with
+         | Some s when s >= 0. -> Fault.Delay s
+         | _ ->
+           failwith
+             (Printf.sprintf "--inject %S: bad delay %S" spec seconds))
+      | "corrupt", None -> Fault.Corrupt
+      | _ ->
+        failwith
+          (Printf.sprintf
+             "--inject %S: unknown action %S (fail[:msg], timeout, \
+              exhaust, delay:seconds, corrupt)"
+             spec action)
+    in
+    { Fault.checkpoint; after; action }
+
+let install_faults specs seed =
+  if specs <> [] then
+    Speccc_runtime.Fault.install ~seed (List.map parse_inject specs)
+
 let certify_arg =
   Arg.(value & flag
        & info [ "certify" ]
@@ -348,9 +425,10 @@ let batch_cmd =
                  the sequential run.")
   in
   let run files engine lookahead time_budget fuel deadline certify recover
-      journal resume retries jobs stats =
+      journal resume retries jobs stats inject seed =
     if resume && journal = None then
       failwith "--resume requires --journal PATH";
+    install_faults inject seed;
     if retries < 0 then
       failwith (Printf.sprintf "--retries must be >= 0 (got %d)" retries);
     if jobs < 1 then
@@ -359,14 +437,28 @@ let batch_cmd =
       options_of ?fuel ?deadline ~engine ~lookahead ~time_budget ()
     in
     let options = { options with Pipeline.certify; recover } in
+    (* SIGINT requests a clean stop: the document in flight finishes
+       (its journal line is flushed), the rest are skipped, and the
+       run exits 130 over a resumable journal prefix. *)
+    let interrupted = Atomic.make false in
+    let previous =
+      try
+        Some
+          (Sys.signal Sys.sigint
+             (Sys.Signal_handle (fun _ -> Atomic.set interrupted true)))
+      with Invalid_argument _ | Sys_error _ -> None
+    in
     let config =
       { (Speccc_harness.Harness.default_config ()) with
-        Speccc_harness.Harness.options; retries; journal; resume; jobs }
+        Speccc_harness.Harness.options; retries; journal; resume; jobs;
+        stop = (fun () -> Atomic.get interrupted) }
     in
     let summary = Speccc_harness.Harness.run_files config files in
+    Option.iter (Sys.set_signal Sys.sigint) previous;
     Format.printf "%a@." Speccc_harness.Harness.pp_summary summary;
     if stats then print_stats ();
-    if summary.Speccc_harness.Harness.exit_code <> 0 then
+    if summary.Speccc_harness.Harness.interrupted then exit 130
+    else if summary.Speccc_harness.Harness.exit_code <> 0 then
       exit summary.Speccc_harness.Harness.exit_code
   in
   Cmd.v
@@ -378,7 +470,142 @@ let batch_cmd =
     Term.(const run $ files_arg $ engine_arg $ lookahead_arg
           $ time_budget_arg $ fuel_arg $ deadline_arg $ certify_arg
           $ recover_arg $ journal_arg $ resume_arg $ retries_arg
-          $ jobs_arg $ stats_arg)
+          $ jobs_arg $ stats_arg $ inject_arg $ seed_arg)
+
+(* ---------- serve ---------- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Serve over a Unix-domain socket at $(docv) instead of \
+                 stdin/stdout.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains checking requests concurrently.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+           ~doc:"Bounded request queue capacity; the reader blocks \
+                 (backpressure) when it is full.")
+  in
+  let high_water_arg =
+    Arg.(value & opt (some int) None
+         & info [ "high-water" ] ~docv:"N"
+           ~doc:"Shed load with a typed $(i,overloaded) response once \
+                 the queue holds $(docv) requests (default: the queue \
+                 capacity).  Pass 0 to never shed and rely on \
+                 backpressure only.")
+  in
+  let serve_deadline_arg =
+    Arg.(value & opt float 5.0
+         & info [ "request-deadline" ] ~docv:"SECONDS"
+           ~doc:"Default wall-clock deadline per request (a request \
+                 may lower or raise its own via \
+                 $(i,options.deadline)).")
+  in
+  let grace_arg =
+    Arg.(value & opt float 1.0
+         & info [ "grace" ] ~docv:"SECONDS"
+           ~doc:"Extra seconds after a request's deadline before the \
+                 watchdog hard-preempts the worker (clamped to the \
+                 deadline, so a stuck request is answered within 2x \
+                 its deadline).")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+           ~doc:"JSON-Lines verdict journal, appended and flushed per \
+                 response.")
+  in
+  let breaker_threshold_arg =
+    Arg.(value & opt int 3
+         & info [ "breaker-threshold" ] ~docv:"K"
+           ~doc:"Consecutive engine failures that open a ladder \
+                 rung's circuit breaker.")
+  in
+  let breaker_cooldown_arg =
+    Arg.(value & opt float 5.0
+         & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+           ~doc:"How long an open breaker skips its rung before a \
+                 half-open probe is admitted.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 2
+         & info [ "retries" ]
+           ~doc:"Extra attempts per request after the first, each \
+                 under half the previous budget (abandoned once the \
+                 request's watchdog trips).")
+  in
+  let run socket workers queue high_water deadline grace journal
+      breaker_threshold breaker_cooldown engine lookahead time_budget fuel
+      certify recover retries stats inject seed =
+    install_faults inject seed;
+    if workers < 1 then
+      failwith (Printf.sprintf "--workers must be >= 1 (got %d)" workers);
+    if queue < 1 then
+      failwith (Printf.sprintf "--queue must be >= 1 (got %d)" queue);
+    if deadline <= 0. then
+      failwith
+        (Printf.sprintf "--request-deadline must be positive (got %g)"
+           deadline);
+    if grace < 0. then
+      failwith (Printf.sprintf "--grace must be >= 0 (got %g)" grace);
+    if retries < 0 then
+      failwith (Printf.sprintf "--retries must be >= 0 (got %d)" retries);
+    let options = options_of ?fuel ~engine ~lookahead ~time_budget () in
+    let options = { options with Pipeline.certify; recover } in
+    let harness =
+      { (Speccc_harness.Harness.default_config ()) with
+        Speccc_harness.Harness.options; retries; journal }
+    in
+    let config =
+      { (Speccc_server.Server.default_config ()) with
+        Speccc_server.Server.harness; workers; queue_capacity = queue;
+        high_water =
+          (match high_water with
+           | Some 0 -> None
+           | Some n -> Some n
+           | None -> Some queue);
+        deadline; grace;
+        breaker_threshold; breaker_cooldown }
+    in
+    (* SIGTERM/SIGINT request a graceful drain: finish in-flight
+       requests, flush the journal, exit 0. *)
+    let stopping = Atomic.make false in
+    let handler = Sys.Signal_handle (fun _ -> Atomic.set stopping true) in
+    (try Sys.set_signal Sys.sigterm handler
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigint handler
+     with Invalid_argument _ | Sys_error _ -> ());
+    let stop () = Atomic.get stopping in
+    let server_stats =
+      match socket with
+      | Some path -> Speccc_server.Server.run_socket ~stop config ~path
+      | None ->
+        Speccc_server.Server.run ~stop config ~input:Unix.stdin
+          ~output:stdout
+    in
+    if stats then begin
+      Format.eprintf "%a@." Speccc_server.Server.pp_stats server_stats;
+      print_stats ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-running supervised checking service: JSONL requests \
+             on stdin or a Unix socket, a pool of worker domains with \
+             wall-clock watchdog preemption, bounded-queue \
+             backpressure and load shedding, per-engine circuit \
+             breakers, and graceful drain on SIGTERM/SIGINT")
+    Term.(const run $ socket_arg $ workers_arg $ queue_arg $ high_water_arg
+          $ serve_deadline_arg $ grace_arg $ journal_arg
+          $ breaker_threshold_arg $ breaker_cooldown_arg $ engine_arg
+          $ lookahead_arg $ time_budget_arg $ fuel_arg $ certify_arg
+          $ recover_arg $ retries_arg $ stats_arg $ inject_arg $ seed_arg)
 
 (* ---------- localize ---------- *)
 
@@ -940,9 +1167,9 @@ let () =
   in
   let group =
     Cmd.group ~default info
-      [ translate_cmd; tree_cmd; check_cmd; batch_cmd; localize_cmd;
-        synth_cmd; lint_cmd; monitor_cmd; report_cmd; testgen_cmd;
-        patterns_cmd; table_cmd ]
+      [ translate_cmd; tree_cmd; check_cmd; batch_cmd; serve_cmd;
+        localize_cmd; synth_cmd; lint_cmd; monitor_cmd; report_cmd;
+        testgen_cmd; patterns_cmd; table_cmd ]
   in
   let code =
     try Cmd.eval ~catch:false group with

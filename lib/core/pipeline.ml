@@ -14,6 +14,7 @@ type options = {
   fuel : int option;
   deadline : float option;
   cancel : Speccc_runtime.Cancellation.token option;
+  skip_engines : string list;
   recover : bool;
   certify : bool;
 }
@@ -28,6 +29,7 @@ let default_options () = {
   fuel = None;
   deadline = None;
   cancel = None;
+  skip_engines = [];
   recover = false;
   certify = false;
 }
@@ -71,6 +73,7 @@ let abstract_times options formulas =
 
 let governed options =
   options.fuel <> None || options.deadline <> None || options.cancel <> None
+  || options.skip_engines <> []
 
 let make_budget options =
   Speccc_runtime.Budget.create ?fuel:options.fuel
@@ -165,8 +168,8 @@ let synthesize options ?(assumptions = []) ~inputs ~outputs formulas =
     let budget = make_budget options in
     match
       Realizability.check_governed ~budget ~engine:options.engine
-        ~lookahead:options.lookahead ~bound:options.bound ~assumptions
-        ~inputs ~outputs formulas
+        ~lookahead:options.lookahead ~bound:options.bound
+        ~skip:options.skip_engines ~assumptions ~inputs ~outputs formulas
     with
     | Ok
         ({ Realizability.verdict = Realizability.Inconclusive _; _ } as

@@ -24,6 +24,12 @@ type options = {
       (** wall-clock seconds allowed for the synthesis stage *)
   cancel : Speccc_runtime.Cancellation.token option;
       (** cooperative cancellation, polled at budget checkpoints *)
+  skip_engines : string list;
+      (** ladder rungs (by name: ["symbolic"], ["explicit"], ["sat"])
+          to bypass in this run — the serve mode's circuit breakers
+          set this while a rung's breaker is open.  A non-empty list
+          routes synthesis through the governed ladder even without a
+          budget; ignored when [engine] is forced. *)
   recover : bool;
       (** true: an ungrammatical requirement is dropped with a located
           diagnostic ([outcome.diagnostics]) and checking continues

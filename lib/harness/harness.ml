@@ -18,6 +18,7 @@ type config = {
   journal : string option;
   resume : bool;
   jobs : int;
+  stop : unit -> bool;
 }
 
 let default_config () = {
@@ -29,6 +30,7 @@ let default_config () = {
   journal = None;
   resume = false;
   jobs = 1;
+  stop = (fun () -> false);
 }
 
 type doc_result = {
@@ -39,11 +41,13 @@ type doc_result = {
   wall : float;
   detail : string;
   fresh : bool;
+  degradation : Realizability.rung list;
 }
 
 type summary = {
   results : doc_result list;
   exit_code : int;
+  interrupted : bool;
 }
 
 (* ---------- JSONL journal ---------- *)
@@ -161,58 +165,108 @@ let journal_line result =
 
 (* Append one line and flush before returning: the journal must
    survive the process dying right after this call. *)
+(* A crash mid-flush can leave the file without a trailing newline;
+   appending straight after it would weld the new line onto the
+   truncated one and corrupt both. *)
+let ends_with_newline path =
+  match open_in_bin path with
+  | exception Sys_error _ -> true
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+         let n = in_channel_length ic in
+         n = 0
+         || begin
+           seek_in ic (n - 1);
+           input_char ic = '\n'
+         end)
+
 let journal_append path result =
+  let repair = Sys.file_exists path && not (ends_with_newline path) in
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
   in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
+       if repair then output_char oc '\n';
        output_string oc (journal_line result);
        output_char oc '\n';
        flush oc)
 
-let journal_read path =
+(* A journal may end with a truncated or otherwise corrupt line — the
+   process died mid-flush.  Resuming must not abort on it: the line is
+   reported through [on_corrupt] (by default a stderr warning) and
+   skipped, so the document it would have named is simply re-checked. *)
+let default_on_corrupt path line_no line =
+  Printf.eprintf
+    "speccc: warning: %s:%d: unparsable journal line %S (truncated \
+     write?); skipping it, the document will be re-checked\n%!"
+    path line_no
+    (if String.length line <= 40 then line else String.sub line 0 40 ^ "...")
+
+let journal_read ?on_corrupt path =
   if not (Sys.file_exists path) then []
   else begin
+    let on_corrupt =
+      match on_corrupt with
+      | Some f -> f
+      | None -> default_on_corrupt path
+    in
     let ic = open_in path in
     let lines = ref [] in
+    let line_no = ref 0 in
     (try
        while true do
          let line = input_line ic in
-         if String.trim line <> "" then lines := line :: !lines
+         incr line_no;
+         if String.trim line <> "" then lines := (!line_no, line) :: !lines
        done
      with End_of_file -> ());
     close_in ic;
     List.filter_map
-      (fun line ->
-         match field_string line "doc" with
-         | None -> None
-         | Some doc ->
-           let detail =
-             Option.value ~default:"" (field_string line "detail")
+      (fun (line_no, line) ->
+         let parsed =
+           (* every journal line ends with '}'; a line that does not
+              was cut mid-flush, even if the fields we need survived *)
+           let complete =
+             let trimmed = String.trim line in
+             String.length trimmed > 0
+             && trimmed.[String.length trimmed - 1] = '}'
            in
-           let verdict =
-             Option.bind (field_string line "verdict")
-               (verdict_of_tag detail)
-           in
-           (match verdict with
-            | None -> None
-            | Some verdict ->
-              Some
-                ( doc,
-                  {
-                    doc;
-                    verdict;
-                    engine =
-                      Option.value ~default:"?" (field_string line "engine");
-                    attempts = 0;
-                    wall =
-                      Option.value ~default:0.
-                        (field_number line "wall");
-                    detail;
-                    fresh = false;
-                  } )))
+           match (if complete then field_string line "doc" else None) with
+           | None -> None
+           | Some doc ->
+             let detail =
+               Option.value ~default:"" (field_string line "detail")
+             in
+             let verdict =
+               Option.bind (field_string line "verdict")
+                 (verdict_of_tag detail)
+             in
+             (match verdict with
+              | None -> None
+              | Some verdict ->
+                Some
+                  ( doc,
+                    {
+                      doc;
+                      verdict;
+                      engine =
+                        Option.value ~default:"?"
+                          (field_string line "engine");
+                      attempts = 0;
+                      wall =
+                        Option.value ~default:0.
+                          (field_number line "wall");
+                      detail;
+                      fresh = false;
+                      degradation = [];
+                    } ))
+         in
+         if parsed = None then on_corrupt line_no line;
+         parsed)
       (List.rev !lines)
   end
 
@@ -260,19 +314,30 @@ let check_once config document ~fuel =
   Runtime.guard ~stage:"harness" (fun () ->
       Pipeline.run_document ~options document)
 
+(* Retrying a cancelled run is pointless — the token stays tripped, so
+   every further attempt dies at its first budget poll (and a watchdog
+   has possibly already answered on our behalf). *)
+let externally_cancelled config =
+  match config.options.Pipeline.cancel with
+  | Some token -> Speccc_runtime.Cancellation.is_cancelled token
+  | None -> false
+
 let supervise config (key, document) =
   let started = Unix.gettimeofday () in
+  let failed i error =
+    {
+      doc = key;
+      verdict = Failed (Runtime.to_string error);
+      engine = "none";
+      attempts = i;
+      wall = Unix.gettimeofday () -. started;
+      detail = Runtime.to_string error;
+      fresh = true;
+      degradation = [];
+    }
+  in
   let rec attempt i last_error =
-    if i > config.retries then
-      {
-        doc = key;
-        verdict = Failed (Runtime.to_string last_error);
-        engine = "none";
-        attempts = i;
-        wall = Unix.gettimeofday () -. started;
-        detail = Runtime.to_string last_error;
-        fresh = true;
-      }
+    if i > config.retries then failed i last_error
     else begin
       if i > 0 then ignore (config.sleep (backoff config (i - 1)));
       match check_once config document ~fuel:(attempt_fuel config i) with
@@ -285,11 +350,17 @@ let supervise config (key, document) =
           wall = Unix.gettimeofday () -. started;
           detail = detail_of outcome;
           fresh = true;
+          degradation =
+            Realizability.canonical_degradation outcome.Pipeline.report;
         }
-      | Error error -> attempt (i + 1) error
+      | Error error ->
+        if externally_cancelled config then failed (i + 1) error
+        else attempt (i + 1) error
     end
   in
   attempt 0 (Runtime.Engine_failure ("harness", "not attempted"))
+
+let check_one config key document = supervise config (key, document)
 
 (* ---------- the batch loop ---------- *)
 
@@ -310,24 +381,42 @@ let check_loaded config (key, loaded) =
       wall = 0.;
       detail = message;
       fresh = true;
+      degradation = [];
     }
 
+(* [config.stop] is polled before each fresh document (journal
+   replays never block, so they pass through): once it reports true,
+   the run ends with the results — and the journal — forming a clean
+   input-order prefix, exactly what --resume needs to finish the job
+   later.  This is how SIGINT drains the batch instead of dying
+   mid-write. *)
+exception Stop_requested
+
 let run_sequential config journaled documents =
-  List.map
-    (fun (key, loaded) ->
-       match List.assoc_opt key journaled with
-       | Some replayed -> replayed
-       | None ->
-         (* Announced OUTSIDE the guard on purpose: an injected
-            fault here models the whole process dying between
-            documents, which is the scenario --resume exists for. *)
-         Fault.hit Fault.Checkpoint.harness_document;
-         let result = check_loaded config (key, loaded) in
-         Option.iter
-           (fun path -> journal_append path result)
-           config.journal;
-         result)
-    documents
+  let results = ref [] in
+  let interrupted = ref false in
+  (try
+     List.iter
+       (fun (key, loaded) ->
+          match List.assoc_opt key journaled with
+          | Some replayed -> results := replayed :: !results
+          | None ->
+            if config.stop () then begin
+              interrupted := true;
+              raise Stop_requested
+            end;
+            (* Announced OUTSIDE the guard on purpose: an injected
+               fault here models the whole process dying between
+               documents, which is the scenario --resume exists for. *)
+            Fault.hit Fault.Checkpoint.harness_document;
+            let result = check_loaded config (key, loaded) in
+            Option.iter
+              (fun path -> journal_append path result)
+              config.journal;
+            results := result :: !results)
+       documents
+   with Stop_requested -> ());
+  (List.rev !results, !interrupted)
 
 (* Parallel mode: a pool of [jobs] domains drains an atomic work
    counter over the non-replayed documents while the spawning domain
@@ -380,12 +469,22 @@ let run_parallel config journaled documents =
   in
   let worker_count = min config.jobs (max 1 (Array.length pending)) in
   let domains = Array.init worker_count (fun _ -> Domain.spawn worker) in
+  let interrupted = ref false in
   let collect () =
-    Array.to_list
-      (Array.mapi
+    let out = ref [] in
+    (try
+       Array.iteri
          (fun i _ ->
-            if is_replayed.(i) then Option.get slots.(i)
+            if is_replayed.(i) then out := Option.get slots.(i) :: !out
             else begin
+              if config.stop () then begin
+                (* Stop handing out new work; in-flight documents
+                   finish in their workers but are not collected, so
+                   the journal stays an input-order prefix. *)
+                interrupted := true;
+                Atomic.set next (Array.length pending);
+                raise Stop_requested
+              end;
               Fault.hit Fault.Checkpoint.harness_document;
               Mutex.lock lock;
               while slots.(i) = None do
@@ -396,14 +495,16 @@ let run_parallel config journaled documents =
               Option.iter
                 (fun path -> journal_append path result)
                 config.journal;
-              result
+              out := result :: !out
             end)
-         docs)
+         docs
+     with Stop_requested -> ());
+    List.rev !out
   in
   match collect () with
   | results ->
     Array.iter Domain.join domains;
-    results
+    (results, !interrupted)
   | exception e ->
     (* Simulated crash (or journal I/O error): stop handing out work,
        let in-flight documents finish, then re-raise. *)
@@ -417,14 +518,14 @@ let run_loaded config documents =
     | Some path when config.resume -> journal_read path
     | Some _ | None -> []
   in
-  let results =
+  let results, interrupted =
     if config.jobs <= 1 then run_sequential config journaled documents
     else run_parallel config journaled documents
   in
   let exit_code =
     List.fold_left (fun acc r -> max acc (severity r.verdict)) 0 results
   in
-  { results; exit_code }
+  { results; exit_code; interrupted }
 
 let run config documents =
   run_loaded config
@@ -458,4 +559,8 @@ let pp_summary ppf summary =
   in
   Format.fprintf ppf "%d document(s): %d consistent, %d inconsistent, %d unknown/failed"
     (List.length summary.results) (count 0) (count 1) (count 2);
+  if summary.interrupted then
+    Format.fprintf ppf
+      "@,interrupted: remaining documents not checked (the journal \
+       holds a clean prefix; rerun with --resume)";
   Format.fprintf ppf "@]"

@@ -24,7 +24,11 @@
 
     A resumed run ({!config.resume}) reads the journal back and skips
     every document whose key already has a line, reporting the
-    journaled verdict with [fresh = false]. *)
+    journaled verdict with [fresh = false].  A truncated or corrupt
+    trailing line (the process died mid-flush) is skipped with a
+    warning instead of aborting the resume.  The same verdict-object
+    schema is the serve mode's response format
+    ({!Speccc_server.Server}). *)
 
 type verdict_class =
   | Consistent
@@ -60,9 +64,17 @@ type config = {
           [wall] fields.  The ["harness.document"] checkpoint is
           announced by the coordinator at each fresh document's
           journal slot, so an injected crash still leaves an
-          input-order journal prefix; note that fault *plans* are
-          process-global and not domain-safe, so fault-injection runs
-          should keep [jobs = 1]. *)
+          input-order journal prefix.  Fault {e plans} are
+          mutex-protected process-global state, so fault-injection
+          runs are safe at any [jobs] count: hit counts are exact and
+          coordinator-announced triggers fire at the same documents
+          as in a sequential run. *)
+  stop : unit -> bool;
+      (** polled before each fresh document (journal replays are never
+          blocked); once it returns [true] the run stops cleanly —
+          results and journal form an input-order prefix and
+          {!summary.interrupted} is set.  The CLI wires SIGINT to
+          this.  Default: never stop. *)
 }
 
 val default_config : unit -> config
@@ -76,6 +88,11 @@ type doc_result = {
   wall : float;
   detail : string;
   fresh : bool;                (** false when replayed from the journal *)
+  degradation : Speccc_synthesis.Realizability.rung list;
+      (** canonical degradation log of the final attempt's report —
+          the serve mode's circuit breakers feed on it; [[]] for
+          [Failed] results and journal replays (the journal does not
+          persist rungs) *)
 }
 
 type summary = {
@@ -84,6 +101,9 @@ type summary = {
       (** severity aggregate over the batch: 0 all consistent, 1 some
           inconsistency, 2 some document unknown or failed — the
           single-document CLI convention, taken as a maximum *)
+  interrupted : bool;
+      (** [config.stop] ended the run early; [results] covers the
+          input-order prefix actually processed *)
 }
 
 val run : config -> (string * Speccc_core.Document.t) list -> summary
@@ -96,6 +116,39 @@ val run : config -> (string * Speccc_core.Document.t) list -> summary
 val run_files : config -> string list -> summary
 (** {!run} over files, keyed by path ({!Speccc_core.Document.of_file}; an
     unreadable file is a [Failed] result, not an exception). *)
+
+val check_one : config -> string -> Speccc_core.Document.t -> doc_result
+(** The per-document attempt loop {!run} applies to each document,
+    exposed for callers that supervise their own request streams (the
+    serve mode): confinement, degraded-budget retries and backoff, one
+    [doc_result].  If [config.options.cancel] is tripped externally
+    (e.g. by a watchdog), remaining retries are abandoned — the token
+    stays tripped, so they could only die at their first poll.  Never
+    raises on per-document failures; does not touch the journal. *)
+
+val journal_line : doc_result -> string
+(** The JSONL object (no trailing newline) {!run} appends per
+    document — also the serve mode's response body. *)
+
+val journal_append : string -> doc_result -> unit
+(** Append {!journal_line} to the file and flush before returning:
+    the line must survive the process dying right after this call.
+    If the file does not end with a newline (a crash truncated the
+    previous write), one is inserted first so the new line never welds
+    onto the corrupt one. *)
+
+val journal_read :
+  ?on_corrupt:(int -> string -> unit) ->
+  string ->
+  (string * doc_result) list
+(** Parse a journal back into [(doc key, replayed result)] pairs in
+    file order, with [fresh = false] and [attempts = 0].  Unparsable
+    non-empty lines — typically one truncated trailing line from a
+    crash mid-flush; any line not ending in ['}'] is treated as
+    truncated even when its surviving fields would parse — are
+    reported to [on_corrupt] (1-based line number, raw line; default:
+    a stderr warning) and skipped.  A missing file is an empty
+    journal. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** One line per document plus the severity tally — the [speccc batch]

@@ -1,5 +1,20 @@
-type token = { mutable cancelled : bool }
+(* The flag is atomic so a token may be tripped from another domain or
+   systhread (the server watchdog does exactly that) and observed at
+   the next budget poll without a data race.  The reason is written
+   before the flag is set, so any poller that sees [cancelled = true]
+   also sees the reason. *)
+type token = {
+  cancelled : bool Atomic.t;
+  reason : string option Atomic.t;
+}
 
-let create () = { cancelled = false }
-let cancel token = token.cancelled <- true
-let is_cancelled token = token.cancelled
+let create () = { cancelled = Atomic.make false; reason = Atomic.make None }
+
+let cancel ?reason token =
+  (match reason with
+   | Some _ -> Atomic.set token.reason reason
+   | None -> ());
+  Atomic.set token.cancelled true
+
+let is_cancelled token = Atomic.get token.cancelled
+let reason token = Atomic.get token.reason

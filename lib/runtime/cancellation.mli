@@ -1,18 +1,26 @@
 (** Cooperative cancellation.
 
     A token is a cheap shared flag: the owner calls {!cancel} (from a
-    signal handler, another thread, or a supervising loop) and every
-    engine polling the token through {!Budget.checkpoint} aborts with
-    [Runtime.Cancelled] at its next poll.  Polls happen at least every
-    {!Budget.max_poll_interval} budget steps, so responsiveness is
-    bounded. *)
+    signal handler, another thread or domain, or a supervising loop)
+    and every engine polling the token through {!Budget.checkpoint}
+    aborts with [Runtime.Cancelled] at its next poll.  Polls happen at
+    least every {!Budget.max_poll_interval} budget steps, so
+    responsiveness is bounded.
+
+    The flag is atomic: tripping a token from another domain (the
+    server's watchdog does) is race-free, and a poller that observes
+    the trip also observes the {!reason} written with it. *)
 
 type token
 
 val create : unit -> token
 (** A fresh, un-cancelled token. *)
 
-val cancel : token -> unit
-(** Idempotent. *)
+val cancel : ?reason:string -> token -> unit
+(** Idempotent.  An optional [reason] (e.g. ["watchdog"]) records who
+    tripped the token; the flag itself is one-way. *)
 
 val is_cancelled : token -> bool
+
+val reason : token -> string option
+(** Why the token was tripped, when the canceller said. *)

@@ -22,7 +22,19 @@ type plan = {
   counts : (string, int) Hashtbl.t;
 }
 
+(* Plans are process-global (one installed plan covers every domain,
+   so a parallel batch sees the same drill as a sequential one), which
+   makes the mutable state here shared across domains.  Every access
+   goes through [lock]; the actions themselves — raising, sleeping —
+   are performed *outside* the critical section so a [Delay] cannot
+   stall other domains' checkpoints and a raise cannot leak a held
+   mutex. *)
 let state : plan option ref = ref None
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 (* A tiny deterministic LCG so negative [after] fields resolve
    reproducibly from the seed, independent of any global RNG state. *)
@@ -39,17 +51,20 @@ let install ?(seed = 0) triggers =
        Hashtbl.add plan.triggers checkpoint
          { resolved_after; trigger_action = action; fired = false })
     triggers;
-  state := Some plan
+  locked (fun () -> state := Some plan)
 
-let clear () = state := None
+let clear () = locked (fun () -> state := None)
 
-let active () = !state <> None
+let active () = locked (fun () -> !state <> None)
 
 let hits name =
-  match !state with
-  | None -> 0
-  | Some plan ->
-    (match Hashtbl.find_opt plan.counts name with Some n -> n | None -> 0)
+  locked (fun () ->
+      match !state with
+      | None -> 0
+      | Some plan ->
+        (match Hashtbl.find_opt plan.counts name with
+         | Some n -> n
+         | None -> 0))
 
 let perform name = function
   | Fail message ->
@@ -59,31 +74,40 @@ let perform name = function
   | Delay seconds -> if seconds > 0.0 then Unix.sleepf seconds
   | Corrupt -> ()
 
-(* Count the hit and fire matching triggers.  [Corrupt] triggers fire
-   only when [allow_corrupt]; the return value says whether one did. *)
+(* Count the hit and collect matching triggers under the lock, then
+   fire them unlocked.  [Corrupt] triggers fire only when
+   [allow_corrupt]; the return value says whether one did. *)
 let announce ~allow_corrupt name =
-  match !state with
-  | None -> false
-  | Some plan ->
-    let count =
-      match Hashtbl.find_opt plan.counts name with Some n -> n | None -> 0
-    in
-    Hashtbl.replace plan.counts name (count + 1);
-    let corrupted = ref false in
-    List.iter
-      (fun armed ->
-         if (not armed.fired) && armed.resolved_after = count then
-           match armed.trigger_action with
-           | Corrupt ->
-             if allow_corrupt then begin
-               armed.fired <- true;
-               corrupted := true
-             end
-           | action ->
-             armed.fired <- true;
-             perform name action)
-      (Hashtbl.find_all plan.triggers name);
-    !corrupted
+  let corrupted, to_perform =
+    locked (fun () ->
+        match !state with
+        | None -> (false, [])
+        | Some plan ->
+          let count =
+            match Hashtbl.find_opt plan.counts name with
+            | Some n -> n
+            | None -> 0
+          in
+          Hashtbl.replace plan.counts name (count + 1);
+          let corrupted = ref false in
+          let actions = ref [] in
+          List.iter
+            (fun armed ->
+               if (not armed.fired) && armed.resolved_after = count then
+                 match armed.trigger_action with
+                 | Corrupt ->
+                   if allow_corrupt then begin
+                     armed.fired <- true;
+                     corrupted := true
+                   end
+                 | action ->
+                   armed.fired <- true;
+                   actions := action :: !actions)
+            (Hashtbl.find_all plan.triggers name);
+          (!corrupted, List.rev !actions))
+  in
+  List.iter (perform name) to_perform;
+  corrupted
 
 let hit name = ignore (announce ~allow_corrupt:false name)
 let corrupt name = announce ~allow_corrupt:true name
@@ -100,6 +124,7 @@ module Checkpoint = struct
   let witness_counterstrategy = "witness.counterstrategy"
   let witness_core = "witness.core"
   let harness_document = "harness.document"
+  let server_request = "server.request"
 
   let all = [
     sat_solve, "CDCL solver entry (lib/sat)";
@@ -117,6 +142,9 @@ module Checkpoint = struct
     harness_document,
       "batch harness, before each document and outside its confinement \
        (a raising trigger simulates a crash)";
+    server_request,
+      "serve mode, inside a worker just before it starts a request \
+       (a Delay models an engine stalled between checkpoints)";
   ]
 
   let mem name = List.mem_assoc name all

@@ -12,8 +12,13 @@
     tests and the CLI ([speccc --list-faults]) read it from there
     instead of hardcoding strings.
 
-    Installation is global and {e off by default}; [install]/[clear]
-    are meant for tests and chaos drills, not concurrent use. *)
+    Installation is global and {e off by default}.  The plan state is
+    protected by a mutex, so checkpoints may be announced from any
+    domain or thread: hit counts are exact under a parallel batch, and
+    a [Delay] sleeps outside the lock so it stalls only the announcing
+    domain.  [install]/[clear] swap the whole plan atomically; they are
+    meant for tests and chaos drills, not for racing against each
+    other. *)
 
 type action =
   | Fail of string    (** raise [Engine_failure (checkpoint, message)] *)
@@ -86,6 +91,12 @@ module Checkpoint : sig
   (** announced by the batch harness before each document, {e outside}
       the per-document confinement — a raising trigger here kills the
       whole run, simulating a crash for resume drills *)
+
+  val server_request : string
+  (** announced by a serve-mode worker just before it starts a
+      request, {e inside} its confinement — a [Delay] here models an
+      engine stalled between budget checkpoints, the scenario the
+      watchdog's hard preemption exists for *)
 
   val all : (string * string) list
   (** [(name, description)] for every registered checkpoint, in a

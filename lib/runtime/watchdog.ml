@@ -1,0 +1,123 @@
+(* Wall-clock supervision for jobs whose cooperative budget may never
+   fire: a dedicated systhread polls every [poll_interval] seconds and
+   pushes each registered job through a two-stage escalation —
+
+     trip      (deadline passed)        cancel the job's token; a
+                                        cooperative engine dies at its
+                                        next budget poll;
+     escalate  (deadline + grace)       the engine did not die: it is
+                                        stuck between checkpoints.
+                                        Run [on_escalate] so the owner
+                                        can answer on the job's behalf
+                                        and replace the worker.
+
+   Stages fire at most once per job.  Callbacks run on the watchdog
+   thread with no lock held, so they may take locks of their own,
+   write responses, or spawn replacement domains. *)
+
+type job = {
+  token : Cancellation.token;
+  trip_at : float;
+  escalate_at : float;
+  on_escalate : unit -> unit;
+  mutable tripped : bool;
+  mutable escalated : bool;
+  mutable completed : bool;
+}
+
+type status = [ `Ok | `Tripped | `Escalated ]
+
+type t = {
+  lock : Mutex.t;
+  mutable jobs : job list;
+  mutable stopped : bool;
+  poll_interval : float;
+  mutable thread : Thread.t option;
+  trips : int Atomic.t;
+  escalations : int Atomic.t;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* One sweep: advance stages under the lock, collect due callbacks,
+   run them unlocked. *)
+let sweep t =
+  let now = Unix.gettimeofday () in
+  let due =
+    locked t (fun () ->
+        t.jobs <- List.filter (fun j -> not j.completed) t.jobs;
+        List.filter_map
+          (fun j ->
+             if j.completed then None
+             else begin
+               if (not j.tripped) && now >= j.trip_at then begin
+                 j.tripped <- true;
+                 Atomic.incr t.trips;
+                 Cancellation.cancel ~reason:"watchdog" j.token
+               end;
+               if (not j.escalated) && now >= j.escalate_at then begin
+                 j.escalated <- true;
+                 Atomic.incr t.escalations;
+                 Some j.on_escalate
+               end
+               else None
+             end)
+          t.jobs)
+  in
+  List.iter (fun f -> f ()) due
+
+let rec loop t =
+  let stop = locked t (fun () -> t.stopped) in
+  if not stop then begin
+    sweep t;
+    Thread.delay t.poll_interval;
+    loop t
+  end
+
+let create ?(poll_interval = 0.01) () =
+  let t =
+    {
+      lock = Mutex.create ();
+      jobs = [];
+      stopped = false;
+      poll_interval = Float.max 0.001 poll_interval;
+      thread = None;
+      trips = Atomic.make 0;
+      escalations = Atomic.make 0;
+    }
+  in
+  t.thread <- Some (Thread.create loop t);
+  t
+
+let watch t ~deadline ~grace ~cancel ~on_escalate =
+  let now = Unix.gettimeofday () in
+  let job =
+    {
+      token = cancel;
+      trip_at = now +. Float.max 0. deadline;
+      escalate_at = now +. Float.max 0. deadline +. Float.max 0. grace;
+      on_escalate;
+      tripped = false;
+      escalated = false;
+      completed = false;
+    }
+  in
+  locked t (fun () -> t.jobs <- job :: t.jobs);
+  job
+
+let complete t job =
+  locked t (fun () ->
+      job.completed <- true;
+      if job.escalated then `Escalated
+      else if job.tripped then `Tripped
+      else `Ok)
+
+let trips t = Atomic.get t.trips
+let escalations t = Atomic.get t.escalations
+
+let stop t =
+  locked t (fun () -> t.stopped <- true);
+  Option.iter Thread.join t.thread;
+  t.thread <- None

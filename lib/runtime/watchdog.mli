@@ -1,0 +1,58 @@
+(** Wall-clock watchdog: guaranteed preemption on top of cooperative
+    cancellation.
+
+    {!Budget.checkpoint} only fires if the engine reaches a
+    checkpoint; a worker stuck in a non-instrumented loop (or a
+    pathological instance between checkpoints) never does.  A watchdog
+    pushes every registered job through a two-stage escalation on a
+    dedicated polling thread:
+
+    + at [deadline]: the job's cancellation token is tripped (reason
+      ["watchdog"]) — a cooperative engine aborts with
+      [Runtime.Cancelled] at its next poll;
+    + at [deadline + grace]: the engine still has not stopped, so it
+      is presumed stuck; [on_escalate] runs on the watchdog thread so
+      the owner can answer the request on the worker's behalf and
+      tear the worker down / replace it.
+
+    Each stage fires at most once.  {!complete} reports which stage
+    (if any) had fired, so the owner can tell a clean result from one
+    that raced the watchdog. *)
+
+type t
+type job
+
+type status = [ `Ok | `Tripped | `Escalated ]
+
+val create : ?poll_interval:float -> unit -> t
+(** Start the polling thread.  [poll_interval] (seconds, default 0.01,
+    floor 0.001) bounds how late either stage can fire. *)
+
+val watch :
+  t ->
+  deadline:float ->
+  grace:float ->
+  cancel:Cancellation.token ->
+  on_escalate:(unit -> unit) ->
+  job
+(** Register a job starting now.  [deadline] and [grace] are relative
+    seconds; negative values are clamped to 0.  [on_escalate] runs on
+    the watchdog thread with no watchdog lock held. *)
+
+val complete : t -> job -> status
+(** Mark the job finished and report the stage reached: [`Ok] — the
+    job beat its deadline; [`Tripped] — cooperative cancellation was
+    tripped (the result, if any, is a [Cancelled] error); [`Escalated]
+    — [on_escalate] fired, so the owner has already answered for this
+    job.  Idempotent in effect; the returned status is stable once the
+    job completes. *)
+
+val trips : t -> int
+(** Deadline trips since {!create}. *)
+
+val escalations : t -> int
+(** Escalations since {!create}. *)
+
+val stop : t -> unit
+(** Stop and join the polling thread.  Pending jobs are abandoned
+    (no further stages fire). *)

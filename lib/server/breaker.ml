@@ -1,0 +1,81 @@
+(* Per-engine-rung circuit breaker.
+
+   The fallback ladder already survives a broken rung — every request
+   pays the rung's failure cost, then falls through.  The breaker
+   amortizes that cost across requests: after [threshold] consecutive
+   [Engine_failure]s on a rung the breaker opens and the serve mode
+   skips the rung outright (via [Pipeline.options.skip_engines]) for
+   [cooldown] seconds, after which a single probe request is let
+   through (half-open).  The probe's outcome decides: success closes
+   the breaker, failure re-opens it for another cooldown.
+
+   State is shared by every worker domain, hence the mutex.  Only
+   [Engine_failure] feeds the failure count — resource exhaustion
+   (timeout, fuel, cancellation) says the *budget* was short, not that
+   the rung is broken. *)
+
+type state =
+  | Closed of int       (* consecutive failures seen so far *)
+  | Open of float       (* absolute time the cooldown ends *)
+  | Half_open           (* one probe in flight *)
+
+type t = {
+  rung : string;
+  threshold : int;
+  cooldown : float;
+  lock : Mutex.t;
+  mutable state : state;
+  mutable opens : int;
+}
+
+let create ~rung ~threshold ~cooldown =
+  {
+    rung;
+    threshold = max 1 threshold;
+    cooldown = Float.max 0. cooldown;
+    lock = Mutex.create ();
+    state = Closed 0;
+    opens = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let rung t = t.rung
+
+let should_skip t ~now =
+  locked t (fun () ->
+      match t.state with
+      | Closed _ -> false
+      | Open until when now >= until ->
+        (* this caller becomes the probe; concurrent requests keep
+           skipping until the probe reports *)
+        t.state <- Half_open;
+        false
+      | Open _ -> true
+      | Half_open -> true)
+
+let record_success t =
+  locked t (fun () -> t.state <- Closed 0)
+
+let record_failure t ~now =
+  locked t (fun () ->
+      match t.state with
+      | Closed n when n + 1 >= t.threshold ->
+        t.state <- Open (now +. t.cooldown);
+        t.opens <- t.opens + 1
+      | Closed n -> t.state <- Closed (n + 1)
+      | Half_open ->
+        t.state <- Open (now +. t.cooldown);
+        t.opens <- t.opens + 1
+      | Open _ -> ())
+
+let state_name t =
+  locked t (fun () ->
+      match t.state with
+      | Closed _ -> "closed"
+      | Open _ -> "open"
+      | Half_open -> "half-open")
+
+let opens t = locked t (fun () -> t.opens)

@@ -1,0 +1,41 @@
+(** Per-engine-rung circuit breaker for the serve mode.
+
+    The fallback ladder survives a broken rung per-request; the
+    breaker amortizes the failure cost across requests.  States:
+
+    - {b closed} — requests use the rung; [threshold] {e consecutive}
+      [Engine_failure]s open it (any success resets the count);
+    - {b open} — the serve mode skips the rung
+      ([Pipeline.options.skip_engines]) until [cooldown] seconds pass;
+    - {b half-open} — the first {!should_skip} after the cooldown
+      admits exactly one probe request (concurrent requests keep
+      skipping); the probe's success closes the breaker, its failure
+      re-opens it for another cooldown.
+
+    Only [Engine_failure] counts as failure: resource exhaustion means
+    the budget was short, not that the rung is broken.  All operations
+    are mutex-protected — workers on different domains share one
+    breaker per rung. *)
+
+type t
+
+val create : rung:string -> threshold:int -> cooldown:float -> t
+(** [threshold] is floored at 1, [cooldown] at 0 seconds. *)
+
+val rung : t -> string
+
+val should_skip : t -> now:float -> bool
+(** [false] = use the rung.  An open breaker past its cooldown flips
+    to half-open and admits this one caller as the probe. *)
+
+val record_success : t -> unit
+(** The rung produced a result (even an inconclusive one): close. *)
+
+val record_failure : t -> now:float -> unit
+(** The rung raised [Engine_failure]: advance toward / back to open. *)
+
+val state_name : t -> string
+(** ["closed"], ["open"] or ["half-open"] — health-report rendering. *)
+
+val opens : t -> int
+(** Times the breaker has opened since creation. *)

@@ -1,0 +1,36 @@
+(** Minimal JSON for the serve-mode JSONL protocol.
+
+    The repo carries no JSON dependency; the harness journal only ever
+    re-reads lines it wrote itself, but the server parses {e client}
+    input, so it gets a real recursive-descent parser: malformed
+    requests become [Error _] (and a typed [bad_request] response),
+    never an exception. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Whole-string parse; trailing non-whitespace is an error.
+    [\u] escapes are decoded to UTF-8 (surrogate pairs are kept as two
+    3-byte sequences — good enough for a line protocol). *)
+
+val to_string : t -> string
+(** Compact single-line rendering — safe to embed in JSONL. *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+(** {2 Accessors} — all total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val str : t -> string option
+val num : t -> float option
+val int_ : t -> int option
+val str_member : string -> t -> string option
+val num_member : string -> t -> float option
+val int_member : string -> t -> int option

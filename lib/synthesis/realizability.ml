@@ -255,8 +255,8 @@ let stage_name = function
   | `Sat -> "sat"
 
 let check_governed ?budget ?(engine = Auto) ?(lookahead = 6) ?(bound = 8)
-    ?(explicit_prop_limit = 12) ?(assumptions = []) ~inputs ~outputs
-    requirements =
+    ?(explicit_prop_limit = 12) ?(skip = []) ?(assumptions = []) ~inputs
+    ~outputs requirements =
   ignore explicit_prop_limit;
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let spec = spec_of ~assumptions requirements in
@@ -273,6 +273,29 @@ let check_governed ?budget ?(engine = Auto) ?(lookahead = 6) ?(bound = 8)
     | Explicit -> [ `Explicit ]
     | Symbolic -> [ `Symbolic ]
     | Auto -> ladder_stages ~assumptions
+  in
+  (* Rung skipping ([skip], by rung name) serves the server's circuit
+     breakers: a rung that keeps failing is bypassed for a cooldown
+     window.  Skips apply only to the [Auto] ladder — a forced engine
+     is an explicit caller choice — and each skipped rung is recorded
+     so the degradation log still explains why the verdict came from a
+     lower rung. *)
+  let stages, skipped =
+    match engine with
+    | Auto when skip <> [] ->
+      List.partition (fun s -> not (List.mem (stage_name s) skip)) stages
+    | _ -> (stages, [])
+  in
+  let skipped_rungs =
+    List.map
+      (fun stage ->
+         {
+           rung_engine = stage_name stage;
+           rung_outcome = "skipped: circuit breaker open";
+           rung_error = None;
+           rung_wall = 0.;
+         })
+      skipped
   in
   (* Fuel slicing: every rung but the last gets half of what remains,
      so a stuck early engine cannot starve the ladder's floor. *)
@@ -349,4 +372,4 @@ let check_governed ?budget ?(engine = Auto) ?(lookahead = 6) ?(bound = 8)
          in
          descend rest (rung :: log) last_inconclusive)
   in
-  descend stages [] None
+  descend stages (List.rev skipped_rungs) None

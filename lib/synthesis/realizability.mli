@@ -118,6 +118,7 @@ val check_governed :
   ?lookahead:int ->
   ?bound:int ->
   ?explicit_prop_limit:int ->
+  ?skip:string list ->
   ?assumptions:Speccc_logic.Ltl.t list ->
   inputs:string list ->
   outputs:string list ->
@@ -132,6 +133,14 @@ val check_governed :
     drops to the next rung, recorded in [report.degradation].  Forcing
     [engine] runs a one-rung ladder.  Assumption-carrying checks skip
     the symbolic rung (see {!check}).
+
+    [skip] (rung names, e.g. [["symbolic"]]) removes rungs from the
+    [Auto] ladder before it runs — the serve mode's circuit breakers
+    use this to bypass a rung that keeps failing.  Each skipped rung
+    is recorded in [report.degradation] with outcome
+    ["skipped: circuit breaker open"].  [skip] is ignored when
+    [engine] is forced; skipping every rung yields the same
+    [Inconclusive] report as a ladder whose every rung degraded.
 
     Never raises.  Returns [Error] only for the {e global} resource
     events — [Timeout] (wall-clock deadline) and [Cancelled] — that

@@ -202,6 +202,83 @@ let test_journal_escaping_roundtrip () =
          Alcotest.(check string) "key restored" weird r.Harness.doc
        | _ -> Alcotest.fail "expected one result")
 
+let test_resume_skips_truncated_line () =
+  (* A crash mid-flush leaves a truncated trailing line.  Resume must
+     warn, skip it, re-check that document, and the repaired journal
+     must be fully parsable afterwards. *)
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+       let documents =
+         [ ("d1", consistent_doc); ("d2", inconsistent_doc);
+           ("d3", consistent_doc) ]
+       in
+       let _ = Harness.run (test_config ~journal:path ()) documents in
+       (* hand-truncate: keep two full lines plus a torn third *)
+       let lines = read_lines path in
+       let torn =
+         match lines with
+         | [ l1; l2; l3 ] ->
+           let oc = open_out path in
+           output_string oc (l1 ^ "\n" ^ l2 ^ "\n");
+           output_string oc (String.sub l3 0 (String.length l3 / 2));
+           close_out oc;
+           String.sub l3 0 (String.length l3 / 2)
+         | _ -> Alcotest.fail "expected three journal lines"
+       in
+       let corrupt = ref [] in
+       let replayed =
+         Harness.journal_read
+           ~on_corrupt:(fun line_no line -> corrupt := (line_no, line) :: !corrupt)
+           path
+       in
+       Alcotest.(check int) "two lines replayed" 2 (List.length replayed);
+       Alcotest.(check (list (pair int string))) "torn line reported"
+         [ (3, torn) ] !corrupt;
+       (* a resumed run re-checks only d3 *)
+       let summary =
+         Harness.run (test_config ~journal:path ~resume:true ()) documents
+       in
+       (match summary.Harness.results with
+        | [ d1; d2; d3 ] ->
+          Alcotest.(check bool) "d1 replayed" false d1.Harness.fresh;
+          Alcotest.(check bool) "d2 replayed" false d2.Harness.fresh;
+          Alcotest.(check bool) "d3 re-checked" true d3.Harness.fresh
+        | _ -> Alcotest.fail "expected three results");
+       (* the torn line was newline-repaired, not welded onto d3's *)
+       let healed = ref 0 in
+       let replayed' =
+         Harness.journal_read
+           ~on_corrupt:(fun _ _ -> incr healed)
+           path
+       in
+       Alcotest.(check int) "three parsable lines" 3 (List.length replayed');
+       Alcotest.(check int) "only the torn line corrupt" 1 !healed)
+
+let test_stop_flag_interrupts () =
+  (* config.stop is the SIGINT path: polled before each fresh
+     document, it ends the run over a clean input-order prefix. *)
+  let polls = ref 0 in
+  let config =
+    { (test_config ()) with
+      Harness.stop =
+        (fun () ->
+           incr polls;
+           !polls > 1) }
+  in
+  let summary =
+    Harness.run config
+      [ ("d1", consistent_doc); ("d2", consistent_doc);
+        ("d3", consistent_doc) ]
+  in
+  Alcotest.(check bool) "interrupted" true summary.Harness.interrupted;
+  Alcotest.(check (list string)) "prefix checked" [ "consistent" ]
+    (verdicts summary);
+  (match summary.Harness.results with
+   | [ d1 ] -> Alcotest.(check string) "the first document" "d1" d1.Harness.doc
+   | _ -> Alcotest.fail "expected exactly one result")
+
 (* ---------- parallel batch checking ---------- *)
 
 let parallel_documents =
@@ -212,7 +289,7 @@ let parallel_documents =
 (* Everything except the timing-dependent wall clock. *)
 let comparable r =
   ( r.Harness.doc,
-    verdicts { Harness.results = [ r ]; exit_code = 0 },
+    verdicts { Harness.results = [ r ]; exit_code = 0; interrupted = false },
     r.Harness.engine, r.Harness.attempts, r.Harness.detail,
     r.Harness.fresh )
 
@@ -234,6 +311,37 @@ let test_parallel_matches_sequential () =
          ("result for " ^ s.Harness.doc ^ " identical modulo wall") true
          (comparable s = comparable p))
     sequential.Harness.results parallel.Harness.results
+
+let test_parallel_matches_sequential_under_faults () =
+  (* The jobs=4 --inject drill: fault plans are process-global and
+     mutex-protected, so a parallel run under an installed plan counts
+     exactly the same checkpoint hits and reaches the same verdicts as
+     the sequential run.  The Exhaust on the symbolic rung degrades
+     whichever document draws it down the ladder without changing its
+     verdict, so the comparison is scheduling-independent. *)
+  let plan =
+    [ { Fault.checkpoint = Fault.Checkpoint.engine_symbolic; after = 1;
+        action = Fault.Exhaust } ]
+  in
+  let governed_config jobs =
+    let config = { (test_config ()) with Harness.jobs } in
+    { config with
+      Harness.options =
+        { config.Harness.options with Pipeline.fuel = Some 200_000 } }
+  in
+  let run jobs =
+    with_faults plan (fun () ->
+        let summary = Harness.run (governed_config jobs) parallel_documents in
+        ( verdicts summary, summary.Harness.exit_code,
+          Fault.hits Fault.Checkpoint.engine_symbolic ))
+  in
+  let seq_verdicts, seq_exit, seq_hits = run 1 in
+  let par_verdicts, par_exit, par_hits = run 4 in
+  Alcotest.(check (list string)) "same verdicts" seq_verdicts par_verdicts;
+  Alcotest.(check int) "same exit code" seq_exit par_exit;
+  Alcotest.(check bool) "checkpoint hit at least once" true (seq_hits > 0);
+  Alcotest.(check int) "exact hit counts under parallelism" seq_hits
+    par_hits
 
 (* Blank out the timing-dependent "wall":<float> field. *)
 let strip_wall line =
@@ -308,11 +416,20 @@ let () =
             test_resume_skips_journaled;
           Alcotest.test_case "escaping roundtrip" `Quick
             test_journal_escaping_roundtrip;
+          Alcotest.test_case "truncated trailing line" `Quick
+            test_resume_skips_truncated_line;
+        ] );
+      ( "interrupt",
+        [
+          Alcotest.test_case "stop flag ends run over a prefix" `Quick
+            test_stop_flag_interrupts;
         ] );
       ( "parallel",
         [
           Alcotest.test_case "jobs=4 matches sequential" `Quick
             test_parallel_matches_sequential;
+          Alcotest.test_case "jobs=4 with injected faults" `Quick
+            test_parallel_matches_sequential_under_faults;
           Alcotest.test_case "journal in input order" `Quick
             test_parallel_journal_order;
         ] );

@@ -145,6 +145,111 @@ let test_budgeted_tableau_is_interruptible () =
   | Ok _ -> Alcotest.fail "3 steps cannot build this tableau"
   | Error e -> Alcotest.fail (Runtime.to_string e)
 
+let test_cancellation_reason () =
+  let token = Cancellation.create () in
+  Alcotest.(check (option string)) "no reason yet" None
+    (Cancellation.reason token);
+  Cancellation.cancel ~reason:"watchdog" token;
+  Alcotest.(check bool) "cancelled" true (Cancellation.is_cancelled token);
+  Alcotest.(check (option string)) "reason recorded" (Some "watchdog")
+    (Cancellation.reason token);
+  (* a second cancel without a reason must not erase the first *)
+  Cancellation.cancel token;
+  Alcotest.(check (option string)) "reason kept" (Some "watchdog")
+    (Cancellation.reason token)
+
+let test_fault_counts_across_domains () =
+  (* Fault plans are process-global and mutex-protected: hits
+     announced from several domains at once must be counted exactly,
+     and a trigger must fire exactly once across the whole pool. *)
+  let domains = 4 and hits_per_domain = 250 in
+  with_faults
+    [ { Fault.checkpoint = Fault.Checkpoint.sat_solve;
+        after = (domains * hits_per_domain) - 1;
+        action = Fault.Fail "last hit" } ]
+    (fun () ->
+       let fired = Atomic.make 0 in
+       let worker () =
+         for _ = 1 to hits_per_domain do
+           match Runtime.guard ~stage:"t" (fun () ->
+               Fault.hit Fault.Checkpoint.sat_solve) with
+           | Ok () -> ()
+           | Error _ -> Atomic.incr fired
+         done
+       in
+       let spawned = List.init domains (fun _ -> Domain.spawn worker) in
+       List.iter Domain.join spawned;
+       Alcotest.(check int) "every hit counted"
+         (domains * hits_per_domain)
+         (Fault.hits Fault.Checkpoint.sat_solve);
+       Alcotest.(check int) "trigger fired exactly once" 1
+         (Atomic.get fired))
+
+(* ---------- watchdog ---------- *)
+
+let test_watchdog_fast_job_ok () =
+  let dog = Watchdog.create ~poll_interval:0.005 () in
+  Fun.protect ~finally:(fun () -> Watchdog.stop dog)
+    (fun () ->
+       let token = Cancellation.create () in
+       let escalated = Atomic.make false in
+       let job =
+         Watchdog.watch dog ~deadline:5.0 ~grace:1.0 ~cancel:token
+           ~on_escalate:(fun () -> Atomic.set escalated true)
+       in
+       (match Watchdog.complete dog job with
+        | `Ok -> ()
+        | `Tripped | `Escalated -> Alcotest.fail "job beat its deadline");
+       Alcotest.(check bool) "token untouched" false
+         (Cancellation.is_cancelled token);
+       Alcotest.(check bool) "no escalation" false (Atomic.get escalated))
+
+let test_watchdog_trips_then_escalates () =
+  let dog = Watchdog.create ~poll_interval:0.005 () in
+  Fun.protect ~finally:(fun () -> Watchdog.stop dog)
+    (fun () ->
+       let token = Cancellation.create () in
+       let escalations = Atomic.make 0 in
+       let job =
+         Watchdog.watch dog ~deadline:0.03 ~grace:0.03 ~cancel:token
+           ~on_escalate:(fun () -> Atomic.incr escalations)
+       in
+       (* past the deadline but within grace: tripped, not escalated *)
+       Thread.delay 0.045;
+       Alcotest.(check bool) "token tripped" true
+         (Cancellation.is_cancelled token);
+       Alcotest.(check (option string)) "by the watchdog"
+         (Some "watchdog") (Cancellation.reason token);
+       Alcotest.(check int) "not yet escalated" 0 (Atomic.get escalations);
+       (* past deadline + grace: escalated, exactly once *)
+       Thread.delay 0.08;
+       Alcotest.(check int) "escalated once" 1 (Atomic.get escalations);
+       (match Watchdog.complete dog job with
+        | `Escalated -> ()
+        | `Ok | `Tripped -> Alcotest.fail "status must be `Escalated");
+       Alcotest.(check int) "trip counter" 1 (Watchdog.trips dog);
+       Alcotest.(check int) "escalation counter" 1 (Watchdog.escalations dog))
+
+let test_watchdog_completion_stops_escalation () =
+  let dog = Watchdog.create ~poll_interval:0.005 () in
+  Fun.protect ~finally:(fun () -> Watchdog.stop dog)
+    (fun () ->
+       let token = Cancellation.create () in
+       let escalated = Atomic.make false in
+       let job =
+         Watchdog.watch dog ~deadline:0.02 ~grace:0.05 ~cancel:token
+           ~on_escalate:(fun () -> Atomic.set escalated true)
+       in
+       (* the engine notices the trip and stops within the grace *)
+       Thread.delay 0.035;
+       (match Watchdog.complete dog job with
+        | `Tripped -> ()
+        | `Ok | `Escalated -> Alcotest.fail "status must be `Tripped");
+       (* completing the job disarms stage two for good *)
+       Thread.delay 0.08;
+       Alcotest.(check bool) "no late escalation" false
+         (Atomic.get escalated))
+
 (* ---------- the fallback ladder ---------- *)
 
 let inputs = [ "i" ]
@@ -345,6 +450,8 @@ let () =
             test_poll_interval_bound;
           Alcotest.test_case "child/absorb" `Quick test_child_absorb;
           Alcotest.test_case "cancellation" `Quick test_cancellation;
+          Alcotest.test_case "cancellation reason" `Quick
+            test_cancellation_reason;
         ] );
       ( "typed-errors",
         [
@@ -358,6 +465,17 @@ let () =
             test_fault_counts_and_fires;
           Alcotest.test_case "budgeted tableau" `Quick
             test_budgeted_tableau_is_interruptible;
+          Alcotest.test_case "exact counts across domains" `Quick
+            test_fault_counts_across_domains;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "fast job is `Ok" `Quick
+            test_watchdog_fast_job_ok;
+          Alcotest.test_case "trips then escalates" `Quick
+            test_watchdog_trips_then_escalates;
+          Alcotest.test_case "completion disarms escalation" `Quick
+            test_watchdog_completion_stops_escalation;
         ] );
       ( "ladder",
         [
