@@ -789,6 +789,25 @@ let patterns_cmd =
 
 (* ---------- lint ---------- *)
 
+(* Lint runs after time abstraction: the tableau-based checks degrade
+   on hundreds-deep X chains, exactly the chains Sec. IV-E removes.
+   A sound compression (θ' ≥ 1) cannot shorten a chain below
+   θ / θ_min, so a spec mixing a 3 s and a 180 s deadline keeps X^60
+   chains — intractable for the tableau.  Lint is a pre-filter
+   producing findings, not a consistency verdict, so here (and only
+   here) the legacy θ' = 0 collapse is acceptable: it keeps the
+   checks fast at the cost of approximating relative timing.  The
+   verdict-bearing pipeline never sets [allow_zero_theta]. *)
+let lintable_formulas formulas =
+  match Speccc_timeabs.Timeabs.thetas_of_formulas formulas with
+  | [] -> formulas
+  | thetas ->
+    let solution =
+      Speccc_timeabs.Timeabs.solve_analytic ~allow_zero_theta:true
+        (Speccc_timeabs.Timeabs.problem ~budget:5 thetas)
+    in
+    List.map (Speccc_timeabs.Timeabs.apply solution) formulas
+
 let lint_cmd =
   let run source =
     let document = load_document source in
@@ -800,19 +819,7 @@ let lint_cmd =
         (fun r -> r.Speccc_translate.Translate.formula)
         result.Speccc_translate.Translate.requirements
     in
-    (* Lint after time abstraction: the tableau-based checks degrade on
-       hundreds-deep X chains, exactly the chains Sec. IV-E removes. *)
-    let formulas =
-      match Speccc_timeabs.Timeabs.thetas_of_formulas formulas with
-      | [] -> formulas
-      | thetas ->
-        let solution =
-          Speccc_timeabs.Timeabs.solve_analytic
-            (Speccc_timeabs.Timeabs.problem ~budget:5 thetas)
-        in
-        List.map (Speccc_timeabs.Timeabs.apply solution) formulas
-    in
-    let findings = Speccc_lint.Lint.check formulas in
+    let findings = Speccc_lint.Lint.check (lintable_formulas formulas) in
     if findings = [] then
       Format.printf "no findings: every requirement is satisfiable, \
                      non-trivial, pairwise compatible and fireable@."
@@ -872,9 +879,18 @@ let report_cmd =
          | None -> add "- %s: (no pattern template)\n"
                      (Document.id_at document i))
       (Speccc_patterns.Patterns.classify outcome.Pipeline.formulas);
-    (* 3. lint findings *)
+    (* 3. lint findings — from the raw translations re-compressed with
+       the tableau-friendly legacy abstraction (see [lintable_formulas]);
+       the pipeline's own formulas keep sound θ' ≥ 1 chains that the
+       tableau cannot afford. *)
     add "\n## Lint findings\n\n";
-    let findings = Speccc_lint.Lint.check outcome.Pipeline.formulas in
+    let findings =
+      Speccc_lint.Lint.check
+        (lintable_formulas
+           (List.map
+              (fun r -> r.Speccc_translate.Translate.formula)
+              outcome.Pipeline.requirements))
+    in
     if findings = [] then add "None.\n"
     else
       List.iter
@@ -1134,6 +1150,82 @@ let table_cmd =
   Cmd.v (Cmd.info "table" ~doc:"Reproduce Table I")
     Term.(const run $ rows_arg $ lookahead_arg)
 
+(* ---------- fuzz ---------- *)
+
+let fuzz_cmd =
+  let n_arg =
+    Arg.(value & opt int 200
+         & info [ "n" ] ~docv:"N" ~doc:"Number of generated cases.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Generator seed; the whole campaign is deterministic in \
+                 it (fuel-bounded engines, no wall-clock dependence).")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Persist every shrunk divergence as a replayable \
+                 $(b,.corpus) entry under $(docv).")
+  in
+  let report_arg =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+           ~doc:"Also write the summary (cases, findings, shrunk \
+                 reproducers) to $(docv).")
+  in
+  let buggy_arg =
+    Arg.(value & flag
+         & info [ "buggy-timeabs" ]
+           ~doc:"Re-enable the historical θ'=0 collapse in the \
+                 time-abstraction solvers without relaxing the oracle — \
+                 demonstrates that the metamorphic oracle catches the \
+                 pre-fix bug.  Expect divergences.")
+  in
+  let run n seed corpus report buggy =
+    let module D = Speccc_diffcheck.Diffcheck in
+    let trace = Sys.getenv_opt "SPECCC_FUZZ_TRACE" <> None in
+    let progress index case =
+      if trace then
+        Format.eprintf "fuzz: case %d/%d (%s)@.%a@." (index + 1) n
+          (D.kind_name case) Speccc_diffcheck.Case.pp case
+      else if (index + 1) mod 50 = 0 || index + 1 = n then
+        Format.eprintf "fuzz: case %d/%d (%s)@." (index + 1) n
+          (D.kind_name case)
+    in
+    let summary =
+      D.run ~buggy_timeabs:buggy ?corpus_dir:corpus ~progress ~n ~seed ()
+    in
+    Format.printf "%a@." D.pp_summary summary;
+    (match report with
+     | Some file ->
+       let oc = open_out file in
+       let ppf = Format.formatter_of_out_channel oc in
+       Format.fprintf ppf "%a@." D.pp_summary summary;
+       close_out oc
+     | None -> ());
+    if summary.D.findings <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential/metamorphic fuzzing of the checking pipeline"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Generates random LTL specifications, structured-English \
+              documents, time-abstraction problems and partition \
+              adjustments; cross-checks every realizability engine \
+              against the others, against certificate replay and \
+              against exact references; and checks the metamorphic \
+              laws (NNF/hash-consing invariance, the antonym-merge \
+              law, the time-abstraction constraint system, partition \
+              disjointness).  Divergences are shrunk to minimal \
+              reproducers.  Exit code 1 when any divergence is found.";
+         ])
+    Term.(const run $ n_arg $ seed_arg $ corpus_arg $ report_arg $ buggy_arg)
+
 (* Exit codes: 0 consistent / success, 1 inconsistent (or lint /
    monitor findings), 2 unknown or degraded verdict, 3 usage or parse
    error.  Cmdliner reports its own CLI errors as 124; fold them into
@@ -1169,10 +1261,15 @@ let () =
     Cmd.group ~default info
       [ translate_cmd; tree_cmd; check_cmd; batch_cmd; serve_cmd;
         localize_cmd; synth_cmd; lint_cmd; monitor_cmd; report_cmd;
-        testgen_cmd; patterns_cmd; table_cmd ]
+        testgen_cmd; patterns_cmd; table_cmd; fuzz_cmd ]
+  in
+  (* cmdliner reserves the double dash for long names; accept the
+     documented "--n" spelling anyway. *)
+  let argv =
+    Array.map (fun a -> if a = "--n" then "-n" else a) Sys.argv
   in
   let code =
-    try Cmd.eval ~catch:false group with
+    try Cmd.eval ~catch:false ~argv group with
     | Failure message | Sys_error message ->
       Format.eprintf "speccc: %s@." message;
       3

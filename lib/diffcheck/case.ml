@@ -1,0 +1,71 @@
+open Speccc_logic
+open Speccc_timeabs
+
+type ltl_spec = {
+  inputs : string list;
+  outputs : string list;
+  formulas : Ltl.t list;
+  template : bool;
+}
+
+type t =
+  | Ltl_spec of ltl_spec
+  | Doc of string list
+  | Timeabs of {
+      thetas : int list;
+      domains : Timeabs.delta_domain list;
+      budget : int;
+    }
+  | Partition_adjust of {
+      formulas : Ltl.t list;
+      to_input : string list;
+      to_output : string list;
+    }
+
+let pp_strings ppf xs =
+  Format.fprintf ppf "%s" (String.concat ", " xs)
+
+let pp_domain ppf = function
+  | Timeabs.Nonnegative -> Format.fprintf ppf "nonneg"
+  | Timeabs.Nonpositive -> Format.fprintf ppf "nonpos"
+  | Timeabs.Exact -> Format.fprintf ppf "exact"
+
+let pp ppf = function
+  | Ltl_spec { inputs; outputs; formulas; template } ->
+    Format.fprintf ppf "@[<v>ltl spec (%s):@,inputs: %a@,outputs: %a"
+      (if template then "template" else "free")
+      pp_strings inputs pp_strings outputs;
+    List.iter
+      (fun f -> Format.fprintf ppf "@,  %a" (Ltl_print.pp ~syntax:Ascii) f)
+      formulas;
+    Format.fprintf ppf "@]"
+  | Doc sentences ->
+    Format.fprintf ppf "@[<v>document:";
+    List.iter (fun s -> Format.fprintf ppf "@,  %s" s) sentences;
+    Format.fprintf ppf "@]"
+  | Timeabs { thetas; domains; budget } ->
+    Format.fprintf ppf "@[<v>timeabs: budget %d" budget;
+    List.iter2
+      (fun theta domain ->
+         Format.fprintf ppf "@,  theta %d (%a)" theta pp_domain domain)
+      thetas domains;
+    Format.fprintf ppf "@]"
+  | Partition_adjust { formulas; to_input; to_output } ->
+    Format.fprintf ppf "@[<v>partition adjust:@,to_input: %a@,to_output: %a"
+      pp_strings to_input pp_strings to_output;
+    List.iter
+      (fun f -> Format.fprintf ppf "@,  %a" (Ltl_print.pp ~syntax:Ascii) f)
+      formulas;
+    Format.fprintf ppf "@]"
+
+let formulas_size formulas =
+  List.fold_left (fun acc f -> acc + Ltl.size f) 0 formulas
+
+let size = function
+  | Ltl_spec { formulas; _ } -> formulas_size formulas
+  | Doc sentences ->
+    List.fold_left (fun acc s -> acc + 1 + String.length s / 16) 0 sentences
+  | Timeabs { thetas; budget; _ } ->
+    List.fold_left ( + ) budget thetas
+  | Partition_adjust { formulas; to_input; to_output } ->
+    List.length to_input + List.length to_output + formulas_size formulas

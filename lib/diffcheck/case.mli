@@ -1,0 +1,47 @@
+(** The fuzzer's unit of work: one self-contained checking scenario.
+
+    A case carries everything an oracle needs to re-run it — so a case
+    is also the unit of {e shrinking} ({!Shrink}) and of {e corpus
+    persistence} ({!Corpus}): any divergence can be replayed from its
+    case alone, with no reference to the generator state that produced
+    it. *)
+
+type ltl_spec = {
+  inputs : string list;
+  outputs : string list;
+  formulas : Speccc_logic.Ltl.t list;
+  template : bool;
+      (** true when every formula instantiates the translator fragment
+          (Globally-scope Dwyer templates), where the symbolic engine
+          is complete and its [Inconsistent] verdicts are trusted by
+          the differential oracle; free-form formulas leave this
+          [false] and only soundness-carrying verdicts are compared *)
+}
+
+type t =
+  | Ltl_spec of ltl_spec
+      (** stage-2 scenario: realizability of an LTL specification *)
+  | Doc of string list
+      (** full-pipeline scenario: structured-English sentences fed to
+          the real NLP front end *)
+  | Timeabs of {
+      thetas : int list;
+      domains : Speccc_timeabs.Timeabs.delta_domain list;
+      budget : int;
+    }  (** time-abstraction optimization scenario (duplicate θ and
+           mixed domains allowed — the merge is part of what is
+           checked) *)
+  | Partition_adjust of {
+      formulas : Speccc_logic.Ltl.t list;
+      to_input : string list;
+      to_output : string list;
+    }  (** partition inference over [formulas] followed by a manual
+           {!Speccc_partition.Partition.adjust} with the given move
+           lists *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering (multi-line; used in divergence reports). *)
+
+val size : t -> int
+(** Rough cost metric used by the shrinker to accept strictly smaller
+    candidates only. *)

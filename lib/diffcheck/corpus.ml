@@ -1,0 +1,174 @@
+open Speccc_logic
+module Timeabs = Speccc_timeabs.Timeabs
+
+let domain_name = function
+  | Timeabs.Nonnegative -> "nonneg"
+  | Timeabs.Nonpositive -> "nonpos"
+  | Timeabs.Exact -> "exact"
+
+let domain_of_name = function
+  | "nonneg" -> Some Timeabs.Nonnegative
+  | "nonpos" -> Some Timeabs.Nonpositive
+  | "exact" -> Some Timeabs.Exact
+  | _ -> None
+
+let fstr f = Ltl_print.to_string ~syntax:Ltl_print.Ascii f
+
+let to_string ?divergence case =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (match divergence with
+   | Some d ->
+     line "# oracle: %s" d.Oracle.oracle;
+     (* Evidence may span lines; keep every one a comment. *)
+     String.split_on_char '\n' d.Oracle.detail
+     |> List.iter (fun l -> line "# %s" l)
+   | None -> ());
+  (match case with
+   | Case.Ltl_spec { inputs; outputs; formulas; template } ->
+     line "kind: ltl_spec";
+     line "template: %b" template;
+     line "inputs: %s" (String.concat " " inputs);
+     line "outputs: %s" (String.concat " " outputs);
+     List.iter (fun f -> line "formula: %s" (fstr f)) formulas
+   | Case.Doc sentences ->
+     line "kind: doc";
+     List.iter (fun s -> line "sentence: %s" s) sentences
+   | Case.Timeabs { thetas; domains; budget } ->
+     line "kind: timeabs";
+     line "budget: %d" budget;
+     List.iter2
+       (fun theta domain -> line "theta: %d %s" theta (domain_name domain))
+       thetas domains
+   | Case.Partition_adjust { formulas; to_input; to_output } ->
+     line "kind: partition";
+     line "to_input: %s" (String.concat " " to_input);
+     line "to_output: %s" (String.concat " " to_output);
+     List.iter (fun f -> line "formula: %s" (fstr f)) formulas);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let parse_lines text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun raw ->
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then None
+      else
+        match String.index_opt line ':' with
+        | None -> Some (Error (Printf.sprintf "malformed line %S" line))
+        | Some i ->
+          let key = String.trim (String.sub line 0 i) in
+          let value =
+            String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          in
+          Some (Ok (key, value)))
+  |> List.fold_left
+    (fun acc item ->
+       let* acc = acc in
+       let* kv = item in
+       Ok (kv :: acc))
+    (Ok [])
+  |> Result.map List.rev
+
+let words = function
+  | "" -> []
+  | s -> String.split_on_char ' ' s |> List.filter (( <> ) "")
+
+let values key kvs =
+  List.filter_map (fun (k, v) -> if k = key then Some v else None) kvs
+
+let value key kvs =
+  match values key kvs with
+  | [ v ] -> Ok v
+  | [] -> Error (Printf.sprintf "missing %s" key)
+  | _ -> Error (Printf.sprintf "duplicate %s" key)
+
+let parse_formulas kvs =
+  List.fold_left
+    (fun acc text ->
+       let* acc = acc in
+       match Ltl_parse.formula text with
+       | f -> Ok (f :: acc)
+       | exception Ltl_parse.Error msg ->
+         Error (Printf.sprintf "bad formula %S: %s" text msg))
+    (Ok []) (values "formula" kvs)
+  |> Result.map List.rev
+
+let of_string text =
+  let* kvs = parse_lines text in
+  let* kind = value "kind" kvs in
+  match kind with
+  | "ltl_spec" ->
+    let* template = value "template" kvs in
+    let* template =
+      match bool_of_string_opt template with
+      | Some b -> Ok b
+      | None -> Error "template must be true or false"
+    in
+    let* inputs = value "inputs" kvs in
+    let* outputs = value "outputs" kvs in
+    let* formulas = parse_formulas kvs in
+    Ok
+      (Case.Ltl_spec
+         { inputs = words inputs; outputs = words outputs; formulas;
+           template })
+  | "doc" -> Ok (Case.Doc (values "sentence" kvs))
+  | "timeabs" ->
+    let* budget = value "budget" kvs in
+    let* budget =
+      match int_of_string_opt budget with
+      | Some b -> Ok b
+      | None -> Error "budget must be an integer"
+    in
+    let* pairs =
+      List.fold_left
+        (fun acc entry ->
+           let* acc = acc in
+           match words entry with
+           | [ theta; domain ] ->
+             (match int_of_string_opt theta, domain_of_name domain with
+              | Some t, Some d -> Ok ((t, d) :: acc)
+              | _ -> Error (Printf.sprintf "bad theta entry %S" entry))
+           | _ -> Error (Printf.sprintf "bad theta entry %S" entry))
+        (Ok []) (values "theta" kvs)
+      |> Result.map List.rev
+    in
+    Ok
+      (Case.Timeabs
+         { thetas = List.map fst pairs; domains = List.map snd pairs;
+           budget })
+  | "partition" ->
+    let* to_input = value "to_input" kvs in
+    let* to_output = value "to_output" kvs in
+    let* formulas = parse_formulas kvs in
+    Ok
+      (Case.Partition_adjust
+         { formulas; to_input = words to_input; to_output = words to_output })
+  | other -> Error (Printf.sprintf "unknown kind %S" other)
+
+(* ------------------------------------------------------------------ *)
+
+let write ~dir ~name ?divergence case =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ ".corpus") in
+  let oc = open_out path in
+  output_string oc (to_string ?divergence case);
+  close_out oc;
+  path
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".corpus")
+    |> List.sort compare
+    |> List.map (fun f ->
+        let path = Filename.concat dir f in
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let text = really_input_string ic n in
+        close_in ic;
+        (f, of_string text))

@@ -1,0 +1,30 @@
+(** The regression corpus: divergent cases persisted as replayable
+    text files.
+
+    Every divergence the fuzzer finds is shrunk and written under a
+    corpus directory ([test/corpus/] in this repository) in a
+    line-based [key: value] format; formulas use the parseable Ascii
+    syntax ({!Speccc_logic.Ltl_print}/{!Speccc_logic.Ltl_parse}
+    round-trip).  [dune runtest] replays every entry through
+    {!Oracle.check} so a fixed bug stays fixed.
+
+    Entries record the oracle that fired and the evidence as comments,
+    so a corpus file is also a readable bug report. *)
+
+val to_string : ?divergence:Oracle.divergence -> Case.t -> string
+(** Serialize; the optional divergence is recorded in header
+    comments. *)
+
+val of_string : string -> (Case.t, string) result
+(** Parse a corpus entry; [Error] describes the first offending
+    line. *)
+
+val write :
+  dir:string -> name:string -> ?divergence:Oracle.divergence -> Case.t ->
+  string
+(** Write [<dir>/<name>.corpus] (creating [dir] if needed) and return
+    the path. *)
+
+val load_dir : string -> (string * (Case.t, string) result) list
+(** All [*.corpus] entries of a directory, sorted by file name;
+    missing directory means no entries. *)

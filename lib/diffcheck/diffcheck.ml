@@ -1,0 +1,79 @@
+type finding = {
+  index : int;
+  case : Case.t;
+  shrunk : Case.t;
+  divergence : Oracle.divergence;
+  corpus_file : string option;
+}
+
+type summary = {
+  total : int;
+  by_kind : (string * int) list;
+  findings : finding list;
+}
+
+let kind_name = function
+  | Case.Ltl_spec _ -> "ltl_spec"
+  | Case.Doc _ -> "doc"
+  | Case.Timeabs _ -> "timeabs"
+  | Case.Partition_adjust _ -> "partition"
+
+let run ?(buggy_timeabs = false) ?corpus_dir ?progress ~n ~seed () =
+  let master = Prng.make seed in
+  let counts = Hashtbl.create 4 in
+  let findings = ref [] in
+  for index = 0 to n - 1 do
+    (* One forked stream per case: adding a draw to one generator
+       never shifts the cases after it. *)
+    let rng = Prng.split master in
+    let case = Gen.case rng in
+    (match progress with Some f -> f index case | None -> ());
+    let kind = kind_name case in
+    Hashtbl.replace counts kind
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts kind));
+    match Oracle.check ~buggy_timeabs case with
+    | [] -> ()
+    | first :: _ ->
+      let shrunk, divergence = Shrink.shrink ~buggy_timeabs case first in
+      let corpus_file =
+        Option.map
+          (fun dir ->
+             Corpus.write ~dir
+               ~name:(Printf.sprintf "divergence-seed%d-case%04d" seed index)
+               ~divergence shrunk)
+          corpus_dir
+      in
+      findings := { index; case; shrunk; divergence; corpus_file } :: !findings
+  done;
+  {
+    total = n;
+    by_kind =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+      |> List.sort compare;
+    findings = List.rev !findings;
+  }
+
+let replay ?(buggy_timeabs = false) dir =
+  List.map
+    (fun (file, parsed) ->
+       match parsed with
+       | Error msg -> (file, Error msg)
+       | Ok case -> (file, Ok (Oracle.check ~buggy_timeabs case)))
+    (Corpus.load_dir dir)
+
+let pp_finding ppf { index; shrunk; divergence; corpus_file; _ } =
+  Format.fprintf ppf "@[<v>case %d diverged: %a@,%a" index
+    Oracle.pp_divergence divergence Case.pp shrunk;
+  (match corpus_file with
+   | Some path -> Format.fprintf ppf "@,saved to %s" path
+   | None -> ());
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf { total; by_kind; findings } =
+  Format.fprintf ppf "@[<v>%d cases (%s): %d divergence%s" total
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%d %s" v k) by_kind))
+    (List.length findings)
+    (if List.length findings = 1 then "" else "s");
+  List.iter (fun f -> Format.fprintf ppf "@,%a" pp_finding f) findings;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,48 @@
+(** Driver for the differential/metamorphic fuzzing campaign.
+
+    [run] generates [n] cases from a seed, checks each against every
+    applicable oracle ({!Oracle.check}), shrinks each divergence to a
+    minimal reproducer ({!Shrink.shrink}) and — when a corpus
+    directory is given — persists the shrunk case as a replayable
+    regression entry ({!Corpus}).  The whole campaign is deterministic
+    in [seed] (fuel-bounded engines, splitmix64 streams). *)
+
+type finding = {
+  index : int;                       (** 0-based case number *)
+  case : Case.t;                     (** as generated *)
+  shrunk : Case.t;                   (** minimal reproducer *)
+  divergence : Oracle.divergence;    (** evidence on the shrunk case *)
+  corpus_file : string option;       (** where it was persisted *)
+}
+
+type summary = {
+  total : int;
+  by_kind : (string * int) list;     (** cases generated per kind *)
+  findings : finding list;
+}
+
+val kind_name : Case.t -> string
+(** ["ltl_spec"], ["doc"], ["timeabs"] or ["partition"]. *)
+
+val run :
+  ?buggy_timeabs:bool ->
+  ?corpus_dir:string ->
+  ?progress:(int -> Case.t -> unit) ->
+  n:int ->
+  seed:int ->
+  unit ->
+  summary
+(** [progress] is called before each case is checked (for CLI
+    feedback).  [buggy_timeabs] re-enables the θ' = 0 solver collapse
+    to demonstrate oracle sensitivity; see {!Oracle.check}. *)
+
+val replay :
+  ?buggy_timeabs:bool ->
+  string ->
+  (string * (Oracle.divergence list, string) result) list
+(** Replay every corpus entry of a directory: [Error] is a parse
+    failure, [Ok []] a passing entry, [Ok divs] a still-divergent
+    entry.  An empty or missing directory yields []. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp_summary : Format.formatter -> summary -> unit

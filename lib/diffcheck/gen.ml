@@ -1,0 +1,203 @@
+open Speccc_logic
+open Speccc_timeabs
+module Patterns = Speccc_patterns.Patterns
+
+(* ------------------------------------------------------------------ *)
+(* Formulas                                                           *)
+
+let literal rng props =
+  let p = Ltl.prop (Prng.pick rng props) in
+  if Prng.bool rng then p else Ltl.neg p
+
+let rec formula rng ~props ~depth =
+  if depth <= 0 || Prng.chance rng 0.2 then
+    if Prng.chance rng 0.05 then (if Prng.bool rng then Ltl.tt else Ltl.ff)
+    else literal rng props
+  else
+    let sub () = formula rng ~props ~depth:(depth - 1) in
+    match
+      Prng.pick_weighted rng
+        [ (3, `And); (3, `Or); (2, `Implies); (1, `Iff); (2, `Not);
+          (2, `Next); (2, `Eventually); (2, `Always); (1, `Until);
+          (1, `Weak_until); (1, `Release) ]
+    with
+    | `And -> Ltl.conj (sub ()) (sub ())
+    | `Or -> Ltl.disj (sub ()) (sub ())
+    | `Implies -> Ltl.implies (sub ()) (sub ())
+    | `Iff -> Ltl.iff (sub ()) (sub ())
+    | `Not -> Ltl.neg (sub ())
+    | `Next -> Ltl.next (sub ())
+    | `Eventually -> Ltl.eventually (sub ())
+    | `Always -> Ltl.always (sub ())
+    | `Until -> Ltl.until (sub ()) (sub ())
+    | `Weak_until -> Ltl.weak_until (sub ()) (sub ())
+    | `Release -> Ltl.release (sub ()) (sub ())
+
+(* ------------------------------------------------------------------ *)
+(* LTL specifications                                                 *)
+
+let input_pool = [ "press"; "req"; "lost"; "override" ]
+let output_pool = [ "grant"; "alarm"; "run"; "inflate" ]
+
+(* One Globally-scope template instance: guards over inputs (falling
+   back to outputs in closed specs), responses over outputs.  This is
+   the translator fragment, where the symbolic engine's Inconsistent
+   verdicts are complete and the differential oracle may trust them. *)
+let template_formula rng ~inputs ~outputs =
+  let guard_props = if inputs = [] then outputs else inputs in
+  let guard rng =
+    if Prng.chance rng 0.25 then
+      Ltl.conj (literal rng guard_props) (literal rng guard_props)
+    else literal rng guard_props
+  in
+  match
+    Prng.pick_weighted rng
+      [ (3, `Universality_impl); (2, `Delayed_response); (2, `Response);
+        (1, `Absence); (1, `Universality); (1, `Existence);
+        (1, `Precedence) ]
+  with
+  | `Universality_impl ->
+    Ltl.always (Ltl.implies (guard rng) (literal rng outputs))
+  | `Delayed_response ->
+    let n = Prng.range rng 1 3 in
+    Ltl.always (Ltl.implies (guard rng) (Ltl.next_n n (literal rng outputs)))
+  | `Response ->
+    Patterns.instantiate Patterns.Response ~p:(guard rng)
+      ~s:(literal rng outputs) Patterns.Globally
+  | `Absence ->
+    Patterns.instantiate Patterns.Absence ~p:(literal rng outputs)
+      Patterns.Globally
+  | `Universality ->
+    Patterns.instantiate Patterns.Universality ~p:(literal rng outputs)
+      Patterns.Globally
+  | `Existence ->
+    Patterns.instantiate Patterns.Existence ~p:(literal rng outputs)
+      Patterns.Globally
+  | `Precedence ->
+    Patterns.instantiate Patterns.Precedence ~p:(literal rng outputs)
+      ~s:(guard rng) Patterns.Globally
+
+let ltl_spec rng : Case.ltl_spec =
+  let closed = Prng.chance rng 0.3 in
+  let inputs =
+    if closed then [] else Prng.sample rng (Prng.range rng 1 2) input_pool
+  in
+  let outputs = Prng.sample rng (Prng.range rng 1 3) output_pool in
+  let template = Prng.chance rng 0.6 in
+  let n_reqs = Prng.range rng 1 3 in
+  let formulas =
+    List.init n_reqs (fun _ ->
+        if template then template_formula rng ~inputs ~outputs
+        else formula rng ~props:(inputs @ outputs) ~depth:(Prng.range rng 2 4))
+  in
+  { inputs; outputs; formulas; template }
+
+(* ------------------------------------------------------------------ *)
+(* Structured-English documents                                       *)
+
+let subjects =
+  [ "pump"; "cuff"; "alarm"; "monitor"; "battery"; "button"; "robot";
+    "signal" ]
+
+let verbs = [ "run"; "start"; "stop"; "trigger"; "sound"; "reset" ]
+
+(* Absorbing pairs only (Antonym.defaults): both members reduce to the
+   bare subject proposition, which the antonym-merge oracle relies
+   on.  (positive, negative) *)
+let absorbing_pairs =
+  [ ("available", "unavailable"); ("enabled", "disabled");
+    ("active", "inactive"); ("on", "off"); ("high", "low");
+    ("valid", "invalid") ]
+
+let sentence rng =
+  let subj () = Prng.pick rng subjects in
+  let verb () = Prng.pick rng verbs in
+  let adj () =
+    let pos, neg = Prng.pick rng absorbing_pairs in
+    if Prng.bool rng then pos else neg
+  in
+  (* Two distinct subjects for condition/response sentences, so the
+     conditioning proposition differs from the concluded one. *)
+  let s1 = subj () in
+  let s2 =
+    let rec fresh () = let s = subj () in if s = s1 then fresh () else s in
+    fresh ()
+  in
+  match Prng.int rng 12 with
+  | 0 -> Printf.sprintf "The %s shall %s." s1 (verb ())
+  | 1 -> Printf.sprintf "The %s shall not %s." s1 (verb ())
+  | 2 -> Printf.sprintf "If the %s is %s, the %s shall %s." s1 (adj ()) s2
+           (verb ())
+  | 3 -> Printf.sprintf "When the %s is %s, the %s shall %s in %d seconds."
+           s1 (adj ()) s2 (verb ()) (Prng.range rng 1 5)
+  | 4 -> Printf.sprintf "Whenever the %s is %s, the %s shall be %s." s1
+           (adj ()) s2 (adj ())
+  | 5 -> Printf.sprintf "The %s will %s." s1 (verb ())
+  | 6 -> Printf.sprintf "Eventually the %s shall %s." s1 (verb ())
+  | 7 -> Printf.sprintf "The %s shall %s until the %s is %s." s1 (verb ())
+           s2 (adj ())
+  | 8 -> Printf.sprintf "The %s shall be %s before the %s is %s." s1 (adj ())
+           s2 (adj ())
+  | 9 -> Printf.sprintf "Always the %s shall be %s." s1 (adj ())
+  | 10 -> Printf.sprintf "If the %s is %s, and the %s is %s, the %s shall %s."
+            s1 (adj ()) s2 (adj ())
+            (let rec fresh () =
+               let s = subj () in if s = s1 || s = s2 then fresh () else s in
+             fresh ())
+            (verb ())
+  | _ -> Printf.sprintf "The %s shall not be %s." s1 (adj ())
+
+let doc rng = List.init (Prng.range rng 2 4) (fun _ -> sentence rng)
+
+(* ------------------------------------------------------------------ *)
+(* Time abstraction                                                   *)
+
+let timeabs_case rng =
+  let n = Prng.range rng 1 4 in
+  let thetas = List.init n (fun _ -> Prng.range rng 1 200) in
+  let thetas =
+    (* Deliberate duplicates: the domain-merge path is under test. *)
+    if n >= 2 && Prng.chance rng 0.3 then List.hd thetas :: List.tl thetas
+      @ [ List.hd thetas ]
+    else thetas
+  in
+  let domain rng =
+    Prng.pick rng [ Timeabs.Nonnegative; Timeabs.Nonpositive; Timeabs.Exact ]
+  in
+  let domains = List.map (fun _ -> domain rng) thetas in
+  let budget = Prng.int rng (List.fold_left max 1 thetas + 1) in
+  Case.Timeabs { thetas; domains; budget }
+
+(* ------------------------------------------------------------------ *)
+(* Partition adjustment                                               *)
+
+let partition_case rng =
+  let props = Prng.sample rng (Prng.range rng 3 5) (input_pool @ output_pool) in
+  let n_reqs = Prng.range rng 2 4 in
+  let formulas =
+    List.init n_reqs (fun _ ->
+        Ltl.always
+          (Ltl.implies (literal rng props)
+             (Ltl.next_n (Prng.int rng 2) (literal rng props))))
+  in
+  let to_input = Prng.sample rng (Prng.int rng 3) props in
+  let to_output =
+    (* Mostly disjoint from [to_input]; sometimes overlapping on
+       purpose — the oracle then expects Invalid_argument. *)
+    let pool =
+      if Prng.chance rng 0.2 then props
+      else List.filter (fun p -> not (List.mem p to_input)) props
+    in
+    if pool = [] then [] else Prng.sample rng (Prng.int rng 3) pool
+  in
+  Case.Partition_adjust { formulas; to_input; to_output }
+
+let case rng =
+  match
+    Prng.pick_weighted rng
+      [ (5, `Ltl); (3, `Doc); (3, `Timeabs); (2, `Partition) ]
+  with
+  | `Ltl -> Case.Ltl_spec (ltl_spec rng)
+  | `Doc -> Case.Doc (doc rng)
+  | `Timeabs -> timeabs_case rng
+  | `Partition -> partition_case rng

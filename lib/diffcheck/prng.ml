@@ -1,0 +1,54 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let make seed = { state = Int64.of_int seed }
+
+(* splitmix64 (Steele, Lea, Flood 2014): one 64-bit mixing step per
+   draw; passes BigCrush, trivially portable, and stateless enough to
+   fork streams by reseeding. *)
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* 62-bit non-negative projection (an OCaml int holds 62 value
+     bits); modulo bias is irrelevant at fuzzing bounds (n << 2^62). *)
+  Int64.to_int (Int64.shift_right_logical (next t) 2) mod n
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let chance t p = float_of_int (int t 1_000_000) < p *. 1_000_000.
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let pick_weighted t weighted =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Prng.pick_weighted: no positive weight";
+  let rec find n = function
+    | [] -> invalid_arg "Prng.pick_weighted: empty list"
+    | (w, x) :: rest -> if n < w then x else find (n - w) rest
+  in
+  find (int t total) weighted
+
+let sample t k xs =
+  (* Decorate-sort shuffle on a fresh draw per element: determinism
+     only depends on the stream position, not on list addresses. *)
+  let decorated = List.map (fun x -> (next t, x)) xs in
+  let shuffled = List.sort (fun (a, _) (b, _) -> Int64.compare a b) decorated in
+  List.filteri (fun i _ -> i < k) (List.map snd shuffled)

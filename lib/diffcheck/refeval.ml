@@ -1,0 +1,86 @@
+open Speccc_logic
+
+let fold_pos w i =
+  let n = Trace.length w in
+  if i < n then i
+  else
+    let start = Trace.loop_start w in
+    start + ((i - start) mod (n - start))
+
+let exists_in lo hi p =
+  let rec go j = j <= hi && (p j || go (j + 1)) in
+  go lo
+
+(* Direct unfolded semantics: each temporal operator quantifies over
+   the next [length w + 1] positions, which covers one full loop
+   period from any starting point.  No fixpoint, no memo table —
+   deliberately nothing in common with Trace's evaluator. *)
+let rec holds_at w i f =
+  let i = fold_pos w i in
+  let horizon = Trace.length w in
+  match f with
+  | Ltl.True -> true
+  | Ltl.False -> false
+  | Ltl.Prop p ->
+    (match List.assoc_opt p (Trace.letter_at w i) with
+     | Some b -> b
+     | None -> false)
+  | Ltl.Not g -> not (holds_at w i g)
+  | Ltl.And (a, b) -> holds_at w i a && holds_at w i b
+  | Ltl.Or (a, b) -> holds_at w i a || holds_at w i b
+  | Ltl.Implies (a, b) -> (not (holds_at w i a)) || holds_at w i b
+  | Ltl.Iff (a, b) -> holds_at w i a = holds_at w i b
+  | Ltl.Next g -> holds_at w (i + 1) g
+  | Ltl.Eventually g ->
+    exists_in i (i + horizon) (fun j -> holds_at w j g)
+  | Ltl.Always g ->
+    not (exists_in i (i + horizon) (fun j -> not (holds_at w j g)))
+  | Ltl.Until (a, b) ->
+    exists_in i (i + horizon) (fun j ->
+        holds_at w j b
+        && not (exists_in i (j - 1) (fun k -> not (holds_at w k a))))
+  | Ltl.Weak_until (a, b) ->
+    holds_at w i (Ltl.Until (a, b))
+    || not (exists_in i (i + horizon) (fun j -> not (holds_at w j a)))
+  | Ltl.Release (a, b) ->
+    (* b must hold at every j unless some strictly earlier a releases *)
+    not
+      (exists_in i (i + horizon) (fun j ->
+           (not (holds_at w j b))
+           && not (exists_in i (j - 1) (fun k -> holds_at w k a))))
+
+let holds w f = holds_at w 0 f
+
+let values w f = Array.init (Trace.length w) (fun i -> holds_at w i f)
+
+(* ------------------------------------------------------------------ *)
+(* Model enumeration                                                  *)
+
+let letters_of_mask props total mask =
+  let p = List.length props in
+  List.init total (fun pos ->
+      List.mapi (fun k prop -> (prop, mask lsr ((pos * p) + k) land 1 = 1))
+        props)
+
+let find_model ~props ~max_positions f =
+  let p = List.length props in
+  let result = ref None in
+  (try
+     for total = 1 to max_positions do
+       let assignments = 1 lsl (p * total) in
+       for mask = 0 to assignments - 1 do
+         let letters = letters_of_mask props total mask in
+         for loop_len = 1 to total do
+           let prefix_len = total - loop_len in
+           let prefix = List.filteri (fun i _ -> i < prefix_len) letters in
+           let loop = List.filteri (fun i _ -> i >= prefix_len) letters in
+           let w = Trace.make ~prefix ~loop in
+           if holds w f then begin
+             result := Some w;
+             raise Exit
+           end
+         done
+       done
+     done
+   with Exit -> ());
+  !result

@@ -1,0 +1,31 @@
+(** Naive reference semantics for LTL over lassos.
+
+    An independent implementation of the lasso semantics that
+    {!Speccc_logic.Trace} computes by fixpoint: here every temporal
+    operator is decided by direct quantification over the positions
+    [i .. i + length w] (one full period past the stored positions,
+    which is enough — suffix states repeat with the loop).  Slower by
+    design and sharing no code with [Trace], so the two can be pitted
+    against each other position by position. *)
+
+val holds_at : Speccc_logic.Trace.t -> int -> Speccc_logic.Ltl.t -> bool
+(** [holds_at w i f]: does [w, i ⊨ f] under the unfolded semantics?
+    [i] beyond the stored length folds into the loop. *)
+
+val holds : Speccc_logic.Trace.t -> Speccc_logic.Ltl.t -> bool
+(** [holds_at w 0]. *)
+
+val values : Speccc_logic.Trace.t -> Speccc_logic.Ltl.t -> bool array
+(** Truth at every stored position — same contract as
+    {!Speccc_logic.Trace.values}, computed the slow way. *)
+
+val find_model :
+  props:string list ->
+  max_positions:int ->
+  Speccc_logic.Ltl.t ->
+  Speccc_logic.Trace.t option
+(** Exhaustive lasso enumeration: every prefix/loop split of every
+    total length [1 .. max_positions], every truth assignment over
+    [props].  Returns the first lasso the {e naive} semantics accepts.
+    [None] means no model within the bound — not unsatisfiability.
+    Cost is [2^(|props| · max_positions)]; keep both small. *)

@@ -1,0 +1,111 @@
+open Speccc_logic
+
+let children = function
+  | Ltl.True | Ltl.False | Ltl.Prop _ -> []
+  | Ltl.Not f | Ltl.Next f | Ltl.Eventually f | Ltl.Always f -> [ f ]
+  | Ltl.And (a, b) | Ltl.Or (a, b) | Ltl.Implies (a, b) | Ltl.Iff (a, b)
+  | Ltl.Until (a, b) | Ltl.Weak_until (a, b) | Ltl.Release (a, b) ->
+    [ a; b ]
+
+(* Every list obtained by deleting one element, plus both halves —
+   the classic ddmin step ladder, cheap enough to enumerate. *)
+let list_shrinks xs =
+  let n = List.length xs in
+  if n = 0 then []
+  else
+    let without i = List.filteri (fun j _ -> j <> i) xs in
+    let singles = List.init n without in
+    let halves =
+      if n >= 2 then
+        [
+          List.filteri (fun j _ -> j < n / 2) xs;
+          List.filteri (fun j _ -> j >= n / 2) xs;
+        ]
+      else []
+    in
+    halves @ singles
+
+(* Replace the [i]-th formula by each of its immediate subformulas. *)
+let formula_shrinks formulas =
+  List.concat
+    (List.mapi
+       (fun i f ->
+          List.map
+            (fun c -> List.mapi (fun j g -> if j = i then c else g) formulas)
+            (children f))
+       formulas)
+
+let candidates = function
+  | Case.Ltl_spec spec ->
+    List.map
+      (fun formulas -> Case.Ltl_spec { spec with formulas })
+      (list_shrinks spec.Case.formulas @ formula_shrinks spec.Case.formulas)
+  | Case.Doc sentences ->
+    List.map (fun s -> Case.Doc s) (list_shrinks sentences)
+  | Case.Timeabs { thetas; domains; budget } ->
+    let pairs = List.combine thetas domains in
+    let of_pairs ?(budget = budget) pairs =
+      Case.Timeabs
+        {
+          thetas = List.map fst pairs;
+          domains = List.map snd pairs;
+          budget;
+        }
+    in
+    List.map of_pairs (list_shrinks pairs)
+    @ (if budget > 0 then [ of_pairs ~budget:0 pairs;
+                            of_pairs ~budget:(budget / 2) pairs;
+                            of_pairs ~budget:(budget - 1) pairs ]
+       else [])
+    @ List.concat
+        (List.mapi
+           (fun i (theta, _) ->
+              let replace v =
+                of_pairs
+                  (List.mapi (fun j (t, d) -> if j = i then (v, d) else (t, d))
+                     pairs)
+              in
+              (if theta > 1 then [ replace (theta / 2); replace (theta - 1) ]
+               else []))
+           pairs)
+  | Case.Partition_adjust { formulas; to_input; to_output } ->
+    List.map
+      (fun formulas -> Case.Partition_adjust { formulas; to_input; to_output })
+      (list_shrinks formulas @ formula_shrinks formulas)
+    @ List.map
+        (fun to_input ->
+           Case.Partition_adjust { formulas; to_input; to_output })
+        (list_shrinks to_input)
+    @ List.map
+        (fun to_output ->
+           Case.Partition_adjust { formulas; to_input; to_output })
+        (list_shrinks to_output)
+
+let shrink ?(buggy_timeabs = false) ?(max_attempts = 150) case divergence =
+  let name = divergence.Oracle.oracle in
+  let attempts = ref max_attempts in
+  let refails candidate =
+    if !attempts <= 0 then None
+    else begin
+      decr attempts;
+      List.find_opt
+        (fun d -> d.Oracle.oracle = name)
+        (Oracle.check ~buggy_timeabs candidate)
+    end
+  in
+  let rec descend current current_div =
+    let smaller =
+      List.filter
+        (fun c -> Case.size c < Case.size current)
+        (candidates current)
+    in
+    let rec first_failing = function
+      | [] -> (current, current_div)
+      | c :: rest ->
+        (match refails c with
+         | Some d -> descend c d
+         | None -> first_failing rest)
+    in
+    if !attempts <= 0 then (current, current_div) else first_failing smaller
+  in
+  descend case divergence

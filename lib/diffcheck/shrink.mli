@@ -1,0 +1,21 @@
+(** Delta-debugging of divergent cases.
+
+    Greedy descent: generate structurally smaller candidate cases
+    (dropping requirements, sentences, θ entries or move-list entries;
+    replacing formulas by their immediate subformulas; lowering θ
+    values and budgets) and keep any candidate on which the {e same
+    oracle} still reports a divergence, until a fixpoint.  Oracle
+    re-runs are capped so shrinking a case that drives the synthesis
+    engines stays affordable. *)
+
+val shrink :
+  ?buggy_timeabs:bool ->
+  ?max_attempts:int ->
+  Case.t ->
+  Oracle.divergence ->
+  Case.t * Oracle.divergence
+(** [shrink case d] minimizes [case] while [Oracle.check] keeps
+    reporting a divergence from the same oracle as [d].
+    [max_attempts] (default 150) bounds the number of oracle re-runs;
+    [buggy_timeabs] is threaded through to {!Oracle.check}.  Returns
+    the smallest failing case found and its divergence. *)

@@ -36,4 +36,10 @@ val holds_at : t -> int -> Ltl.t -> bool
 (** [holds_at w i f]: does [w, i ⊨ f]?  [i] may exceed the stored
     length; it is folded into the loop. *)
 
+val values : t -> Ltl.t -> bool array
+(** Truth value of the formula at every stored position (the fixpoint
+    table {!holds_at} reads).  Exposed so independent reference
+    evaluators ({!Speccc_diffcheck.Refeval}) can be pitted against the
+    fixpoint computation position by position. *)
+
 val pp : Format.formatter -> t -> unit

@@ -19,6 +19,19 @@ type analysis = {
 
 module String_set = Set.Make (String)
 
+(* Postcondition shared by {!of_requirements} and {!adjust}: the two
+   classes must stay disjoint (synthesis treats them as disjoint
+   alphabets, so an overlap would silently skew every verdict). *)
+let check_disjoint where partition =
+  let overlap =
+    List.filter (fun p -> List.mem p partition.outputs) partition.inputs
+  in
+  if overlap <> [] then
+    invalid_arg
+      (Printf.sprintf "Partition.%s: inputs and outputs overlap on %s" where
+         (String.concat ", " (List.sort_uniq compare overlap)));
+  partition
+
 (* Collect propositions by position: [Trigger] covers implication
    antecedents and Until right-hand sides (environment events),
    [Response] everything else. *)
@@ -109,13 +122,24 @@ let of_requirements formulas =
     | [], first :: rest -> ([ first ], rest, Some first)
     | _ -> (inputs, outputs, None)
   in
+  let partition = check_disjoint "of_requirements" { inputs; outputs } in
   {
-    partition = { inputs; outputs };
+    partition;
     conflicts = List.sort compare !conflicts;
     forced_input;
   }
 
 let adjust partition ?(to_input = []) ?(to_output = []) () =
+  (* A proposition named in both move lists would land in both classes
+     and break the inputs ∩ outputs = ∅ invariant realizability
+     assumes, so conflicting moves are rejected up front. *)
+  (match List.filter (fun p -> List.mem p to_output) to_input with
+   | [] -> ()
+   | overlap ->
+     invalid_arg
+       (Printf.sprintf
+          "Partition.adjust: %s moved to both inputs and outputs"
+          (String.concat ", " (List.sort_uniq compare overlap))));
   let known = partition.inputs @ partition.outputs in
   let to_input = List.filter (fun p -> List.mem p known) to_input in
   let to_output = List.filter (fun p -> List.mem p known) to_output in
@@ -129,7 +153,7 @@ let adjust partition ?(to_input = []) ?(to_output = []) () =
       (List.filter (fun p -> not (List.mem p to_input)) partition.outputs
        @ to_output)
   in
-  { inputs; outputs }
+  check_disjoint "adjust" { inputs; outputs }
 
 let pp ppf { inputs; outputs } =
   Format.fprintf ppf "@[<v>inputs (%d): %s@,outputs (%d): %s@]"

@@ -37,6 +37,11 @@ val of_requirements : Speccc_logic.Ltl.t list -> analysis
 val adjust :
   t -> ?to_input:string list -> ?to_output:string list -> unit -> t
 (** Manual refinement (stage 3 of the workflow): move propositions
-    between the classes.  Unknown propositions are ignored. *)
+    between the classes.  Unknown propositions are ignored.  Raises
+    [Invalid_argument] when a proposition appears in both move lists
+    (it would land in both classes) or when the result — or the given
+    partition — violates the inputs ∩ outputs = ∅ invariant that
+    realizability assumes; {!of_requirements} asserts the same
+    postcondition. *)
 
 val pp : Format.formatter -> t -> unit

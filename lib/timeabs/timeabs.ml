@@ -24,19 +24,30 @@ type solution = {
   error_total : int;
 }
 
+(* Two constraints on the same θ must both hold, so duplicate θ merge
+   to their most restrictive domain: [Exact] dominates, equal signs
+   keep the sign, and conflicting [Nonnegative]/[Nonpositive] leave
+   only Δ = 0. *)
+let merge_domains a b =
+  match a, b with
+  | Exact, _ | _, Exact -> Exact
+  | Nonnegative, Nonnegative -> Nonnegative
+  | Nonpositive, Nonpositive -> Nonpositive
+  | Nonnegative, Nonpositive | Nonpositive, Nonnegative -> Exact
+
 let build ~budget thetas domains =
-  (* Deduplicate and sort θ descending, keeping each θ's first domain. *)
-  let pairs =
-    List.combine thetas domains
-    |> List.sort_uniq (fun (a, _) (b, _) -> compare b a)
-  in
+  (* Merge duplicate θ (most-restrictive domain wins), sort descending. *)
   let pairs =
     List.fold_left
-      (fun acc ((theta, _) as pair) ->
-         if List.exists (fun (t, _) -> t = theta) acc then acc
-         else pair :: acc)
-      [] pairs
-    |> List.rev
+      (fun acc (theta, domain) ->
+         match List.assoc_opt theta acc with
+         | Some seen ->
+           (theta, merge_domains seen domain)
+           :: List.remove_assoc theta acc
+         | None -> (theta, domain) :: acc)
+      []
+      (List.combine thetas domains)
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
   in
   { thetas = List.map fst pairs; budget; domains = List.map snd pairs }
 
@@ -97,20 +108,26 @@ let gcd_solution thetas =
 
 (* Candidate rewrites for one θ under a fixed divisor: the floor choice
    (arrive early, Δ ≥ 0) and the ceiling choice (arrive late, Δ ≤ 0),
-   filtered by the domain. *)
-let options_for ~divisor ~domain theta =
+   filtered by the domain.  θ' = 0 would rewrite X^θ φ to φ — a timed
+   obligation silently becoming immediate — so it is rejected unless
+   the caller opted into the legacy collapse ([allow_zero_theta]). *)
+let options_for ~allow_zero_theta ~divisor ~domain theta =
   let floor_theta' = theta / divisor in
   let floor_delta = theta - (floor_theta' * divisor) in
   let floor_option = { theta; theta' = floor_theta'; delta = floor_delta } in
-  if floor_delta = 0 then [ floor_option ]
-  else
-    let ceil_option =
-      { theta; theta' = floor_theta' + 1; delta = floor_delta - divisor }
-    in
-    match domain with
-    | Exact -> []
-    | Nonnegative -> [ floor_option ]
-    | Nonpositive -> [ ceil_option ]
+  let options =
+    if floor_delta = 0 then [ floor_option ]
+    else
+      let ceil_option =
+        { theta; theta' = floor_theta' + 1; delta = floor_delta - divisor }
+      in
+      match domain with
+      | Exact -> []
+      | Nonnegative -> [ floor_option ]
+      | Nonpositive -> [ ceil_option ]
+  in
+  if allow_zero_theta then options
+  else List.filter (fun o -> o.theta' >= 1) options
 
 (* Lexicographic comparison on (Σθ', Σ|Δ|). *)
 let better a b =
@@ -119,7 +136,7 @@ let better a b =
   | Some _, None -> true
   | Some (x, e, _), Some (x', e', _) -> x < x' || (x = x' && e < e')
 
-let solve_analytic prob =
+let solve_analytic ?(allow_zero_theta = false) prob =
   let max_theta = List.fold_left max 1 prob.thetas in
   let best = ref None in
   for divisor = 1 to max_theta do
@@ -130,7 +147,7 @@ let solve_analytic prob =
       match thetas, domains with
       | [], [] -> Some (acc_x, acc_err, (divisor, List.rev acc_rewrites))
       | theta :: thetas', domain :: domains' ->
-        (match options_for ~divisor ~domain theta with
+        (match options_for ~allow_zero_theta ~divisor ~domain theta with
          | [ option ] ->
            let err = acc_err + abs option.delta in
            if err > prob.budget then None
@@ -153,15 +170,16 @@ let solve_analytic prob =
 (* --- SMT encoding, per the paper: bit-blasting + lexicographic
    optimization --- *)
 
-let solve_smt prob =
+let solve_smt ?(allow_zero_theta = false) prob =
   let open Speccc_smt in
   let ctx = Smt.create () in
   let max_theta = List.fold_left max 1 prob.thetas in
   let divisor = Smt.var ctx ~lo:1 ~hi:max_theta in
+  let theta'_lo = if allow_zero_theta then 0 else 1 in
   let entries =
     List.map2
       (fun theta domain ->
-         let theta' = Smt.var ctx ~lo:0 ~hi:theta in
+         let theta' = Smt.var ctx ~lo:theta'_lo ~hi:theta in
          let delta_lo, delta_hi =
            match domain with
            | Nonnegative -> (0, max_theta - 1)

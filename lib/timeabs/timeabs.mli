@@ -5,7 +5,14 @@
     every length [θi] is rewritten to [θ'i] via a common divisor [d]
     with a bounded arrival error [Δi]:
 
-    {v θi = θ'i × d + Δi,   -d < Δi < d,   d ≥ 1,  θ'i ≥ 0 v}
+    {v θi = θ'i × d + Δi,   -d < Δi < d,   d ≥ 1,  θ'i ≥ 1 v}
+
+    θ'i ≥ 1 matters: admitting θ'i = 0 would rewrite [X^θ φ] to [φ],
+    silently turning a timed obligation into an immediate one (found
+    by the {!Speccc_diffcheck} metamorphic oracle).  The legacy
+    collapse is still reachable through [~allow_zero_theta:true] so
+    the oracle can demonstrate the bug and the paper's reported Table
+    optimum (which contains a θ' = 0 rewrite) can be reproduced.
 
     subject to a user budget [Σ|Δi| ≤ B] and per-θ sign domains
     (an action may be allowed to arrive only early, only late, or
@@ -51,7 +58,10 @@ val problem_checked :
   int list ->
   (problem, Speccc_runtime.Runtime.error) result
 (** Build a problem; default budget is [max Θ]; default domain is
-    [Nonnegative] for every θ (the Sec. IV-E example).  Returns
+    [Nonnegative] for every θ (the Sec. IV-E example).  Duplicate θ
+    are merged to their most restrictive domain ([Exact] dominates;
+    conflicting [Nonnegative]/[Nonpositive] constraints leave only
+    [Exact]), so every declared constraint is honoured.  Returns
     [Error (Invalid_input _)] (stage ["timeabs"]) on an empty or
     non-positive Θ, a negative budget, or a domain/θ length mismatch —
     all of which can arrive straight from user input.  Never raises. *)
@@ -68,12 +78,15 @@ val gcd_solution : int list -> solution
 (** Divide every chain by [gcd Θ]; always exact ([Δi = 0]).  The paper
     proves this sound: realizability is preserved. *)
 
-val solve_analytic : problem -> solution
+val solve_analytic : ?allow_zero_theta:bool -> problem -> solution
 (** Exact lexicographic optimum by enumerating divisors (1..max Θ) and
-    per-θ floor/ceil choices. *)
+    per-θ floor/ceil choices.  [allow_zero_theta] (default [false])
+    re-admits the legacy θ' = 0 collapse — test/reproduction only;
+    never enable it in the pipeline. *)
 
-val solve_smt : problem -> solution
-(** Same optimum through the bit-blasting SMT encoding. *)
+val solve_smt : ?allow_zero_theta:bool -> problem -> solution
+(** Same optimum through the bit-blasting SMT encoding; same
+    [allow_zero_theta] escape hatch. *)
 
 val apply : solution -> Speccc_logic.Ltl.t -> Speccc_logic.Ltl.t
 (** Rewrite every maximal [X]-chain of length [θi] to length [θ'i].

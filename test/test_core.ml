@@ -322,11 +322,17 @@ let test_cara_working_modes_translate_and_check () =
     (List.length outcome.Pipeline.formulas);
   Alcotest.(check bool) "consistent" true
     (is_consistent outcome.Pipeline.report);
-  (* time abstraction found Θ = {180, 60, 3} and compressed it *)
+  (* time abstraction found Θ = {180, 60, 3} and compressed it; with
+     θ' ≥ 1 enforced (no timed obligation may collapse to an immediate
+     one) the best divisor is the GCD, 3 *)
   (match outcome.Pipeline.time_solution with
    | Some solution ->
-     Alcotest.(check int) "divisor 60" 60
-       solution.Speccc_timeabs.Timeabs.divisor
+     Alcotest.(check int) "divisor 3" 3
+       solution.Speccc_timeabs.Timeabs.divisor;
+     Alcotest.(check bool) "no collapsed chain" true
+       (List.for_all
+          (fun r -> r.Speccc_timeabs.Timeabs.theta' >= 1)
+          solution.Speccc_timeabs.Timeabs.rewrites)
    | None -> Alcotest.fail "expected time abstraction")
 
 let test_cara_mode_description () =

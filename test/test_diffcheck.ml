@@ -1,0 +1,326 @@
+(* Tests for the differential/metamorphic fuzzing subsystem: PRNG
+   determinism, generated documents staying inside the grammar, the
+   naive reference evaluator against Trace's fixpoint semantics, a
+   clean fuzz window on the fixed code, the buggy-timeabs drill (the
+   oracle must catch and shrink the pre-fix θ' = 0 collapse), corpus
+   round-trips and corpus replay. *)
+
+open Speccc_logic
+open Speccc_diffcheck
+module Timeabs = Speccc_timeabs.Timeabs
+module Translate = Speccc_translate.Translate
+
+(* --- PRNG --- *)
+
+let test_prng_deterministic () =
+  let draw seed = List.init 100 (fun _ -> Prng.int (Prng.make seed) 1000) in
+  ignore (draw 0);
+  let a = Prng.make 7 and b = Prng.make 7 in
+  let xs = List.init 100 (fun _ -> Prng.int a 1_000_000) in
+  let ys = List.init 100 (fun _ -> Prng.int b 1_000_000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Prng.make 8 in
+  let zs = List.init 100 (fun _ -> Prng.int c 1_000_000) in
+  Alcotest.(check bool) "different seed, different stream" true (xs <> zs)
+
+let test_prng_bounds () =
+  (* Regression: the first projection kept 63 bits, overflowing
+     OCaml's native int and returning negative values. *)
+  let rng = Prng.make 123 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 7 in
+    if v < 0 || v >= 7 then
+      Alcotest.failf "Prng.int out of bounds: %d" v;
+    let r = Prng.range rng 5 9 in
+    if r < 5 || r > 9 then Alcotest.failf "Prng.range out of bounds: %d" r
+  done
+
+let test_prng_split_stability () =
+  (* Forked streams decouple cases: drawing more from one fork must
+     not change the next fork's draws. *)
+  let master1 = Prng.make 42 in
+  let fork1 = Prng.split master1 in
+  ignore (Prng.int fork1 100);
+  let second1 = Prng.int (Prng.split master1) 1_000_000 in
+  let master2 = Prng.make 42 in
+  let fork2 = Prng.split master2 in
+  ignore (Prng.int fork2 100);
+  ignore (Prng.int fork2 100);
+  ignore (Prng.bool fork2);
+  let second2 = Prng.int (Prng.split master2) 1_000_000 in
+  Alcotest.(check int) "second fork unaffected" second1 second2
+
+(* --- generators --- *)
+
+let test_generated_docs_parse () =
+  let config = Translate.default_config () in
+  for seed = 1 to 30 do
+    let doc = Gen.doc (Prng.make seed) in
+    match Translate.specification config doc with
+    | result ->
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: every sentence translated" seed)
+        (List.length doc)
+        (List.length result.Translate.requirements)
+    | exception Speccc_nlp.Parser.Error msg ->
+      Alcotest.failf "seed %d: generated document is ungrammatical: %s\n%s"
+        seed msg (String.concat "\n" doc)
+  done
+
+let test_generator_deterministic () =
+  let gen seed =
+    List.init 10 (fun _ -> Gen.case (Prng.split (Prng.make seed)))
+  in
+  let render cases =
+    String.concat "\n---\n" (List.map (Format.asprintf "%a" Case.pp) cases)
+  in
+  Alcotest.(check string) "same seed, same cases" (render (gen 42))
+    (render (gen 42))
+
+(* --- reference evaluator vs Trace --- *)
+
+let prop_names = [ "a"; "b"; "c" ]
+
+let formula_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self size ->
+      if size <= 1 then
+        oneof
+          [ return Ltl.True; return Ltl.False;
+            map Ltl.prop (oneofl prop_names) ]
+      else
+        let sub = self (size / 2) in
+        oneof
+          [
+            map Ltl.prop (oneofl prop_names);
+            map (fun f -> Ltl.Not f) sub;
+            map2 (fun f g -> Ltl.And (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Or (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Implies (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Iff (f, g)) sub sub;
+            map (fun f -> Ltl.Next f) sub;
+            map (fun f -> Ltl.Eventually f) sub;
+            map (fun f -> Ltl.Always f) sub;
+            map2 (fun f g -> Ltl.Until (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Weak_until (f, g)) sub sub;
+            map2 (fun f g -> Ltl.Release (f, g)) sub sub;
+          ])
+
+let letter_gen =
+  let open QCheck2.Gen in
+  let entry name = map (fun b -> (name, b)) bool in
+  flatten_l (List.map entry prop_names)
+
+let trace_gen =
+  let open QCheck2.Gen in
+  map2
+    (fun prefix loop -> Trace.make ~prefix ~loop)
+    (list_size (int_range 0 3) letter_gen)
+    (list_size (int_range 1 3) letter_gen)
+
+let prop_refeval_agrees_with_trace =
+  QCheck2.Test.make ~count:500
+    ~name:"naive unfolded semantics = Trace fixpoint semantics"
+    QCheck2.Gen.(pair formula_gen trace_gen)
+    (fun (f, w) ->
+       Array.to_list (Trace.values w f) = Array.to_list (Refeval.values w f)
+       && List.for_all
+            (fun i -> Trace.holds_at w i f = Refeval.holds_at w i f)
+            (List.init (Trace.length w + 3) Fun.id))
+
+let prop_weak_until_release_duals =
+  (* targeted at the operators the translator rarely emits *)
+  QCheck2.Test.make ~count:300 ~name:"W and R agree across evaluators"
+    QCheck2.Gen.(triple formula_gen formula_gen trace_gen)
+    (fun (f, g, w) ->
+       let wu = Ltl.Weak_until (f, g) and r = Ltl.Release (f, g) in
+       Trace.holds w wu = Refeval.holds w wu
+       && Trace.holds w r = Refeval.holds w r)
+
+let test_find_model_sound () =
+  let f = Ltl_parse.formula "F (a && X !a)" in
+  match Refeval.find_model ~props:[ "a" ] ~max_positions:3 f with
+  | None -> Alcotest.fail "satisfiable formula, no model found"
+  | Some w ->
+    Alcotest.(check bool) "model satisfies (trace)" true (Trace.holds w f);
+    Alcotest.(check bool) "model satisfies (naive)" true (Refeval.holds w f)
+
+let test_find_model_none_for_unsat () =
+  let f = Ltl_parse.formula "a && !a" in
+  Alcotest.(check bool) "no model" true
+    (Refeval.find_model ~props:[ "a" ] ~max_positions:3 f = None)
+
+(* --- oracles --- *)
+
+let paper_instance =
+  Case.Timeabs
+    {
+      thetas = [ 3; 180; 60 ];
+      domains = [ Timeabs.Nonnegative; Timeabs.Nonnegative;
+                  Timeabs.Nonnegative ];
+      budget = 5;
+    }
+
+let test_fixed_timeabs_clean () =
+  Alcotest.(check int) "no divergence on the fixed solver" 0
+    (List.length (Oracle.check paper_instance))
+
+let test_buggy_timeabs_caught_and_shrunk () =
+  (* Re-enabling the θ' = 0 collapse must trip the metamorphic oracle
+     on the paper's own instance, and the reproducer must shrink. *)
+  match Oracle.check ~buggy_timeabs:true paper_instance with
+  | [] -> Alcotest.fail "oracle missed the θ'=0 collapse"
+  | first :: _ ->
+    Alcotest.(check string) "timeabs oracle fired" "timeabs"
+      first.Oracle.oracle;
+    let shrunk, divergence =
+      Shrink.shrink ~buggy_timeabs:true paper_instance first
+    in
+    Alcotest.(check string) "shrunk case still diverges" "timeabs"
+      divergence.Oracle.oracle;
+    Alcotest.(check bool) "reproducer got smaller" true
+      (Case.size shrunk < Case.size paper_instance);
+    (match shrunk with
+     | Case.Timeabs { thetas; _ } ->
+       Alcotest.(check bool) "at most two thetas remain" true
+         (List.length thetas <= 2)
+     | _ -> Alcotest.fail "shrinking changed the case kind")
+
+let test_partition_overlap_case_clean () =
+  (* The corpus reproducer for the adjust-overlap bug: the oracle
+     expects Invalid_argument, which the fixed adjust now raises. *)
+  let case =
+    Case.Partition_adjust
+      {
+        formulas =
+          [ Ltl_parse.formula "G (req -> X grant)";
+            Ltl_parse.formula "G (grant -> X run)" ];
+        to_input = [ "grant" ];
+        to_output = [ "grant"; "run" ];
+      }
+  in
+  Alcotest.(check int) "no divergence" 0 (List.length (Oracle.check case))
+
+let test_fuzz_window_clean () =
+  let summary = Diffcheck.run ~n:25 ~seed:42 () in
+  Alcotest.(check int) "25 cases" 25 summary.Diffcheck.total;
+  (match summary.Diffcheck.findings with
+   | [] -> ()
+   | f :: _ ->
+     Alcotest.failf "unexpected divergence: %a" Oracle.pp_divergence
+       f.Diffcheck.divergence)
+
+let test_fuzz_buggy_window_finds () =
+  let summary = Diffcheck.run ~buggy_timeabs:true ~n:60 ~seed:42 () in
+  Alcotest.(check bool) "the drill produces findings" true
+    (summary.Diffcheck.findings <> []);
+  List.iter
+    (fun f ->
+       Alcotest.(check string) "every finding is a timeabs collapse"
+         "timeabs" f.Diffcheck.divergence.Oracle.oracle)
+    summary.Diffcheck.findings
+
+(* --- corpus --- *)
+
+let roundtrip case =
+  match Corpus.of_string (Corpus.to_string case) with
+  | Error msg -> Alcotest.failf "corpus round-trip failed: %s" msg
+  | Ok case' ->
+    Alcotest.(check string) "round-trip preserves the case"
+      (Corpus.to_string case) (Corpus.to_string case')
+
+let test_corpus_roundtrip () =
+  roundtrip paper_instance;
+  roundtrip
+    (Case.Ltl_spec
+       {
+         inputs = [ "req" ];
+         outputs = [ "grant" ];
+         formulas =
+           [ Ltl_parse.formula "G (req -> X grant)";
+             Ltl_parse.formula "F grant" ];
+         template = true;
+       });
+  roundtrip
+    (Case.Doc
+       [ "The pump shall run."; "If the cuff is available, the alarm \
+                                 shall sound." ]);
+  roundtrip
+    (Case.Partition_adjust
+       {
+         formulas = [ Ltl_parse.formula "G (a -> b)" ];
+         to_input = [ "b" ];
+         to_output = [];
+       })
+
+let test_corpus_rejects_garbage () =
+  (match Corpus.of_string "kind: nonsense\n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown kind accepted");
+  (match Corpus.of_string "kind: timeabs\nbudget: x\n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bad budget accepted")
+
+let test_corpus_replay () =
+  (* Every persisted regression entry must parse and stay quiet on the
+     fixed code. *)
+  (* dune runtest runs in _build/default/test (deps put corpus/ there);
+     dune exec from the repo root sees test/corpus instead. *)
+  let dir = if Sys.file_exists "corpus" then "corpus" else "test/corpus" in
+  let results = Diffcheck.replay dir in
+  Alcotest.(check bool) "corpus entries present" true
+    (List.length results >= 4);
+  List.iter
+    (fun (file, outcome) ->
+       match outcome with
+       | Error msg -> Alcotest.failf "%s: parse error: %s" file msg
+       | Ok [] -> ()
+       | Ok (d :: _) ->
+         Alcotest.failf "%s: still divergent: %a" file Oracle.pp_divergence d)
+    results
+
+let () =
+  Alcotest.run "diffcheck"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "split stability" `Quick
+            test_prng_split_stability;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "documents parse" `Quick
+            test_generated_docs_parse;
+          Alcotest.test_case "deterministic" `Quick
+            test_generator_deterministic;
+        ] );
+      ( "refeval",
+        [
+          QCheck_alcotest.to_alcotest prop_refeval_agrees_with_trace;
+          QCheck_alcotest.to_alcotest prop_weak_until_release_duals;
+          Alcotest.test_case "find_model sound" `Quick test_find_model_sound;
+          Alcotest.test_case "find_model unsat" `Quick
+            test_find_model_none_for_unsat;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "fixed timeabs clean" `Quick
+            test_fixed_timeabs_clean;
+          Alcotest.test_case "buggy timeabs caught and shrunk" `Quick
+            test_buggy_timeabs_caught_and_shrunk;
+          Alcotest.test_case "partition overlap clean" `Quick
+            test_partition_overlap_case_clean;
+          Alcotest.test_case "fuzz window clean" `Slow test_fuzz_window_clean;
+          Alcotest.test_case "buggy fuzz window finds" `Slow
+            test_fuzz_buggy_window_finds;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "round-trip" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_corpus_rejects_garbage;
+          Alcotest.test_case "replay" `Quick test_corpus_replay;
+        ] );
+    ]

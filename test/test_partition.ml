@@ -92,6 +92,52 @@ let test_adjust () =
   Alcotest.(check (list string)) "unknown ignored" partition.inputs
     same.inputs
 
+(* Regression: a proposition named in both move lists used to land in
+   both classes, silently breaking the inputs ∩ outputs = ∅ invariant
+   realizability assumes.  Conflicting moves are now rejected, and
+   both construction paths assert the invariant. *)
+let test_adjust_overlapping_moves_rejected () =
+  let partition = { inputs = [ "a"; "b" ]; outputs = [ "c" ] } in
+  Alcotest.check_raises "overlap rejected"
+    (Invalid_argument "Partition.adjust: a moved to both inputs and outputs")
+    (fun () -> ignore (adjust partition ~to_input:[ "a" ] ~to_output:[ "a" ] ()));
+  (* even when the prop is unknown: the request itself is contradictory *)
+  Alcotest.check_raises "unknown overlap rejected"
+    (Invalid_argument "Partition.adjust: zz moved to both inputs and outputs")
+    (fun () ->
+       ignore (adjust partition ~to_input:[ "zz" ] ~to_output:[ "zz" ] ()))
+
+let test_adjust_rejects_corrupt_partition () =
+  let corrupt = { inputs = [ "a" ]; outputs = [ "a" ] } in
+  Alcotest.check_raises "corrupt input partition surfaced"
+    (Invalid_argument "Partition.adjust: inputs and outputs overlap on a")
+    (fun () -> ignore (adjust corrupt ()))
+
+let prop_adjust_keeps_disjointness =
+  let open QCheck2.Gen in
+  let props = [ "a"; "b"; "c"; "d"; "e" ] in
+  let formula_gen =
+    let p = map Ltl.prop (oneofl props) in
+    map2 (fun a b -> Ltl.always (Ltl.implies a b)) p p
+  in
+  let moves = list_size (int_range 0 3) (oneofl props) in
+  QCheck2.Test.make ~count:200
+    ~name:"adjust preserves the disjoint-cover invariant"
+    (triple (list_size (int_range 1 4) formula_gen) moves moves)
+    (fun (formulas, to_input, to_output) ->
+       let analysis = of_requirements formulas in
+       let overlap = List.exists (fun p -> List.mem p to_output) to_input in
+       match adjust analysis.partition ~to_input ~to_output () with
+       | adjusted ->
+         (not overlap)
+         && List.for_all
+              (fun p -> not (List.mem p adjusted.outputs))
+              adjusted.inputs
+         && List.sort compare (adjusted.inputs @ adjusted.outputs)
+            = List.sort compare
+                (analysis.partition.inputs @ analysis.partition.outputs)
+       | exception Invalid_argument _ -> overlap)
+
 let prop_partition_is_disjoint_cover =
   let formula_gen =
     let open QCheck2.Gen in
@@ -137,6 +183,11 @@ let () =
           Alcotest.test_case "no-input fallback" `Quick
             test_no_input_fallback;
           Alcotest.test_case "adjust" `Quick test_adjust;
+          Alcotest.test_case "overlapping moves rejected" `Quick
+            test_adjust_overlapping_moves_rejected;
+          Alcotest.test_case "corrupt partition surfaced" `Quick
+            test_adjust_rejects_corrupt_partition;
           QCheck_alcotest.to_alcotest prop_partition_is_disjoint_cover;
+          QCheck_alcotest.to_alcotest prop_adjust_keeps_disjointness;
         ] );
     ]

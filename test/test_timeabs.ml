@@ -36,7 +36,9 @@ let test_gcd_example () =
 
 let check_paper_optimum solution =
   (* The paper's reported optimum: d = 60, θ' = (0, 3, 1),
-     Δ = (3, 0, 0). *)
+     Δ = (3, 0, 0).  It contains a θ' = 0 rewrite — X³φ becomes φ —
+     so reproducing it requires the [allow_zero_theta] escape hatch;
+     the default solver refuses to collapse a timed obligation. *)
   Alcotest.(check int) "divisor 60" 60 solution.divisor;
   Alcotest.(check int) "ΣX = 4" 4 solution.x_total;
   Alcotest.(check int) "Σ|Δ| = 3" 3 solution.error_total;
@@ -47,10 +49,85 @@ let check_paper_optimum solution =
   Alcotest.(check int) "θ=60 -> 1" 1 (find 60).theta'
 
 let test_paper_example_analytic () =
-  check_paper_optimum (solve_analytic (problem ~budget:5 [ 3; 180; 60 ]))
+  check_paper_optimum
+    (solve_analytic ~allow_zero_theta:true (problem ~budget:5 [ 3; 180; 60 ]))
 
 let test_paper_example_smt () =
-  check_paper_optimum (solve_smt (problem ~budget:5 [ 3; 180; 60 ]))
+  check_paper_optimum
+    (solve_smt ~allow_zero_theta:true (problem ~budget:5 [ 3; 180; 60 ]))
+
+let check_default_optimum solution =
+  (* Same instance without the escape hatch: every θ' ≥ 1 forces
+     d ≤ min Θ, so the best divisor is the GCD, 3 — exact, with
+     Σθ' = 1 + 60 + 20. *)
+  Alcotest.(check int) "divisor 3" 3 solution.divisor;
+  Alcotest.(check int) "ΣX = 81" 81 solution.x_total;
+  Alcotest.(check int) "Σ|Δ| = 0" 0 solution.error_total;
+  List.iter
+    (fun r ->
+       Alcotest.(check bool)
+         (Printf.sprintf "θ=%d keeps a chain" r.theta)
+         true (r.theta' >= 1))
+    solution.rewrites
+
+let test_default_refuses_collapse_analytic () =
+  check_default_optimum (solve_analytic (problem ~budget:5 [ 3; 180; 60 ]))
+
+let test_default_refuses_collapse_smt () =
+  check_default_optimum (solve_smt (problem ~budget:5 [ 3; 180; 60 ]))
+
+(* Regression for the θ' = 0 collapse: whenever budget ≥ some θ, the
+   old solver could zero that chain out entirely (here θ = 1 with
+   budget 1: d = 7 rewrites X¹ to X⁰ with Δ = 1, "optimal" at
+   Σθ' = 1).  The fixed solver must keep every chain. *)
+let test_budget_at_least_theta_no_collapse () =
+  let prob = problem ~budget:1 [ 1; 7 ] in
+  List.iter
+    (fun (name, solve) ->
+       let s = solve prob in
+       List.iter
+         (fun r ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: θ=%d not collapsed" name r.theta)
+              true (r.theta' >= 1))
+         s.rewrites;
+       Alcotest.(check int) (name ^ ": divisor 1") 1 s.divisor;
+       Alcotest.(check int) (name ^ ": ΣX") 8 s.x_total)
+    [ ("analytic", solve_analytic ?allow_zero_theta:None);
+      ("smt", solve_smt ?allow_zero_theta:None) ];
+  (* the escape hatch brings the legacy collapse back, on purpose *)
+  let legacy = solve_analytic ~allow_zero_theta:true prob in
+  Alcotest.(check int) "legacy divisor 7" 7 legacy.divisor;
+  Alcotest.(check int) "legacy ΣX = 1" 1 legacy.x_total
+
+(* Regression for the duplicate-θ domain merge: [build] used to
+   sort_uniq the (θ, domain) pairs, keeping an arbitrary domain for a
+   duplicated θ.  Declaring θ = 6 both Exact and Nonnegative must
+   honour Exact: the solver may not put any error on it. *)
+let test_duplicate_theta_merges_to_most_restrictive () =
+  let prob =
+    problem ~budget:2 ~domains:[ Exact; Nonnegative; Nonnegative ] [ 6; 6; 4 ]
+  in
+  Alcotest.(check (list int)) "θ deduplicated" [ 6; 4 ] prob.thetas;
+  List.iter
+    (fun (name, solution) ->
+       let r6 = List.find (fun r -> r.theta = 6) solution.rewrites in
+       Alcotest.(check int) (name ^ ": Δ(6) = 0 (Exact honoured)") 0 r6.delta;
+       (* d = 4 would win (ΣX = 2) if the Exact constraint were
+          dropped; honouring it forces d = 3 *)
+       Alcotest.(check int) (name ^ ": divisor 3") 3 solution.divisor;
+       Alcotest.(check int) (name ^ ": ΣX = 3") 3 solution.x_total)
+    [ ("analytic", solve_analytic prob); ("smt", solve_smt prob) ]
+
+let test_conflicting_sign_domains_merge_to_exact () =
+  (* Nonnegative ∧ Nonpositive on the same θ leaves only Δ = 0. *)
+  let prob =
+    problem ~budget:4 ~domains:[ Nonnegative; Nonpositive ] [ 5; 5 ]
+  in
+  let solution = solve_analytic prob in
+  let r5 = List.find (fun r -> r.theta = 5) solution.rewrites in
+  Alcotest.(check int) "Δ(5) = 0" 0 r5.delta;
+  Alcotest.(check int) "divisor 5" 5 solution.divisor
 
 let test_budget_zero_falls_back_to_gcd () =
   let solution = solve_analytic (problem ~budget:0 [ 3; 180; 60 ]) in
@@ -104,7 +181,7 @@ let prop_solution_satisfies_constraints =
             (fun r ->
                r.theta = (r.theta' * s.divisor) + r.delta
                && r.delta > -s.divisor && r.delta < s.divisor
-               && r.theta' >= 0)
+               && r.theta' >= 1)
             s.rewrites
        && List.fold_left (fun acc r -> acc + abs r.delta) 0 s.rewrites
           <= prob.budget)
@@ -168,6 +245,16 @@ let () =
             test_paper_example_analytic;
           Alcotest.test_case "paper optimum (smt)" `Quick
             test_paper_example_smt;
+          Alcotest.test_case "default refuses collapse (analytic)" `Quick
+            test_default_refuses_collapse_analytic;
+          Alcotest.test_case "default refuses collapse (smt)" `Quick
+            test_default_refuses_collapse_smt;
+          Alcotest.test_case "budget >= theta regression" `Quick
+            test_budget_at_least_theta_no_collapse;
+          Alcotest.test_case "duplicate theta domain merge" `Quick
+            test_duplicate_theta_merges_to_most_restrictive;
+          Alcotest.test_case "conflicting sign domains" `Quick
+            test_conflicting_sign_domains_merge_to_exact;
           Alcotest.test_case "exact domain" `Quick test_exact_domain;
           Alcotest.test_case "nonpositive domain" `Quick
             test_nonpositive_domain;
