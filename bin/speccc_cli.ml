@@ -223,6 +223,47 @@ let print_stats () =
   Format.eprintf "%a@?" Speccc_cache.Cache.pp_stats
     (Speccc_cache.Cache.stats ())
 
+let print_store_stats store =
+  let module Store = Speccc_store.Store in
+  let s = Store.stats store in
+  Format.eprintf
+    "== store ==@.verdict-store     live=%d appends=%d hits=%d misses=%d \
+     compactions=%d recovered_bytes=%d crc_failures=%d file_bytes=%d@."
+    s.Store.live s.Store.appends s.Store.hits s.Store.misses
+    s.Store.compactions s.Store.recovered_bytes s.Store.crc_failures
+    s.Store.file_bytes
+
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"PATH"
+         ~doc:"Persistent content-addressed verdict store.  Definite \
+               verdicts (consistent/inconsistent) are looked up before \
+               any engine runs and appended after; the file survives \
+               crashes (checksummed records, torn tails truncated on \
+               open), so repeated specs are answered without burning \
+               engine fuel in any later run.")
+
+let fsync_arg =
+  Arg.(value & flag
+       & info [ "fsync" ]
+         ~doc:"fsync journal and verdict-store appends, so records \
+               survive the machine dying, not just the process.")
+
+(* Wire the verdict store into the harness hooks (the serve mode does
+   this itself through its config; batch wires it here). *)
+let harness_with_store harness store =
+  let module Store = Speccc_store.Store in
+  let module Harness = Speccc_harness.Harness in
+  match store with
+  | None -> harness
+  | Some st ->
+    let salt = Store.salt_of_options harness.Harness.options in
+    { harness with
+      Harness.store_find =
+        Some (fun doc -> Store.find st (Store.key ~salt doc));
+      store_put =
+        Some (fun doc result -> Store.put st ~key:(Store.key ~salt doc) result) }
+
 (* --inject CHECKPOINT[@AFTER]=ACTION[:ARG] — install a deterministic
    fault plan before the run (chaos drills from the command line).
    Examples: engine.symbolic=fail:boom, sat.solve@2=exhaust,
@@ -425,7 +466,7 @@ let batch_cmd =
                  the sequential run.")
   in
   let run files engine lookahead time_budget fuel deadline certify recover
-      journal resume retries jobs stats inject seed =
+      journal resume retries jobs stats inject seed store_path fsync =
     if resume && journal = None then
       failwith "--resume requires --journal PATH";
     install_faults inject seed;
@@ -448,15 +489,24 @@ let batch_cmd =
              (Sys.Signal_handle (fun _ -> Atomic.set interrupted true)))
       with Invalid_argument _ | Sys_error _ -> None
     in
+    let store =
+      Option.map (fun path -> Speccc_store.Store.open_ ~fsync path) store_path
+    in
     let config =
       { (Speccc_harness.Harness.default_config ()) with
         Speccc_harness.Harness.options; retries; journal; resume; jobs;
+        journal_fsync = fsync;
         stop = (fun () -> Atomic.get interrupted) }
     in
+    let config = harness_with_store config store in
     let summary = Speccc_harness.Harness.run_files config files in
     Option.iter (Sys.set_signal Sys.sigint) previous;
     Format.printf "%a@." Speccc_harness.Harness.pp_summary summary;
-    if stats then print_stats ();
+    if stats then begin
+      print_stats ();
+      Option.iter print_store_stats store
+    end;
+    Option.iter Speccc_store.Store.close store;
     if summary.Speccc_harness.Harness.interrupted then exit 130
     else if summary.Speccc_harness.Harness.exit_code <> 0 then
       exit summary.Speccc_harness.Harness.exit_code
@@ -470,7 +520,8 @@ let batch_cmd =
     Term.(const run $ files_arg $ engine_arg $ lookahead_arg
           $ time_budget_arg $ fuel_arg $ deadline_arg $ certify_arg
           $ recover_arg $ journal_arg $ resume_arg $ retries_arg
-          $ jobs_arg $ stats_arg $ inject_arg $ seed_arg)
+          $ jobs_arg $ stats_arg $ inject_arg $ seed_arg $ store_arg
+          $ fsync_arg)
 
 (* ---------- serve ---------- *)
 
@@ -542,7 +593,7 @@ let serve_cmd =
   in
   let run socket workers queue high_water deadline grace journal
       breaker_threshold breaker_cooldown engine lookahead time_budget fuel
-      certify recover retries stats inject seed =
+      certify recover retries stats inject seed store_path fsync =
     install_faults inject seed;
     if workers < 1 then
       failwith (Printf.sprintf "--workers must be >= 1 (got %d)" workers);
@@ -558,9 +609,13 @@ let serve_cmd =
       failwith (Printf.sprintf "--retries must be >= 0 (got %d)" retries);
     let options = options_of ?fuel ~engine ~lookahead ~time_budget () in
     let options = { options with Pipeline.certify; recover } in
+    let store =
+      Option.map (fun path -> Speccc_store.Store.open_ ~fsync path) store_path
+    in
     let harness =
       { (Speccc_harness.Harness.default_config ()) with
-        Speccc_harness.Harness.options; retries; journal }
+        Speccc_harness.Harness.options; retries; journal;
+        journal_fsync = fsync }
     in
     let config =
       { (Speccc_server.Server.default_config ()) with
@@ -571,7 +626,7 @@ let serve_cmd =
            | Some n -> Some n
            | None -> Some queue);
         deadline; grace;
-        breaker_threshold; breaker_cooldown }
+        breaker_threshold; breaker_cooldown; store }
     in
     (* SIGTERM/SIGINT request a graceful drain: finish in-flight
        requests, flush the journal, exit 0. *)
@@ -591,8 +646,10 @@ let serve_cmd =
     in
     if stats then begin
       Format.eprintf "%a@." Speccc_server.Server.pp_stats server_stats;
-      print_stats ()
-    end
+      print_stats ();
+      Option.iter print_store_stats store
+    end;
+    Option.iter Speccc_store.Store.close store
   in
   Cmd.v
     (Cmd.info "serve"
@@ -605,7 +662,145 @@ let serve_cmd =
           $ serve_deadline_arg $ grace_arg $ journal_arg
           $ breaker_threshold_arg $ breaker_cooldown_arg $ engine_arg
           $ lookahead_arg $ time_budget_arg $ fuel_arg $ certify_arg
-          $ recover_arg $ retries_arg $ stats_arg $ inject_arg $ seed_arg)
+          $ recover_arg $ retries_arg $ stats_arg $ inject_arg $ seed_arg
+          $ store_arg $ fsync_arg)
+
+(* ---------- route ---------- *)
+
+let route_cmd =
+  let shards_arg =
+    Arg.(value & opt int 3
+         & info [ "shards" ] ~docv:"N"
+           ~doc:"Worker processes to spawn and route across.")
+  in
+  let replicas_arg =
+    Arg.(value & opt int 32
+         & info [ "replicas" ] ~docv:"N"
+           ~doc:"Virtual ring points per shard (more points smooth \
+                 the load split).")
+  in
+  let route_retries_arg =
+    Arg.(value & opt int 2
+         & info [ "failover-retries" ] ~docv:"N"
+           ~doc:"Extra shards a request is re-dispatched to after its \
+                 home shard fails.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 30.0
+         & info [ "request-timeout" ] ~docv:"SECONDS"
+           ~doc:"Seconds to wait for a worker's response before \
+                 declaring it wedged, killing it and failing over; \
+                 keep it above the workers' watchdog ceiling \
+                 (request deadline + grace), which answers first in \
+                 every non-crash case.")
+  in
+  let socket_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket-dir" ] ~docv:"DIR"
+           ~doc:"Directory for the per-shard Unix sockets (default: a \
+                 fresh directory under the system temp dir).")
+  in
+  let store_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store-dir" ] ~docv:"DIR"
+           ~doc:"Directory for per-shard verdict stores \
+                 ($(b,shard-<i>.store)).  Workers warm-start from \
+                 them: a respawned or restarted worker replays its \
+                 store and answers repeated specs without re-running \
+                 any engine.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains inside each shard process.")
+  in
+  let route_deadline_arg =
+    Arg.(value & opt float 5.0
+         & info [ "request-deadline" ] ~docv:"SECONDS"
+           ~doc:"Per-request wall-clock deadline forwarded to the \
+                 workers.")
+  in
+  let grace_arg =
+    Arg.(value & opt float 1.0
+         & info [ "grace" ] ~docv:"SECONDS"
+           ~doc:"Watchdog grace forwarded to the workers.")
+  in
+  let worker_args_arg =
+    Arg.(value & opt_all string []
+         & info [ "worker-arg" ] ~docv:"ARG"
+           ~doc:"Extra argument appended verbatim to every worker's \
+                 $(b,speccc serve) command line (repeatable) — e.g. \
+                 $(b,--worker-arg=--inject) \
+                 $(b,--worker-arg=server.request\\@0=delay:1.5) for \
+                 crash drills.")
+  in
+  let run shards replicas retries timeout socket_dir store_dir fsync workers
+      deadline grace worker_args stats =
+    if shards < 1 then
+      failwith (Printf.sprintf "--shards must be >= 1 (got %d)" shards);
+    if retries < 0 then
+      failwith
+        (Printf.sprintf "--failover-retries must be >= 0 (got %d)" retries);
+    if timeout <= 0. then
+      failwith
+        (Printf.sprintf "--request-timeout must be positive (got %g)" timeout);
+    let socket_dir =
+      match socket_dir with
+      | Some dir -> dir
+      | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "speccc-route-%d" (Unix.getpid ()))
+    in
+    (match store_dir with
+     | Some dir when not (Sys.file_exists dir) ->
+       (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
+     | _ -> ());
+    let worker_argv ~shard ~socket =
+      Array.of_list
+        ([ Sys.executable_name; "serve"; "--socket"; socket;
+           "--workers"; string_of_int workers;
+           "--request-deadline"; Printf.sprintf "%g" deadline;
+           "--grace"; Printf.sprintf "%g" grace ]
+         @ (match store_dir with
+            | Some dir ->
+              [ "--store";
+                Filename.concat dir (Printf.sprintf "shard-%d.store" shard) ]
+            | None -> [])
+         @ (if fsync then [ "--fsync" ] else [])
+         @ worker_args)
+    in
+    let config =
+      { (Speccc_shard.Shard.default_config ~socket_dir ~worker_argv) with
+        Speccc_shard.Shard.shards; replicas; request_retries = retries;
+        request_timeout = timeout }
+    in
+    (* SIGTERM/SIGINT drain the router: in-flight requests finish,
+       workers are shut down and reaped. *)
+    let stopping = Atomic.make false in
+    let handler = Sys.Signal_handle (fun _ -> Atomic.set stopping true) in
+    (try Sys.set_signal Sys.sigterm handler
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigint handler
+     with Invalid_argument _ | Sys_error _ -> ());
+    let stop () = Atomic.get stopping in
+    let route_stats =
+      Speccc_shard.Shard.run ~stop config ~input:Unix.stdin ~output:stdout
+    in
+    if stats then Format.eprintf "%a@." Speccc_shard.Shard.pp_stats route_stats
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Crash-recoverable sharded checking service: consistent-\
+             hash routing of JSONL requests across a pool of spawned \
+             $(b,speccc serve) worker processes, with per-shard health \
+             and circuit breakers, bounded retry-with-failover, \
+             automatic respawn of crashed workers, and per-shard \
+             persistent verdict stores that survive both worker \
+             crashes and full restarts")
+    Term.(const run $ shards_arg $ replicas_arg $ route_retries_arg
+          $ timeout_arg $ socket_dir_arg $ store_dir_arg $ fsync_arg
+          $ workers_arg $ route_deadline_arg $ grace_arg $ worker_args_arg
+          $ stats_arg)
 
 (* ---------- localize ---------- *)
 
@@ -1260,8 +1455,8 @@ let () =
   let group =
     Cmd.group ~default info
       [ translate_cmd; tree_cmd; check_cmd; batch_cmd; serve_cmd;
-        localize_cmd; synth_cmd; lint_cmd; monitor_cmd; report_cmd;
-        testgen_cmd; patterns_cmd; table_cmd; fuzz_cmd ]
+        route_cmd; localize_cmd; synth_cmd; lint_cmd; monitor_cmd;
+        report_cmd; testgen_cmd; patterns_cmd; table_cmd; fuzz_cmd ]
   in
   (* cmdliner reserves the double dash for long names; accept the
      documented "--n" spelling anyway. *)

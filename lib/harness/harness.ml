@@ -16,9 +16,23 @@ type config = {
   backoff_cap : float;
   sleep : float -> float;
   journal : string option;
+  journal_fsync : bool;
   resume : bool;
   jobs : int;
   stop : unit -> bool;
+  store_find : (Document.t -> doc_result option) option;
+  store_put : (Document.t -> doc_result -> unit) option;
+}
+
+and doc_result = {
+  doc : string;
+  verdict : verdict_class;
+  engine : string;
+  attempts : int;
+  wall : float;
+  detail : string;
+  fresh : bool;
+  degradation : Realizability.rung list;
 }
 
 let default_config () = {
@@ -28,20 +42,12 @@ let default_config () = {
   backoff_cap = 1.0;
   sleep = (fun s -> Unix.sleepf s; s);
   journal = None;
+  journal_fsync = false;
   resume = false;
   jobs = 1;
   stop = (fun () -> false);
-}
-
-type doc_result = {
-  doc : string;
-  verdict : verdict_class;
-  engine : string;
-  attempts : int;
-  wall : float;
-  detail : string;
-  fresh : bool;
-  degradation : Realizability.rung list;
+  store_find = None;
+  store_put = None;
 }
 
 type summary = {
@@ -182,7 +188,7 @@ let ends_with_newline path =
            input_char ic = '\n'
          end)
 
-let journal_append path result =
+let journal_append ?(fsync = false) path result =
   let repair = Sys.file_exists path && not (ends_with_newline path) in
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
@@ -193,7 +199,13 @@ let journal_append path result =
        if repair then output_char oc '\n';
        output_string oc (journal_line result);
        output_char oc '\n';
-       flush oc)
+       flush oc;
+       (* flush hands the line to the kernel (survives a process
+          crash); fsync makes it survive the machine dying too — the
+          same knob the verdict store exposes *)
+       if fsync then
+         try Unix.fsync (Unix.descr_of_out_channel oc)
+         with Unix.Unix_error _ -> ())
 
 (* A journal may end with a truncated or otherwise corrupt line — the
    process died mid-flush.  Resuming must not abort on it: the line is
@@ -206,7 +218,39 @@ let default_on_corrupt path line_no line =
     path line_no
     (if String.length line <= 40 then line else String.sub line 0 40 ^ "...")
 
-let journal_read ?on_corrupt path =
+let journal_parse_line line =
+  (* every journal line ends with '}'; a line that does not was cut
+     mid-flush, even if the fields we need survived *)
+  let complete =
+    let trimmed = String.trim line in
+    String.length trimmed > 0
+    && trimmed.[String.length trimmed - 1] = '}'
+  in
+  match (if complete then field_string line "doc" else None) with
+  | None -> None
+  | Some doc ->
+    let detail =
+      Option.value ~default:"" (field_string line "detail")
+    in
+    let verdict =
+      Option.bind (field_string line "verdict") (verdict_of_tag detail)
+    in
+    (match verdict with
+     | None -> None
+     | Some verdict ->
+       Some
+         {
+           doc;
+           verdict;
+           engine = Option.value ~default:"?" (field_string line "engine");
+           attempts = 0;
+           wall = Option.value ~default:0. (field_number line "wall");
+           detail;
+           fresh = false;
+           degradation = [];
+         })
+
+let journal_read ?on_corrupt ?(repair = false) path =
   if not (Sys.file_exists path) then []
   else begin
     let on_corrupt =
@@ -214,60 +258,57 @@ let journal_read ?on_corrupt path =
       | Some f -> f
       | None -> default_on_corrupt path
     in
-    let ic = open_in path in
+    let ic = open_in_bin path in
+    (* (line number, byte offset of the line start, raw line) *)
     let lines = ref [] in
     let line_no = ref 0 in
     (try
        while true do
+         let offset = pos_in ic in
          let line = input_line ic in
          incr line_no;
-         if String.trim line <> "" then lines := (!line_no, line) :: !lines
+         if String.trim line <> "" then
+           lines := (!line_no, offset, line) :: !lines
        done
      with End_of_file -> ());
     close_in ic;
-    List.filter_map
-      (fun (line_no, line) ->
-         let parsed =
-           (* every journal line ends with '}'; a line that does not
-              was cut mid-flush, even if the fields we need survived *)
-           let complete =
-             let trimmed = String.trim line in
-             String.length trimmed > 0
-             && trimmed.[String.length trimmed - 1] = '}'
-           in
-           match (if complete then field_string line "doc" else None) with
-           | None -> None
-           | Some doc ->
-             let detail =
-               Option.value ~default:"" (field_string line "detail")
-             in
-             let verdict =
-               Option.bind (field_string line "verdict")
-                 (verdict_of_tag detail)
-             in
-             (match verdict with
-              | None -> None
-              | Some verdict ->
-                Some
-                  ( doc,
-                    {
-                      doc;
-                      verdict;
-                      engine =
-                        Option.value ~default:"?"
-                          (field_string line "engine");
-                      attempts = 0;
-                      wall =
-                        Option.value ~default:0.
-                          (field_number line "wall");
-                      detail;
-                      fresh = false;
-                      degradation = [];
-                    } ))
+    let entries =
+      List.rev_map
+        (fun (line_no, offset, line) ->
+           (line_no, offset, line, journal_parse_line line))
+        !lines
+    in
+    (* A torn FINAL line is the expected crash-mid-flush artifact.
+       With [repair] the file is truncated back to the last good line,
+       so the torn tail never has to be re-skipped (or welded onto by
+       a foreign appender) again; mid-file corruption is only ever
+       warned about and skipped — rewriting interior history is not
+       this function's job. *)
+    (if repair then
+       let tail_start =
+         let rec scan acc = function
+           | (_, offset, _, None) :: rest -> scan (Some offset) rest
+           | _ -> acc
          in
-         if parsed = None then on_corrupt line_no line;
-         parsed)
-      (List.rev !lines)
+         scan None (List.rev entries)
+       in
+       match tail_start with
+       | Some offset ->
+         (try
+            let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+            Fun.protect
+              ~finally:(fun () -> Unix.close fd)
+              (fun () -> Unix.ftruncate fd offset)
+          with Unix.Unix_error _ -> ())
+       | None -> ());
+    List.filter_map
+      (fun (line_no, _, line, parsed) ->
+         match parsed with
+         | None ->
+           on_corrupt line_no line;
+           None
+         | Some result -> Some (result.doc, result))
+      entries
   end
 
 (* ---------- per-document supervision ---------- *)
@@ -322,7 +363,26 @@ let externally_cancelled config =
   | Some token -> Speccc_runtime.Cancellation.is_cancelled token
   | None -> false
 
-let supervise config (key, document) =
+(* The persistent verdict store, when wired in, is the fastest rung of
+   all: identical hash-consed specs always yield the same verdict, so
+   a stored definite answer is served without burning any engine fuel.
+   Only definite verdicts are consulted or persisted — [Unknown] and
+   [Failed] indict the budget or the environment, not the spec, so
+   they must stay re-checkable.  A store failure is degraded to a
+   cache miss (lookups) or a lost write (puts): the verdict in hand
+   always wins over store I/O. *)
+let store_lookup config document =
+  match config.store_find with
+  | None -> None
+  | Some find -> (try find document with _ -> None)
+
+let store_persist config document result =
+  match (config.store_put, result.verdict) with
+  | Some put, (Consistent | Inconsistent) when result.fresh ->
+    (try put document result with _ -> ())
+  | _ -> ()
+
+let supervise_fresh config (key, document) =
   let started = Unix.gettimeofday () in
   let failed i error =
     {
@@ -359,6 +419,17 @@ let supervise config (key, document) =
     end
   in
   attempt 0 (Runtime.Engine_failure ("harness", "not attempted"))
+
+let supervise config (key, document) =
+  match store_lookup config document with
+  | Some cached ->
+    (* replayed from the store: [attempts = 0] is the replay marker
+       the journal replays already use *)
+    { cached with doc = key; attempts = 0; fresh = false }
+  | None ->
+    let result = supervise_fresh config (key, document) in
+    store_persist config document result;
+    result
 
 let check_one config key document = supervise config (key, document)
 
@@ -411,7 +482,8 @@ let run_sequential config journaled documents =
             Fault.hit Fault.Checkpoint.harness_document;
             let result = check_loaded config (key, loaded) in
             Option.iter
-              (fun path -> journal_append path result)
+              (fun path ->
+                 journal_append ~fsync:config.journal_fsync path result)
               config.journal;
             results := result :: !results)
        documents
@@ -493,7 +565,8 @@ let run_parallel config journaled documents =
               let result = Option.get slots.(i) in
               Mutex.unlock lock;
               Option.iter
-                (fun path -> journal_append path result)
+                (fun path ->
+                   journal_append ~fsync:config.journal_fsync path result)
                 config.journal;
               out := result :: !out
             end)
@@ -515,7 +588,7 @@ let run_parallel config journaled documents =
 let run_loaded config documents =
   let journaled =
     match config.journal with
-    | Some path when config.resume -> journal_read path
+    | Some path when config.resume -> journal_read ~repair:true path
     | Some _ | None -> []
   in
   let results, interrupted =

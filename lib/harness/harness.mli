@@ -51,6 +51,10 @@ type config = {
           injectable so tests can record schedules instead of waiting
           (default [Unix.sleepf] returning its argument) *)
   journal : string option;  (** JSONL path; [None] = no journal *)
+  journal_fsync : bool;
+      (** also [fsync] after every journal append, so lines survive
+          the {e machine} dying, not just the process (default false;
+          the same knob {!Speccc_store.Store} exposes for its log) *)
   resume : bool;
       (** skip documents already present in the journal *)
   jobs : int;
@@ -75,11 +79,24 @@ type config = {
           results and journal form an input-order prefix and
           {!summary.interrupted} is set.  The CLI wires SIGINT to
           this.  Default: never stop. *)
+  store_find : (Speccc_core.Document.t -> doc_result option) option;
+      (** persistent verdict-store lookup consulted {e before} any
+          engine runs (the serve mode and CLI wire this to
+          [Speccc_store.Store] keyed by content identity).  A hit is
+          returned with [attempts = 0] and [fresh = false] — the same
+          replay markers a journal replay carries — and no engine
+          fuel is burned.  A raising lookup degrades to a miss.
+          Default [None]. *)
+  store_put : (Speccc_core.Document.t -> doc_result -> unit) option;
+      (** called after each {e fresh, definite} verdict
+          ([Consistent]/[Inconsistent] — mathematical facts about the
+          spec).  [Unknown] and [Failed] indict the budget or the
+          environment, not the spec, so they are never persisted.  A
+          raising put is swallowed: the verdict in hand wins over
+          store I/O.  Default [None]. *)
 }
 
-val default_config : unit -> config
-
-type doc_result = {
+and doc_result = {
   doc : string;                (** document key (file path or name) *)
   verdict : verdict_class;
   engine : string;
@@ -94,6 +111,8 @@ type doc_result = {
           [Failed] results and journal replays (the journal does not
           persist rungs) *)
 }
+
+val default_config : unit -> config
 
 type summary = {
   results : doc_result list;   (** one per requested document, in order *)
@@ -130,25 +149,36 @@ val journal_line : doc_result -> string
 (** The JSONL object (no trailing newline) {!run} appends per
     document — also the serve mode's response body. *)
 
-val journal_append : string -> doc_result -> unit
+val journal_parse_line : string -> doc_result option
+(** Parse one {!journal_line}-format line back into a replayed result
+    ([fresh = false], [attempts = 0]); [None] for anything torn or
+    corrupt (any line not ending in ['}'] counts as torn even when
+    its surviving fields would parse).  The verdict store reuses this
+    as its record payload codec. *)
+
+val journal_append : ?fsync:bool -> string -> doc_result -> unit
 (** Append {!journal_line} to the file and flush before returning:
     the line must survive the process dying right after this call.
-    If the file does not end with a newline (a crash truncated the
-    previous write), one is inserted first so the new line never welds
-    onto the corrupt one. *)
+    With [fsync] (default false) the line is also fsynced, surviving
+    the machine dying.  If the file does not end with a newline (a
+    crash truncated the previous write), one is inserted first so the
+    new line never welds onto the corrupt one. *)
 
 val journal_read :
   ?on_corrupt:(int -> string -> unit) ->
+  ?repair:bool ->
   string ->
   (string * doc_result) list
 (** Parse a journal back into [(doc key, replayed result)] pairs in
     file order, with [fresh = false] and [attempts = 0].  Unparsable
     non-empty lines — typically one truncated trailing line from a
-    crash mid-flush; any line not ending in ['}'] is treated as
-    truncated even when its surviving fields would parse — are
-    reported to [on_corrupt] (1-based line number, raw line; default:
-    a stderr warning) and skipped.  A missing file is an empty
-    journal. *)
+    crash mid-flush — are reported to [on_corrupt] (1-based line
+    number, raw line; default: a stderr warning) and skipped.  With
+    [repair] (default false; {!run}'s resume path passes [true]) a
+    trailing run of torn lines is additionally {e truncated off the
+    file}, so the crash artifact is cleaned up once instead of
+    re-skipped forever; interior corruption is never rewritten.  A
+    missing file is an empty journal. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** One line per document plus the severity tally — the [speccc batch]

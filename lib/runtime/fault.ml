@@ -125,6 +125,7 @@ module Checkpoint = struct
   let witness_core = "witness.core"
   let harness_document = "harness.document"
   let server_request = "server.request"
+  let store_append = "store.append"
 
   let all = [
     sat_solve, "CDCL solver entry (lib/sat)";
@@ -145,6 +146,10 @@ module Checkpoint = struct
     server_request,
       "serve mode, inside a worker just before it starts a request \
        (a Delay models an engine stalled between checkpoints)";
+    store_append,
+      "verdict store, before a record is appended to the log (a \
+       raising trigger models the process dying mid-write; recovery \
+       truncates the torn tail on the next open)";
   ]
 
   let mem name = List.mem_assoc name all

@@ -98,6 +98,11 @@ module Checkpoint : sig
       engine stalled between budget checkpoints, the scenario the
       watchdog's hard preemption exists for *)
 
+  val store_append : string
+  (** announced by the verdict store before appending a record — a
+      raising trigger models the process dying mid-write, the torn
+      tail the store's open-time recovery truncates *)
+
   val all : (string * string) list
   (** [(name, description)] for every registered checkpoint, in a
       stable order. *)

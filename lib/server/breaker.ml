@@ -71,6 +71,12 @@ let record_failure t ~now =
         t.opens <- t.opens + 1
       | Open _ -> ())
 
+let reset t =
+  locked t (fun () -> t.state <- Closed 0)
+
+let failures t =
+  locked t (fun () -> match t.state with Closed n -> n | Open _ | Half_open -> t.threshold)
+
 let state_name t =
   locked t (fun () ->
       match t.state with

@@ -34,6 +34,16 @@ val record_success : t -> unit
 val record_failure : t -> now:float -> unit
 (** The rung raised [Engine_failure]: advance toward / back to open. *)
 
+val reset : t -> unit
+(** Force the breaker back to closed with a zero failure count.  The
+    shard router calls this when it respawns a crashed worker: the
+    replacement process has fresh engines, so it must not inherit the
+    phantom open/half-open state its predecessor earned. *)
+
+val failures : t -> int
+(** Consecutive failures recorded so far while closed; [threshold]
+    when open or half-open — health-report rendering. *)
+
 val state_name : t -> string
 (** ["closed"], ["open"] or ["half-open"] — health-report rendering. *)
 

@@ -1,0 +1,56 @@
+type t = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  partial : Buffer.t;
+  lines : string Queue.t;
+  mutable eof : bool;
+}
+
+let create fd =
+  {
+    fd;
+    chunk = Bytes.create 8192;
+    partial = Buffer.create 256;
+    lines = Queue.create ();
+    eof = false;
+  }
+
+let eof t = t.eof
+
+let rec next_line ?deadline t ~stop =
+  match Queue.take_opt t.lines with
+  | Some line -> Some line
+  | None ->
+    if t.eof then
+      if Buffer.length t.partial > 0 then begin
+        let line = Buffer.contents t.partial in
+        Buffer.clear t.partial;
+        Some line
+      end
+      else None
+    else if stop () then None
+    else if
+      match deadline with
+      | Some d -> Unix.gettimeofday () >= d
+      | None -> false
+    then None
+    else begin
+      (match Unix.select [ t.fd ] [] [] 0.1 with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | [], _, _ -> ()
+       | _ ->
+         (match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            t.eof <- true
+          | 0 -> t.eof <- true
+          | n ->
+            for i = 0 to n - 1 do
+              match Bytes.get t.chunk i with
+              | '\n' ->
+                Queue.add (Buffer.contents t.partial) t.lines;
+                Buffer.clear t.partial
+              | c -> Buffer.add_char t.partial c
+            done));
+      next_line ?deadline t ~stop
+    end

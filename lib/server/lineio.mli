@@ -1,0 +1,22 @@
+(** Stoppable line reading over a raw file descriptor.
+
+    OCaml channels retry [EINTR] internally, so a blocking
+    [input_line] cannot be woken by a signal flag.  This reader polls
+    the descriptor through [Unix.select] with a short timeout instead,
+    checking a caller-supplied [stop] predicate between waits — the
+    serve mode wires SIGTERM/SIGINT to it, the shard router uses the
+    [deadline] to bound how long it waits on a worker's response. *)
+
+type t
+
+val create : Unix.file_descr -> t
+
+val next_line : ?deadline:float -> t -> stop:(unit -> bool) -> string option
+(** The next newline-terminated line (without the newline), or the
+    final unterminated partial line at EOF.  [None] on EOF with
+    nothing buffered, when [stop] returns true between polls, or once
+    [Unix.gettimeofday ()] passes [deadline].  Lines already buffered
+    are returned without consulting [stop] or [deadline]. *)
+
+val eof : t -> bool
+(** The descriptor reported end-of-file (buffered lines may remain). *)

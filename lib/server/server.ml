@@ -33,6 +33,7 @@ module Harness = Speccc_harness.Harness
 module Realizability = Speccc_synthesis.Realizability
 module Cache = Speccc_cache.Cache
 module Ltl = Speccc_logic.Ltl
+module Store = Speccc_store.Store
 
 type config = {
   harness : Harness.config;
@@ -45,6 +46,7 @@ type config = {
   breaker_threshold : int;
   breaker_cooldown : float;
   drain_wait : float;
+  store : Store.t option;
 }
 
 let default_config () =
@@ -59,7 +61,24 @@ let default_config () =
     breaker_threshold = 3;
     breaker_cooldown = 5.0;
     drain_wait = 2.0;
+    store = None;
   }
+
+(* Wire the persistent verdict store into the harness hooks: lookups
+   and puts key on content identity salted with the option fields that
+   change the checked formulas.  Per-request overrides (fuel, deadline,
+   skipped rungs) never touch the salt — they affect whether a definite
+   verdict is reached, not which one is true. *)
+let harness_with_store config =
+  match config.store with
+  | None -> config.harness
+  | Some store ->
+    let salt = Store.salt_of_options config.harness.Harness.options in
+    { config.harness with
+      Harness.store_find =
+        Some (fun doc -> Store.find store (Store.key ~salt doc));
+      store_put =
+        Some (fun doc result -> Store.put store ~key:(Store.key ~salt doc) result) }
 
 type stats = {
   served : int;
@@ -394,29 +413,52 @@ let health_response pool id =
       (Cache.stats ())
   in
   let hc = Ltl.hashcons_stats () in
+  let store_fields =
+    match pool.config.store with
+    | None -> []
+    | Some store ->
+      let s = Store.stats store in
+      [ ( "store",
+          Jsonl.Obj
+            [ ("live", num s.Store.live); ("appends", num s.Store.appends);
+              ("hits", num s.Store.hits); ("misses", num s.Store.misses);
+              ("compactions", num s.Store.compactions);
+              ("recovered_bytes", num s.Store.recovered_bytes);
+              ("crc_failures", num s.Store.crc_failures);
+              ("file_bytes", num s.Store.file_bytes) ] ) ]
+  in
   write_line pool
     (Jsonl.to_string
        (Jsonl.Obj
           [ ("id", id);
             ( "health",
               Jsonl.Obj
-                [ ("queue_depth", num depth); ("workers", num live);
-                  ("restarts", num restarts); ("served", num served);
-                  ("shed", num shed);
-                  ("watchdog_trips", num (Watchdog.trips pool.watchdog));
-                  ("escalations", num (Watchdog.escalations pool.watchdog));
-                  ( "breakers",
-                    Jsonl.Obj
-                      (List.map
-                         (fun b ->
-                            (Breaker.rung b, Jsonl.Str (Breaker.state_name b)))
-                         pool.breakers) );
-                  ("caches", Jsonl.Arr caches);
-                  ( "hashcons",
-                    Jsonl.Obj
-                      [ ("nodes", num hc.Ltl.nodes);
-                        ("hits", num hc.Ltl.hc_hits);
-                        ("misses", num hc.Ltl.hc_misses) ] ) ] ) ]))
+                ([ ("queue_depth", num depth); ("workers", num live);
+                   ("restarts", num restarts); ("served", num served);
+                   ("shed", num shed);
+                   ("watchdog_trips", num (Watchdog.trips pool.watchdog));
+                   ("escalations", num (Watchdog.escalations pool.watchdog));
+                   ( "breakers",
+                     (* full persisted breaker state, so the router can
+                        carry a worker's breaker picture across its own
+                        health probes and confirm a respawned worker
+                        started with no phantom open rungs *)
+                     Jsonl.Obj
+                       (List.map
+                          (fun b ->
+                             ( Breaker.rung b,
+                               Jsonl.Obj
+                                 [ ("state", Jsonl.Str (Breaker.state_name b));
+                                   ("opens", num (Breaker.opens b));
+                                   ("failures", num (Breaker.failures b)) ] ))
+                          pool.breakers) );
+                   ("caches", Jsonl.Arr caches);
+                   ( "hashcons",
+                     Jsonl.Obj
+                       [ ("nodes", num hc.Ltl.nodes);
+                         ("hits", num hc.Ltl.hc_hits);
+                         ("misses", num hc.Ltl.hc_misses) ] ) ]
+                  @ store_fields) ) ]))
 
 let handle_check pool id json =
   let request_options =
@@ -492,60 +534,15 @@ let handle_line pool line =
 
 (* ---------- line reader ---------- *)
 
-(* OCaml channels retry EINTR internally, so a blocking [input_line]
-   cannot be woken by a signal flag; read the fd directly through
-   [select] with a short timeout and poll [stop] between waits. *)
-type reader = {
-  fd : Unix.file_descr;
-  chunk : Bytes.t;
-  partial : Buffer.t;
-  lines : string Queue.t;
-  mutable eof : bool;
-}
-
-let make_reader fd =
-  {
-    fd;
-    chunk = Bytes.create 8192;
-    partial = Buffer.create 256;
-    lines = Queue.create ();
-    eof = false;
-  }
-
-let rec next_line reader ~stop =
-  match Queue.take_opt reader.lines with
-  | Some line -> Some line
-  | None ->
-    if reader.eof then
-      if Buffer.length reader.partial > 0 then begin
-        let line = Buffer.contents reader.partial in
-        Buffer.clear reader.partial;
-        Some line
-      end
-      else None
-    else if stop () then None
-    else begin
-      (match Unix.select [ reader.fd ] [] [] 0.1 with
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-       | [], _, _ -> ()
-       | _ ->
-         (match Unix.read reader.fd reader.chunk 0 (Bytes.length reader.chunk) with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          | 0 -> reader.eof <- true
-          | n ->
-            for i = 0 to n - 1 do
-              match Bytes.get reader.chunk i with
-              | '\n' ->
-                Queue.add (Buffer.contents reader.partial) reader.lines;
-                Buffer.clear reader.partial
-              | c -> Buffer.add_char reader.partial c
-            done));
-      next_line reader ~stop
-    end
+(* Select-based polling (Lineio), never a blocking channel read, so
+   the stop flag always wakes the reader. *)
+let make_reader = Lineio.create
+let next_line reader ~stop = Lineio.next_line reader ~stop
 
 (* ---------- lifecycle ---------- *)
 
 let make_pool config output =
+  let config = { config with harness = harness_with_store config } in
   let pool =
     {
       config;

@@ -45,7 +45,15 @@
     request, or the [stop] flag (wired to SIGTERM/SIGINT by the CLI) —
     finishes in-flight and queued work, flushes the journal, and
     returns; wedged workers are waited on for [drain_wait] seconds,
-    then leaked (reported in {!stats.leaked_workers}). *)
+    then leaked (reported in {!stats.leaked_workers}).
+
+    The [health] response carries the full supervision picture: queue
+    depth, live workers, restart/shed/watchdog counters, per-rung
+    breaker objects [{"state","opens","failures"}], cache and
+    hash-consing counters, and (when a {!config.store} is wired) the
+    verdict-store counters — the shard router's probe reads these to
+    decide failover and to verify a respawned worker carries no
+    phantom open breakers. *)
 
 type config = {
   harness : Speccc_harness.Harness.config;
@@ -66,6 +74,13 @@ type config = {
   breaker_threshold : int;   (** consecutive failures that open a rung *)
   breaker_cooldown : float;  (** seconds an open breaker skips its rung *)
   drain_wait : float;        (** seconds to wait on wedged workers at drain *)
+  store : Speccc_store.Store.t option;
+      (** persistent verdict store; when set, every request consults it
+          before any engine runs and every fresh definite verdict is
+          persisted to it ({!Speccc_harness.Harness.config.store_find}
+          hooks, keyed by content identity salted with
+          {!Speccc_store.Store.salt_of_options}).  Its counters join the
+          [health] response.  Default [None]. *)
 }
 
 val default_config : unit -> config

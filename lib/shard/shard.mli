@@ -1,0 +1,121 @@
+(** Crash-recoverable sharded serving: a front-end router that
+    consistently hashes requests across a pool of [speccc serve]
+    worker processes ([speccc route]).
+
+    The router speaks the same JSONL protocol as the serve mode
+    ({!Speccc_server.Server}): clients cannot tell one worker from a
+    routed pool.  Each worker is a separate {e process} listening on
+    its own Unix socket, spawned and supervised by the router:
+
+    - {b routing} — a request's key (its document text, or its [path],
+      or failing both its [id]) is hashed onto a virtual-node
+      consistent ring ({!Ring}), so the same spec always lands on the
+      same shard and its persistent verdict store answers repeats
+      without burning engine fuel;
+    - {b failure detection} — a dead connection (EPIPE on send, EOF on
+      receive) or a response timeout marks the worker crashed;
+    - {b failover} — the request is re-dispatched to the next distinct
+      shard in ring order, at most [request_retries] extra attempts;
+      verdicts are deterministic, so an answer from a failover shard is
+      bit-identical to the home shard's (the cross-shard oracle the
+      tests enforce).  A request that exhausts every live shard gets a
+      typed [{"error":"unavailable"}] response — every request is
+      answered, none are dropped;
+    - {b respawn} — the crashed worker is SIGKILLed (collecting any
+      half-dead process), its socket is rebound by a fresh process,
+      and its per-shard circuit {!Speccc_server.Breaker} is
+      {!Speccc_server.Breaker.reset} — the replacement must not
+      inherit phantom open state.  The new worker replays its verdict
+      store on startup, so everything its predecessor learned is
+      already warm;
+    - {b breakers} — repeated spawn/exchange failures open the shard's
+      breaker and dispatch skips straight to failover until the
+      cooldown expires.
+
+    A [health] request is fanned out to every live worker and the
+    per-worker health objects (breakers, cache/hashcons/store
+    counters) are aggregated under the router's own counters.
+    [shutdown] (or EOF / the [stop] flag) drains queued and in-flight
+    requests, asks each worker to shut down, and reaps the
+    processes. *)
+
+(** Consistent hashing on a virtual-node ring.  Exposed so tests can
+    predict a key's home shard (e.g. to SIGKILL exactly the worker
+    that holds a request in flight). *)
+module Ring : sig
+  type t
+
+  val create : shards:int -> replicas:int -> t
+  (** [replicas] virtual points per shard (floored at 1); more points
+      smooth the load split. *)
+
+  val shard_of : t -> string -> int
+  (** Home shard of a key. *)
+
+  val failover : t -> string -> int list
+  (** Every shard, deduplicated, in ring order starting from the home
+      shard — the order dispatch walks when workers fail. *)
+end
+
+type config = {
+  shards : int;              (** worker processes (floored at 1) *)
+  replicas : int;            (** ring points per shard (default 32) *)
+  request_retries : int;
+      (** extra shards tried after the home shard fails (default 2,
+          clamped to [shards - 1]) *)
+  request_timeout : float;
+      (** seconds to wait for a worker's response before declaring it
+          wedged; set it above the workers' own watchdog ceiling
+          (deadline + grace), which answers first in every
+          non-crash case *)
+  connect_timeout : float;   (** seconds to wait for a spawned worker's
+                                 socket to accept *)
+  respawn_wait : float;      (** pause between failed spawn attempts *)
+  shutdown_wait : float;     (** seconds workers get to exit at drain
+                                 before SIGKILL *)
+  breaker_threshold : int;   (** consecutive shard failures that open
+                                 its breaker *)
+  breaker_cooldown : float;  (** seconds an open shard is skipped *)
+  socket_dir : string;       (** directory for [shard-<i>.sock] files *)
+  worker_argv : shard:int -> socket:string -> string array;
+      (** command line that starts shard [i]'s worker serving on
+          [socket] — the CLI points this at
+          [Sys.executable_name serve --socket ... --store ...];
+          tests point it at the built binary *)
+}
+
+val default_config :
+  socket_dir:string ->
+  worker_argv:(shard:int -> socket:string -> string array) ->
+  config
+
+type stats = {
+  served : int;        (** check responses relayed to the client *)
+  failovers : int;     (** re-dispatches after a shard failure *)
+  respawns : int;      (** replacement workers spawned *)
+  unavailable : int;   (** requests that exhausted every shard *)
+  bad_requests : int;
+  shard_served : int array;            (** responses per shard *)
+  breakers : (string * string) list;   (** [shard-<i>], final state *)
+}
+
+val request_key : string -> string option
+(** Routing key of a raw JSONL request line: the [doc] text, else the
+    [path], else the rendered [id]; [None] when the line does not
+    parse (such lines are answered [bad_request], not routed).
+    Exposed with {!Ring} so tests can aim faults at a specific
+    worker. *)
+
+val run :
+  ?stop:(unit -> bool) ->
+  config ->
+  input:Unix.file_descr ->
+  output:out_channel ->
+  stats
+(** Spawn the workers, route JSONL requests from [input] until EOF, a
+    [shutdown] request, or [stop] returns true, then drain in-flight
+    work, shut the workers down and reap them.  SIGPIPE is ignored for
+    the whole process (a crashed worker must surface as [EPIPE], not
+    kill the router). *)
+
+val pp_stats : Format.formatter -> stats -> unit

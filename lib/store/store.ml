@@ -1,0 +1,365 @@
+module Document = Speccc_core.Document
+module Pipeline = Speccc_core.Pipeline
+module Harness = Speccc_harness.Harness
+module Fault = Speccc_runtime.Fault
+
+let header = "SPECCCST1\n"
+let max_payload = 1 lsl 26 (* a frame longer than 64 MiB is corruption *)
+
+(* ---------- CRC-32 (IEEE 802.3, the zlib polynomial) ---------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ---------- keys ---------- *)
+
+let key_of_texts ?(salt = "") texts =
+  Digest.to_hex (Digest.string (String.concat "\x1e" texts ^ "\x01" ^ salt))
+
+let key ?salt (doc : Document.t) =
+  (* id + text is the whole canonical identity: the assumption /
+     guarantee split is itself a function of the id prefix, and
+     translation of a sentence is deterministic, so equal digests mean
+     equal hash-consed formulas in any process. *)
+  key_of_texts ?salt
+    (List.map (fun it -> it.Document.id ^ "\x1f" ^ it.Document.text) doc)
+
+let salt_of_options (o : Pipeline.options) =
+  match o.Pipeline.time_budget with
+  | None -> "tb=gcd"
+  | Some b -> "tb=" ^ string_of_int b
+
+(* ---------- framing ---------- *)
+
+let put_u32_be b off n =
+  Bytes.set b off (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (n land 0xff))
+
+let get_u32_be s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let encode_record ~key result =
+  let payload = key ^ "\n" ^ Harness.journal_line result in
+  let n = String.length payload in
+  let frame = Bytes.create (8 + n) in
+  put_u32_be frame 0 n;
+  put_u32_be frame 4 (Int32.to_int (crc32 payload) land 0xFFFFFFFF);
+  Bytes.blit_string payload 0 frame 8 n;
+  frame
+
+(* Record payloads replay exactly like journal lines: fresh = false,
+   attempts = 0, no degradation rungs. *)
+let decode_payload payload =
+  match String.index_opt payload '\n' with
+  | None -> None
+  | Some i ->
+      let key = String.sub payload 0 i in
+      let line =
+        String.sub payload (i + 1) (String.length payload - i - 1)
+      in
+      if key = "" then None
+      else
+        Option.map (fun r -> (key, r)) (Harness.journal_parse_line line)
+
+(* ---------- the store ---------- *)
+
+type t = {
+  path : string;
+  fsync : bool;
+  compact_threshold : int;
+  on_recover : string -> unit;
+  lock : Mutex.t;
+  index : (string, Harness.doc_result) Hashtbl.t;
+  mutable fd : Unix.file_descr option;
+  mutable dead : int; (* superseded records still in the log *)
+  mutable appends : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable compactions : int;
+  mutable recovered_bytes : int;
+  mutable crc_failures : int;
+  mutable file_bytes : int;
+}
+
+type stats = {
+  live : int;
+  appends : int;
+  hits : int;
+  misses : int;
+  compactions : int;
+  recovered_bytes : int;
+  crc_failures : int;
+  file_bytes : int;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd bytes !off (n - !off) with
+    | 0 -> raise (Sys_error "store: short write")
+    | w -> off := !off + w
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let maybe_fsync t fd = if t.fsync then try Unix.fsync fd with Unix.Unix_error _ -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Replay the log into [index].  Returns the byte offset of the first
+   unusable frame (= where the file must be truncated), or the file
+   length when every frame is sound.  Interior records that frame
+   correctly but fail to parse are skipped, not fatal: their
+   boundaries are still trustworthy. *)
+let scan ~on_corrupt ~count_crc index data =
+  let len = String.length data in
+  let pos = ref (String.length header) in
+  let good_end = ref !pos in
+  (try
+     while !pos < len do
+       if len - !pos < 8 then raise Exit;
+       let n = get_u32_be data !pos in
+       let crc = get_u32_be data (!pos + 4) in
+       if n <= 0 || n > max_payload then raise Exit;
+       if len - !pos - 8 < n then raise Exit;
+       let payload = String.sub data (!pos + 8) n in
+       if Int32.to_int (crc32 payload) land 0xFFFFFFFF <> crc then begin
+         count_crc ();
+         raise Exit
+       end;
+       (match decode_payload payload with
+       | Some (key, result) -> Hashtbl.replace index key result
+       | None ->
+           on_corrupt
+             (Printf.sprintf "unparsable record payload at offset %d (skipped)"
+                !pos));
+       pos := !pos + 8 + n;
+       good_end := !pos
+     done
+   with Exit -> ());
+  !good_end
+
+let default_on_recover msg = Printf.eprintf "speccc store: %s\n%!" msg
+
+let open_ ?(fsync = false) ?(compact_threshold = 1024) ?on_recover path =
+  let on_recover = Option.value on_recover ~default:default_on_recover in
+  let index = Hashtbl.create 256 in
+  let hlen = String.length header in
+  let data = if Sys.file_exists path then read_file path else "" in
+  let recovered = ref 0 in
+  let crc_failures = ref 0 in
+  let valid_header =
+    String.length data >= hlen && String.sub data 0 hlen = header
+  in
+  let keep, rebuild_header =
+    if not valid_header then begin
+      (* empty/new file, or not a store file (torn or foreign header):
+         recover to an empty store rather than refuse to serve *)
+      if String.length data > 0 then begin
+        recovered := String.length data;
+        on_recover
+          (Printf.sprintf "%s: bad header, %d bytes discarded" path
+             (String.length data))
+      end;
+      (0, true)
+    end
+    else begin
+      let keep =
+        scan
+          ~on_corrupt:(fun msg -> on_recover (path ^ ": " ^ msg))
+          ~count_crc:(fun () -> incr crc_failures)
+          index data
+      in
+      if keep < String.length data then begin
+        recovered := String.length data - keep;
+        on_recover
+          (Printf.sprintf "%s: torn tail, %d bytes truncated at offset %d"
+             path !recovered keep)
+      end;
+      (keep, false)
+    end
+  in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  (try
+     if rebuild_header then begin
+       Unix.ftruncate fd 0;
+       ignore (Unix.write_substring fd header 0 hlen)
+     end
+     else if !recovered > 0 then Unix.ftruncate fd keep
+   with Unix.Unix_error _ -> ());
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  let file_bytes = (Unix.fstat fd).Unix.st_size in
+  if fsync then (try Unix.fsync fd with Unix.Unix_error _ -> ());
+  {
+    path;
+    fsync;
+    compact_threshold = max 1 compact_threshold;
+    on_recover;
+    lock = Mutex.create ();
+    index;
+    fd = Some fd;
+    dead = 0;
+    appends = 0;
+    hits = 0;
+    misses = 0;
+    compactions = 0;
+    recovered_bytes = !recovered;
+    crc_failures = !crc_failures;
+    file_bytes;
+  }
+
+let find t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.index k with
+      | Some r ->
+          t.hits <- t.hits + 1;
+          Some r
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let cacheable (r : Harness.doc_result) =
+  r.Harness.fresh
+  &&
+  match r.Harness.verdict with
+  | Harness.Consistent | Harness.Inconsistent -> true
+  | Harness.Unknown | Harness.Failed _ -> false
+
+let verdict_tag = function
+  | Harness.Consistent -> 0
+  | Harness.Inconsistent -> 1
+  | Harness.Unknown -> 2
+  | Harness.Failed _ -> 3
+
+let append_fd t =
+  match t.fd with
+  | Some fd -> fd
+  | None -> raise (Sys_error (t.path ^ ": store is closed"))
+
+(* Rewrite live records only; crash-safe via temp file + atomic
+   rename.  Caller holds the lock. *)
+let compact_locked t =
+  let fd = append_fd t in
+  let tmp = t.path ^ ".compact.tmp" in
+  let out =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  (try
+     ignore (Unix.write_substring out header 0 (String.length header));
+     Hashtbl.iter
+       (fun key result -> write_all out (encode_record ~key result))
+       t.index;
+     maybe_fsync t out;
+     Unix.close out
+   with e ->
+     (try Unix.close out with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Unix.rename tmp t.path;
+  if t.fsync then begin
+    (* Persist the rename itself: fsync the containing directory. *)
+    match Unix.openfile (Filename.dirname t.path) [ Unix.O_RDONLY ] 0 with
+    | dirfd ->
+        (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
+        (try Unix.close dirfd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  end;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let fd = Unix.openfile t.path [ Unix.O_RDWR; Unix.O_APPEND ] 0o644 in
+  t.fd <- Some fd;
+  t.dead <- 0;
+  t.compactions <- t.compactions + 1;
+  t.file_bytes <- (Unix.fstat fd).Unix.st_size
+
+let put t ~key result =
+  locked t (fun () ->
+      let prev = Hashtbl.find_opt t.index key in
+      match prev with
+      | Some p when verdict_tag p.Harness.verdict = verdict_tag result.Harness.verdict
+        ->
+          (* Same fact already durable: re-appending would only grow
+             the log. *)
+          ()
+      | _ ->
+          let fd = append_fd t in
+          (* A raising trigger here models dying mid-write: nothing
+             reaches the log, the index is untouched. *)
+          Fault.hit Fault.Checkpoint.store_append;
+          let frame = encode_record ~key result in
+          write_all fd frame;
+          maybe_fsync t fd;
+          t.appends <- t.appends + 1;
+          t.file_bytes <- t.file_bytes + Bytes.length frame;
+          (* Index the replayed form, so a warm restart and this
+             process answer bit-for-bit identically. *)
+          let stored =
+            {
+              result with
+              Harness.fresh = false;
+              attempts = 0;
+              degradation = [];
+            }
+          in
+          Hashtbl.replace t.index key stored;
+          (match prev with
+          | Some _ -> t.dead <- t.dead + 1
+          | None -> ());
+          if t.dead >= t.compact_threshold then compact_locked t)
+
+let compact t = locked t (fun () -> compact_locked t)
+
+let stats t =
+  locked t (fun () ->
+      {
+        live = Hashtbl.length t.index;
+        appends = t.appends;
+        hits = t.hits;
+        misses = t.misses;
+        compactions = t.compactions;
+        recovered_bytes = t.recovered_bytes;
+        crc_failures = t.crc_failures;
+        file_bytes = t.file_bytes;
+      })
+
+let close t =
+  locked t (fun () ->
+      match t.fd with
+      | None -> ()
+      | Some fd ->
+          maybe_fsync t fd;
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          t.fd <- None)

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke for `speccc route`: a 2-shard routed pool with
+# per-shard verdict stores; one worker is SIGKILLed mid-soak.  Every
+# request must still be answered with the oracle verdict (failover),
+# the victim must be respawned, and a warm restart over the same
+# stores must answer the repeated specs from disk (attempts: 0).
+#
+# Usage: scripts/route_crash_smoke.sh [path/to/speccc_cli.exe]
+set -euo pipefail
+
+BIN="${1:-_build/default/bin/speccc_cli.exe}"
+test -x "$BIN" || { echo "no binary at $BIN (run dune build first)"; exit 3; }
+
+dir=$(mktemp -d)
+cleanup() {
+  exec 3>&- 2>/dev/null || true
+  [ -n "${ROUTER:-}" ] && kill "$ROUTER" 2>/dev/null || true
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+CONS='If the start button is pressed, the pump is started.'
+INCO='If the pump is lost, the alarm is triggered.\nIf the pump is lost, the alarm is not triggered.'
+
+start_router() { # $1 = output file
+  mkfifo "$dir/in"
+  "$BIN" route --shards 2 --workers 1 --request-deadline 5 --grace 1 \
+    --request-timeout 15 --socket-dir "$dir/socks" --store-dir "$dir/store" \
+    --stats < "$dir/in" > "$1" 2>> "$dir/route.log" &
+  ROUTER=$!
+  exec 3> "$dir/in"
+}
+
+send() { printf '%s\n' "$1" >&3; }
+
+check() { # $1 = id, $2 = doc
+  send "{\"id\":$1,\"doc\":\"$2\"}"
+}
+
+await() { # $1 = id pattern, $2 = file — wait until a response line lands
+  for _ in $(seq 150); do
+    grep -q "\"id\":$1[,}]" "$2" && return 0
+    sleep 0.2
+  done
+  echo "timed out waiting for response id=$1"; cat "$2"; exit 1
+}
+
+soak() { # send requests 1..10, odd = consistent, even = inconsistent
+  for i in 1 2 3 4 5 6 7 8 9 10; do
+    if [ $((i % 2)) -eq 1 ]; then check "$i" "$CONS"; else check "$i" "$INCO"; fi
+  done
+}
+
+oracle() { # $1 = output file — every id answered with the right verdict
+  for i in 1 2 3 4 5 6 7 8 9 10; do
+    if [ $((i % 2)) -eq 1 ]; then want=consistent; else want=inconsistent; fi
+    grep -q "\"id\":$i,.*\"verdict\":\"$want\"" "$1" \
+      || { echo "id $i: expected $want"; cat "$1"; exit 1; }
+  done
+  if grep -q '"error":"unavailable"' "$1"; then
+    echo "a request went unanswered"; cat "$1"; exit 1
+  fi
+}
+
+# ---- run 1: cold pool, SIGKILL one worker mid-soak ----
+out1="$dir/out1.jsonl"
+start_router "$out1"
+
+# first wave, then learn a victim pid from the aggregated health
+for i in 1 2 3 4 5; do
+  if [ $((i % 2)) -eq 1 ]; then check "$i" "$CONS"; else check "$i" "$INCO"; fi
+done
+send '{"id":100,"cmd":"health"}'
+await 100 "$out1"
+victim=$(grep '"id":100' "$out1" | grep -o '"pid":[0-9]*' | head -1 | cut -d: -f2)
+test -n "$victim" || { echo "no worker pid in health"; cat "$out1"; exit 1; }
+kill -9 "$victim"
+echo "SIGKILLed worker $victim mid-soak"
+
+# second wave lands on a pool with a corpse in it
+for i in 6 7 8 9 10; do
+  if [ $((i % 2)) -eq 1 ]; then check "$i" "$CONS"; else check "$i" "$INCO"; fi
+done
+# a health fan-out probes every shard, forcing the victim's respawn
+# even if no check happened to route to it
+send '{"id":102,"cmd":"health"}'
+await 102 "$out1"
+send '{"id":103,"cmd":"shutdown"}'
+exec 3>&-
+rm -f "$dir/in"
+wait "$ROUTER"; ROUTER=
+
+oracle "$out1"
+grep -Eq 'respawns: [1-9]' "$dir/route.log" \
+  || { echo "victim was not respawned"; cat "$dir/route.log"; exit 1; }
+grep -q 'unavailable: 0' "$dir/route.log" \
+  || { echo "requests went unavailable"; cat "$dir/route.log"; exit 1; }
+echo "run 1 OK: every request answered through the crash"
+
+# ---- run 2: warm restart over the same stores ----
+out2="$dir/out2.jsonl"
+start_router "$out2"
+soak
+send '{"id":103,"cmd":"shutdown"}'
+exec 3>&-
+wait "$ROUTER"; ROUTER=
+
+oracle "$out2"
+hits=$(grep -c '"attempts":0' "$out2" || true)
+test "$hits" -ge 9 \
+  || { echo "only $hits/10 repeats served from the store"; cat "$out2"; exit 1; }
+echo "run 2 OK: $hits/10 repeats answered from the verdict store"
+echo "route crash-recovery smoke passed"

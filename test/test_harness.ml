@@ -246,7 +246,9 @@ let test_resume_skips_truncated_line () =
           Alcotest.(check bool) "d2 replayed" false d2.Harness.fresh;
           Alcotest.(check bool) "d3 re-checked" true d3.Harness.fresh
         | _ -> Alcotest.fail "expected three results");
-       (* the torn line was newline-repaired, not welded onto d3's *)
+       (* the resume repaired the crash artifact: the torn trailing
+          line was truncated off before d3's line was appended, so the
+          journal is wholly sound again *)
        let healed = ref 0 in
        let replayed' =
          Harness.journal_read
@@ -254,7 +256,137 @@ let test_resume_skips_truncated_line () =
            path
        in
        Alcotest.(check int) "three parsable lines" 3 (List.length replayed');
-       Alcotest.(check int) "only the torn line corrupt" 1 !healed)
+       Alcotest.(check int) "no corruption left after repair" 0 !healed)
+
+let test_journal_repair_truncates_torn_tail () =
+  (* With [repair], a trailing run of torn lines is physically cut off
+     the file, so the crash artifact is cleaned once instead of
+     re-skipped on every later read; interior corruption is preserved
+     (only warned about). *)
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+       let documents =
+         [ ("d1", consistent_doc); ("d2", inconsistent_doc) ]
+       in
+       let _ = Harness.run (test_config ~journal:path ()) documents in
+       let size_before = (Unix.stat path).Unix.st_size in
+       (match read_lines path with
+        | [ l1; l2 ] ->
+          let oc = open_out path in
+          output_string oc (l1 ^ "\n" ^ l2 ^ "\n");
+          output_string oc (String.sub l2 0 (String.length l2 / 2));
+          close_out oc
+        | _ -> Alcotest.fail "expected two journal lines");
+       let replayed = Harness.journal_read ~repair:true path in
+       Alcotest.(check int) "both sound lines replayed" 2
+         (List.length replayed);
+       Alcotest.(check int) "torn tail physically truncated" size_before
+         (Unix.stat path).Unix.st_size;
+       (* second read: nothing corrupt remains *)
+       let corrupt = ref 0 in
+       let replayed' =
+         Harness.journal_read ~on_corrupt:(fun _ _ -> incr corrupt) path
+       in
+       Alcotest.(check int) "clean re-read" 2 (List.length replayed');
+       Alcotest.(check int) "no corruption left" 0 !corrupt)
+
+let test_journal_parse_line_roundtrip () =
+  let result =
+    Harness.check_one (test_config ()) "spec \"quoted\"\nkey" inconsistent_doc
+  in
+  (match Harness.journal_parse_line (Harness.journal_line result) with
+   | Some r ->
+     Alcotest.(check string) "doc key" result.Harness.doc r.Harness.doc;
+     Alcotest.(check bool) "inconsistent" true
+       (r.Harness.verdict = Harness.Inconsistent);
+     Alcotest.(check string) "engine" result.Harness.engine r.Harness.engine;
+     Alcotest.(check bool) "replay markers" true
+       ((not r.Harness.fresh) && r.Harness.attempts = 0)
+   | None -> Alcotest.fail "journal line did not parse back");
+  (* a torn line (no closing brace) is rejected, never half-parsed *)
+  let line = Harness.journal_line result in
+  Alcotest.(check bool) "torn line rejected" true
+    (Harness.journal_parse_line (String.sub line 0 (String.length line - 1))
+     = None)
+
+let test_journal_fsync_append () =
+  (* [fsync] is a durability upgrade, not a format change: the line
+     must read back exactly like a flushed one. *)
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+       let result =
+         Harness.check_one (test_config ()) "d1" consistent_doc
+       in
+       Harness.journal_append ~fsync:true path result;
+       match Harness.journal_read path with
+       | [ (key, r) ] ->
+         Alcotest.(check string) "key" "d1" key;
+         Alcotest.(check bool) "verdict survives" true
+           (r.Harness.verdict = Harness.Consistent)
+       | _ -> Alcotest.fail "expected one fsynced line")
+
+(* ---------- persistent-store hooks ---------- *)
+
+let test_store_hook_short_circuits () =
+  (* A store hit is returned with the replay markers and no engine
+     runs; fresh definite verdicts are offered to [store_put]. *)
+  let stored = Hashtbl.create 4 in
+  let puts = ref [] in
+  let config =
+    { (test_config ()) with
+      Harness.store_find =
+        Some (fun doc -> Hashtbl.find_opt stored (Document.texts doc));
+      store_put =
+        Some
+          (fun doc result ->
+            puts := result.Harness.verdict :: !puts;
+            Hashtbl.replace stored (Document.texts doc) result) }
+  in
+  let first = Harness.check_one config "d1" inconsistent_doc in
+  Alcotest.(check bool) "first run is fresh" true first.Harness.fresh;
+  Alcotest.(check int) "definite verdict persisted" 1 (List.length !puts);
+  let second = Harness.check_one config "d1-again" inconsistent_doc in
+  Alcotest.(check bool) "second run served from store" false
+    second.Harness.fresh;
+  Alcotest.(check int) "store hit burns no attempts" 0
+    second.Harness.attempts;
+  Alcotest.(check string) "caller's key, not the stored one" "d1-again"
+    second.Harness.doc;
+  Alcotest.(check bool) "same verdict" true
+    (second.Harness.verdict = Harness.Inconsistent);
+  Alcotest.(check int) "no second put" 1 (List.length !puts)
+
+let test_store_hook_skips_indefinite () =
+  (* Failed/Unknown verdicts indict the budget or environment, not the
+     spec: they are never offered to the store. *)
+  let puts = ref 0 in
+  let config =
+    { (test_config ~retries:0 ()) with
+      Harness.store_find = Some (fun _ -> None);
+      store_put = Some (fun _ _ -> incr puts) }
+  in
+  let result = Harness.check_one config "bad" garbage_doc in
+  Alcotest.(check bool) "parse failure is Failed" true
+    (match result.Harness.verdict with Harness.Failed _ -> true | _ -> false);
+  Alcotest.(check int) "nothing persisted" 0 !puts
+
+let test_store_hook_failure_degrades () =
+  (* A raising lookup is a miss; a raising put is swallowed — store
+     I/O never loses a verdict already in hand. *)
+  let config =
+    { (test_config ()) with
+      Harness.store_find = Some (fun _ -> failwith "store down");
+      store_put = Some (fun _ _ -> failwith "store down") }
+  in
+  let result = Harness.check_one config "d1" consistent_doc in
+  Alcotest.(check bool) "checked fresh despite store errors" true
+    result.Harness.fresh;
+  Alcotest.(check bool) "verdict intact" true
+    (result.Harness.verdict = Harness.Consistent)
 
 let test_stop_flag_interrupts () =
   (* config.stop is the SIGINT path: polled before each fresh
@@ -418,6 +550,21 @@ let () =
             test_journal_escaping_roundtrip;
           Alcotest.test_case "truncated trailing line" `Quick
             test_resume_skips_truncated_line;
+          Alcotest.test_case "repair truncates the torn tail" `Quick
+            test_journal_repair_truncates_torn_tail;
+          Alcotest.test_case "parse-line roundtrip" `Quick
+            test_journal_parse_line_roundtrip;
+          Alcotest.test_case "fsync append reads back" `Quick
+            test_journal_fsync_append;
+        ] );
+      ( "store hooks",
+        [
+          Alcotest.test_case "hit short-circuits the engines" `Quick
+            test_store_hook_short_circuits;
+          Alcotest.test_case "indefinite verdicts not persisted" `Quick
+            test_store_hook_skips_indefinite;
+          Alcotest.test_case "store failure degrades to miss" `Quick
+            test_store_hook_failure_degrades;
         ] );
       ( "interrupt",
         [

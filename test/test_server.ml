@@ -98,6 +98,24 @@ let test_breaker_half_open_probe () =
   Alcotest.(check bool) "serving normally" false
     (Breaker.should_skip b ~now:23.)
 
+let test_breaker_reset_clears_phantom_state () =
+  (* The shard router resets a breaker when it respawns a worker: the
+     replacement must start closed with a zero failure count, however
+     its predecessor died. *)
+  let b = Breaker.create ~rung:"symbolic" ~threshold:2 ~cooldown:60. in
+  Breaker.record_failure b ~now:0.;
+  Breaker.record_failure b ~now:0.;
+  Alcotest.(check string) "open before reset" "open" (Breaker.state_name b);
+  Alcotest.(check int) "failures at threshold" 2 (Breaker.failures b);
+  Breaker.reset b;
+  Alcotest.(check string) "closed after reset" "closed"
+    (Breaker.state_name b);
+  Alcotest.(check int) "failure count cleared" 0 (Breaker.failures b);
+  Alcotest.(check bool) "serving immediately" false
+    (Breaker.should_skip b ~now:1.);
+  (* reset wipes phantom state, not history *)
+  Alcotest.(check int) "opens history preserved" 1 (Breaker.opens b)
+
 (* ---------- driving the server ---------- *)
 
 let consistent_text = "If the start button is pressed, the pump is started."
@@ -392,6 +410,99 @@ let test_serve_breaker_opens_on_failing_rung () =
     (Some "closed")
     (List.assoc_opt "explicit" stats.Server.breakers)
 
+(* ---------- persistent verdict store ---------- *)
+
+let test_serve_store_short_circuits_repeats () =
+  (* With a store wired in, a repeated spec is answered from disk
+     (attempts = 0, no engine fuel), the health report carries the
+     store counters, and the verdict survives the server: a fresh
+     handle finds it by content key. *)
+  let store_path = Filename.temp_file "speccc_serve" ".store" in
+  Sys.remove store_path;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists store_path then Sys.remove store_path)
+    (fun () ->
+       let store = Speccc_store.Store.open_ store_path in
+       let config =
+         { (quick_config ()) with Server.workers = 1; store = Some store }
+       in
+       let lines =
+         [ check_request 1 inconsistent_text;
+           check_request 2 inconsistent_text;
+           "{\"id\":3,\"cmd\":\"health\"}" ]
+       in
+       let responses, stats = drive config lines in
+       let by_id =
+         List.map
+           (fun line ->
+              let json = parse_response line in
+              (Jsonl.to_string (id_of json), json))
+           responses
+       in
+       let field id f =
+         match List.assoc_opt id by_id with
+         | Some json -> f json
+         | None -> Alcotest.fail ("no response for id " ^ id)
+       in
+       Alcotest.(check (option string)) "first check is fresh"
+         (Some "inconsistent") (field "1" (Jsonl.str_member "verdict"));
+       Alcotest.(check bool) "fresh check burned attempts" true
+         (match field "1" (Jsonl.int_member "attempts") with
+          | Some n -> n >= 1
+          | None -> false);
+       Alcotest.(check (option string)) "repeat answered identically"
+         (Some "inconsistent") (field "2" (Jsonl.str_member "verdict"));
+       Alcotest.(check (option int)) "repeat served from the store"
+         (Some 0) (field "2" (Jsonl.int_member "attempts"));
+       (* health is answered at intake, possibly before the checks
+          complete, so assert the counters' presence here and their
+          values on the handle after the drain below *)
+       (match field "3" (Jsonl.member "health") with
+        | Some health ->
+          (match Jsonl.member "store" health with
+           | Some store_health ->
+             Alcotest.(check bool) "store counters reported" true
+               (Jsonl.int_member "live" store_health <> None
+                && Jsonl.int_member "hits" store_health <> None
+                && Jsonl.int_member "recovered_bytes" store_health <> None)
+           | None -> Alcotest.fail "health lacks store counters");
+          (match
+             Option.bind (Jsonl.member "breakers" health)
+               (Jsonl.member "symbolic")
+           with
+           | Some breaker ->
+             Alcotest.(check (option string))
+               "breakers carry persisted state objects" (Some "closed")
+               (Jsonl.str_member "state" breaker)
+           | None -> Alcotest.fail "health lacks the symbolic breaker")
+        | None -> Alcotest.fail "no health object");
+       Alcotest.(check int) "both checks served" 2 stats.Server.served;
+       (* the drain guarantees both checks finished: exactly one record
+          was earned and the repeat hit it *)
+       let store_stats = Speccc_store.Store.stats store in
+       Alcotest.(check int) "one live record"
+         1 store_stats.Speccc_store.Store.live;
+       Alcotest.(check bool) "repeat hit the store" true
+         (store_stats.Speccc_store.Store.hits >= 1);
+       Speccc_store.Store.close store;
+       (* durability: a fresh process-equivalent handle finds the
+          verdict by content identity *)
+       let reopened = Speccc_store.Store.open_ store_path in
+       let salt =
+         Speccc_store.Store.salt_of_options
+           config.Server.harness.Harness.options
+       in
+       let key =
+         Speccc_store.Store.key ~salt (Document.parse inconsistent_text)
+       in
+       (match Speccc_store.Store.find reopened key with
+        | Some r ->
+          Alcotest.(check bool) "stored verdict survives" true
+            (r.Harness.verdict = Harness.Inconsistent)
+        | None -> Alcotest.fail "verdict not found by content key");
+       Speccc_store.Store.close reopened)
+
 (* ---------- soak: N requests vs. a sequential oracle ---------- *)
 
 let test_serve_soak_matches_oracle () =
@@ -501,6 +612,8 @@ let () =
             test_breaker_opens_after_consecutive_failures;
           Alcotest.test_case "half-open probe" `Quick
             test_breaker_half_open_probe;
+          Alcotest.test_case "reset clears phantom state" `Quick
+            test_breaker_reset_clears_phantom_state;
         ] );
       ( "protocol",
         [
@@ -516,6 +629,11 @@ let () =
             test_serve_sheds_past_high_water;
           Alcotest.test_case "breaker opens on failing rung" `Quick
             test_serve_breaker_opens_on_failing_rung;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "store short-circuits repeats" `Quick
+            test_serve_store_short_circuits_repeats;
         ] );
       ( "soak",
         [

@@ -1,0 +1,342 @@
+(* Tests for the persistent content-addressed verdict store: the
+   record-log format survives crashes (torn tails, flipped bytes,
+   clobbered headers) by truncating back to the last sound record, and
+   a reopened store answers exactly what the writing process knew. *)
+
+open Speccc_core
+open Speccc_runtime
+open Speccc_store
+
+let with_faults ?seed triggers f =
+  Fault.install ?seed triggers;
+  Fun.protect ~finally:Fault.clear f
+
+let temp_store () =
+  let path = Filename.temp_file "speccc_store" ".store" in
+  Sys.remove path;
+  path
+
+let with_store_path f =
+  let path = temp_store () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let result ?(verdict = Speccc_harness.Harness.Consistent) ?(engine = "symbolic")
+    ?(detail = "ok") doc =
+  { Speccc_harness.Harness.doc; verdict; engine; attempts = 1; wall = 0.01;
+    detail; fresh = true; degradation = [] }
+
+let verdict_testable =
+  Alcotest.testable
+    (fun ppf v ->
+       Format.pp_print_string ppf
+         (match v with
+          | Speccc_harness.Harness.Consistent -> "consistent"
+          | Speccc_harness.Harness.Inconsistent -> "inconsistent"
+          | Speccc_harness.Harness.Unknown -> "unknown"
+          | Speccc_harness.Harness.Failed e -> "failed:" ^ e))
+    ( = )
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  data
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* ---------- roundtrip and warm start ---------- *)
+
+let test_roundtrip () =
+  with_store_path (fun path ->
+      let store = Store.open_ path in
+      Alcotest.(check bool) "fresh store misses" true
+        (Store.find store "k1" = None);
+      Store.put store ~key:"k1" (result "d1");
+      Store.put store ~key:"k2"
+        (result ~verdict:Speccc_harness.Harness.Inconsistent "d2");
+      (match Store.find store "k1" with
+       | Some r ->
+         Alcotest.check verdict_testable "verdict"
+           Speccc_harness.Harness.Consistent r.Speccc_harness.Harness.verdict;
+         Alcotest.(check bool) "replay markers" true
+           ((not r.Speccc_harness.Harness.fresh)
+            && r.Speccc_harness.Harness.attempts = 0)
+       | None -> Alcotest.fail "k1 lost");
+      let s = Store.stats store in
+      Alcotest.(check int) "live" 2 s.Store.live;
+      Alcotest.(check int) "appends" 2 s.Store.appends;
+      Alcotest.(check int) "hits" 1 s.Store.hits;
+      Alcotest.(check int) "misses" 1 s.Store.misses;
+      Store.close store)
+
+let test_reopen_warm_starts () =
+  with_store_path (fun path ->
+      let store = Store.open_ path in
+      Store.put store ~key:"k1" (result "d1");
+      Store.put store ~key:"k2"
+        (result ~verdict:Speccc_harness.Harness.Inconsistent "d2");
+      Store.close store;
+      (* a different process would see exactly this *)
+      let warm = Store.open_ path in
+      let s = Store.stats warm in
+      Alcotest.(check int) "live survives reopen" 2 s.Store.live;
+      Alcotest.(check int) "no recovery needed" 0 s.Store.recovered_bytes;
+      (match Store.find warm "k2" with
+       | Some r ->
+         Alcotest.check verdict_testable "verdict survives"
+           Speccc_harness.Harness.Inconsistent r.Speccc_harness.Harness.verdict;
+         Alcotest.(check string) "detail survives" "ok"
+           r.Speccc_harness.Harness.detail
+       | None -> Alcotest.fail "k2 lost across reopen");
+      Store.close warm)
+
+let test_same_verdict_put_dedupes () =
+  with_store_path (fun path ->
+      let store = Store.open_ path in
+      Store.put store ~key:"k1" (result "d1");
+      let size = file_size path in
+      (* same verdict class again: no append, no growth *)
+      Store.put store ~key:"k1" (result ~engine:"heuristic" "d1");
+      Alcotest.(check int) "no second append" 1 (Store.stats store).Store.appends;
+      Alcotest.(check int) "file unchanged" size (file_size path);
+      (* a conflicting verdict is appended and wins *)
+      Store.put store ~key:"k1"
+        (result ~verdict:Speccc_harness.Harness.Inconsistent "d1");
+      Alcotest.(check bool) "conflict appended" true (file_size path > size);
+      (match Store.find store "k1" with
+       | Some r ->
+         Alcotest.check verdict_testable "last write wins"
+           Speccc_harness.Harness.Inconsistent r.Speccc_harness.Harness.verdict
+       | None -> Alcotest.fail "k1 lost");
+      Store.close store)
+
+(* ---------- crash recovery ---------- *)
+
+let test_torn_tail_truncated () =
+  with_store_path (fun path ->
+      let store = Store.open_ path in
+      Store.put store ~key:"k1" (result "d1");
+      let good = file_size path in
+      Store.put store ~key:"k2" (result "d2");
+      Store.close store;
+      (* the process died mid-append: cut the last record in half *)
+      let data = read_file path in
+      write_file path (String.sub data 0 (good + (file_size path - good) / 2));
+      let warnings = ref [] in
+      let warm =
+        Store.open_ ~on_recover:(fun w -> warnings := w :: !warnings) path
+      in
+      let s = Store.stats warm in
+      Alcotest.(check int) "only the sound prefix survives" 1 s.Store.live;
+      Alcotest.(check bool) "torn bytes counted" true
+        (s.Store.recovered_bytes > 0);
+      Alcotest.(check bool) "recovery reported" true (!warnings <> []);
+      Alcotest.(check int) "file truncated to last sound record" good
+        (file_size path);
+      Alcotest.(check bool) "survivor intact" true
+        (Store.find warm "k1" <> None);
+      (* the log is usable again: append lands on a clean boundary *)
+      Store.put warm ~key:"k3" (result "d3");
+      Store.close warm;
+      let again = Store.open_ path in
+      Alcotest.(check int) "clean after repair" 0
+        (Store.stats again).Store.recovered_bytes;
+      Alcotest.(check int) "both records readable" 2
+        (Store.stats again).Store.live;
+      Store.close again)
+
+let test_crc_corruption_dropped () =
+  with_store_path (fun path ->
+      let store = Store.open_ path in
+      Store.put store ~key:"k1" (result "d1");
+      let good = file_size path in
+      Store.put store ~key:"k2" (result "d2");
+      Store.close store;
+      (* flip one payload byte of the second record: framing intact,
+         checksum not *)
+      let data = Bytes.of_string (read_file path) in
+      let target = good + 8 + 3 in
+      Bytes.set data target (Char.chr (Char.code (Bytes.get data target) lxor 1));
+      write_file path (Bytes.to_string data);
+      let warm = Store.open_ ~on_recover:(fun _ -> ()) path in
+      let s = Store.stats warm in
+      Alcotest.(check int) "corrupt frame dropped" 1 s.Store.live;
+      Alcotest.(check int) "CRC failure counted" 1 s.Store.crc_failures;
+      Alcotest.(check int) "truncated back to the sound prefix" good
+        (file_size path);
+      Store.close warm)
+
+let test_bad_header_rebuilds_empty () =
+  with_store_path (fun path ->
+      write_file path "not a speccc store at all\n";
+      let warnings = ref 0 in
+      let store = Store.open_ ~on_recover:(fun _ -> incr warnings) path in
+      Alcotest.(check int) "foreign file discarded" 0
+        (Store.stats store).Store.live;
+      Alcotest.(check bool) "discard reported" true (!warnings > 0);
+      Store.put store ~key:"k1" (result "d1");
+      Store.close store;
+      let warm = Store.open_ path in
+      Alcotest.(check int) "rebuilt store is sound" 1
+        (Store.stats warm).Store.live;
+      Alcotest.(check int) "no recovery on reopen" 0
+        (Store.stats warm).Store.recovered_bytes;
+      Store.close warm)
+
+let test_append_fault_loses_only_tail_record () =
+  (* An injected crash at the [store.append] checkpoint models dying
+     between deciding to write and completing the frame: the put is
+     lost, everything already on disk survives. *)
+  with_store_path (fun path ->
+      let store = Store.open_ path in
+      Store.put store ~key:"k1" (result "d1");
+      with_faults
+        [ { Fault.checkpoint = Fault.Checkpoint.store_append; after = 0;
+            action = Fault.Fail "died mid-append" } ]
+        (fun () ->
+           Alcotest.check_raises "injected crash mid-append"
+             (Runtime.Interrupt
+                (Runtime.Engine_failure ("store.append", "died mid-append")))
+             (fun () -> Store.put store ~key:"k2" (result "d2")));
+      Store.close store;
+      let warm = Store.open_ path in
+      Alcotest.(check int) "only the completed record survives" 1
+        (Store.stats warm).Store.live;
+      Alcotest.(check int) "log not torn" 0
+        (Store.stats warm).Store.recovered_bytes;
+      Store.close warm)
+
+(* ---------- compaction ---------- *)
+
+let test_compaction_drops_dead_records () =
+  with_store_path (fun path ->
+      let store = Store.open_ path in
+      (* k1 is superseded twice: two dead records in the log *)
+      Store.put store ~key:"k1" (result "d1");
+      Store.put store ~key:"k1"
+        (result ~verdict:Speccc_harness.Harness.Inconsistent "d1");
+      Store.put store ~key:"k1" (result "d1");
+      Store.put store ~key:"k2" (result "d2");
+      let before = file_size path in
+      Store.compact store;
+      let s = Store.stats store in
+      Alcotest.(check int) "live unchanged" 2 s.Store.live;
+      Alcotest.(check int) "one compaction" 1 s.Store.compactions;
+      Alcotest.(check bool) "log shrank" true (file_size path < before);
+      (match Store.find store "k1" with
+       | Some r ->
+         Alcotest.check verdict_testable "latest verdict kept"
+           Speccc_harness.Harness.Consistent r.Speccc_harness.Harness.verdict
+       | None -> Alcotest.fail "k1 lost in compaction");
+      Store.close store;
+      let warm = Store.open_ path in
+      Alcotest.(check int) "compacted log replays clean" 2
+        (Store.stats warm).Store.live;
+      Alcotest.(check int) "no recovery" 0
+        (Store.stats warm).Store.recovered_bytes;
+      Store.close warm)
+
+let test_auto_compaction_at_threshold () =
+  with_store_path (fun path ->
+      let store = Store.open_ ~compact_threshold:3 path in
+      let flip i =
+        let verdict =
+          if i mod 2 = 0 then Speccc_harness.Harness.Consistent
+          else Speccc_harness.Harness.Inconsistent
+        in
+        Store.put store ~key:"k1" (result ~verdict "d1")
+      in
+      for i = 0 to 5 do flip i done;
+      Alcotest.(check bool) "threshold tripped" true
+        ((Store.stats store).Store.compactions >= 1);
+      Alcotest.(check int) "live unchanged" 1 (Store.stats store).Store.live;
+      Store.close store)
+
+(* ---------- keys ---------- *)
+
+let test_key_content_addressing () =
+  let d1 = Document.of_texts [ "If the pump is lost, the alarm is triggered." ] in
+  let d2 = Document.of_texts [ "If the pump is lost, the alarm is triggered." ] in
+  let d3 = Document.of_texts [ "If the pump is lost, the alarm is muted." ] in
+  Alcotest.(check string) "same content, same key" (Store.key d1) (Store.key d2);
+  Alcotest.(check bool) "different content, different key" true
+    (Store.key d1 <> Store.key d3);
+  Alcotest.(check bool) "salt separates keyspaces" true
+    (Store.key ~salt:"tb=3" d1 <> Store.key ~salt:"tb=7" d1)
+
+let test_salt_of_options () =
+  let options = Pipeline.default_options () in
+  let budget n = { options with Pipeline.time_budget = n } in
+  Alcotest.(check bool) "time budget feeds the salt" true
+    (Store.salt_of_options (budget (Some 3))
+     <> Store.salt_of_options (budget (Some 7)));
+  (* engine choice must NOT: it decides whether a verdict is reached,
+     never which one is true *)
+  Alcotest.(check string) "engine choice does not"
+    (Store.salt_of_options options)
+    (Store.salt_of_options
+       { options with Pipeline.skip_engines = [ "symbolic" ] })
+
+let test_cacheable () =
+  Alcotest.(check bool) "definite fresh" true (Store.cacheable (result "d"));
+  Alcotest.(check bool) "inconsistent fresh" true
+    (Store.cacheable (result ~verdict:Speccc_harness.Harness.Inconsistent "d"));
+  Alcotest.(check bool) "unknown is budget, not truth" false
+    (Store.cacheable (result ~verdict:Speccc_harness.Harness.Unknown "d"));
+  Alcotest.(check bool) "failed is environment, not truth" false
+    (Store.cacheable (result ~verdict:(Speccc_harness.Harness.Failed "x") "d"));
+  Alcotest.(check bool) "replays are not re-persisted" false
+    (Store.cacheable { (result "d") with Speccc_harness.Harness.fresh = false })
+
+let test_crc32_vector () =
+  (* the classic IEEE check value *)
+  Alcotest.(check int32) "crc32(123456789)" 0xCBF43926l
+    (Store.crc32 "123456789");
+  Alcotest.(check int32) "crc32(empty)" 0l (Store.crc32 "")
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "put/find roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "reopen warm-starts" `Quick
+            test_reopen_warm_starts;
+          Alcotest.test_case "same-verdict puts dedupe" `Quick
+            test_same_verdict_put_dedupes;
+        ] );
+      ( "crash recovery",
+        [
+          Alcotest.test_case "torn tail truncated" `Quick
+            test_torn_tail_truncated;
+          Alcotest.test_case "CRC corruption dropped" `Quick
+            test_crc_corruption_dropped;
+          Alcotest.test_case "bad header rebuilds empty" `Quick
+            test_bad_header_rebuilds_empty;
+          Alcotest.test_case "append fault loses only the tail" `Quick
+            test_append_fault_loses_only_tail_record;
+        ] );
+      ( "compaction",
+        [
+          Alcotest.test_case "compaction drops dead records" `Quick
+            test_compaction_drops_dead_records;
+          Alcotest.test_case "auto-compaction at threshold" `Quick
+            test_auto_compaction_at_threshold;
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "content addressing" `Quick
+            test_key_content_addressing;
+          Alcotest.test_case "salt of options" `Quick test_salt_of_options;
+          Alcotest.test_case "cacheable predicate" `Quick test_cacheable;
+          Alcotest.test_case "crc32 test vector" `Quick test_crc32_vector;
+        ] );
+    ]
