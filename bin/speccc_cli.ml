@@ -220,18 +220,64 @@ let print_stats () =
   Format.eprintf "== caches ==@.";
   Format.eprintf "ltl.unique-table  nodes=%d hits=%d misses=%d@."
     h.Ltl.nodes h.Ltl.hc_hits h.Ltl.hc_misses;
-  Format.eprintf "%a@?" Speccc_cache.Cache.pp_stats
-    (Speccc_cache.Cache.stats ())
+  Format.eprintf "%a" Speccc_cache.Cache.pp_stats
+    (Speccc_cache.Cache.stats ());
+  let module Memwatch = Speccc_runtime.Memwatch in
+  let m = Memwatch.stats () in
+  Format.eprintf
+    "== memory ==@.gc                major_words=%.0f heap_words=%d \
+     compactions=%d@.watermark         level=%s soft_trips=%d hard_trips=%d \
+     sheds=%d@.@?"
+    m.Memwatch.major_words m.Memwatch.heap_words m.Memwatch.compactions
+    (Memwatch.level_name m.Memwatch.watermark)
+    m.Memwatch.soft_trips m.Memwatch.hard_trips m.Memwatch.sheds
 
 let print_store_stats store =
   let module Store = Speccc_store.Store in
   let s = Store.stats store in
   Format.eprintf
-    "== store ==@.verdict-store     live=%d appends=%d hits=%d misses=%d \
-     compactions=%d recovered_bytes=%d crc_failures=%d file_bytes=%d@."
-    s.Store.live s.Store.appends s.Store.hits s.Store.misses
+    "== store ==@.verdict-store     live=%d snapshots=%d appends=%d hits=%d \
+     misses=%d compactions=%d recovered_bytes=%d crc_failures=%d \
+     file_bytes=%d@."
+    s.Store.live s.Store.snapshots s.Store.appends s.Store.hits s.Store.misses
     s.Store.compactions s.Store.recovered_bytes s.Store.crc_failures
     s.Store.file_bytes
+
+(* --mem-soft / --mem-hard arm the Gc-alarm watermark monitor: soft
+   sheds the memo caches (entries only; the counters survive), hard
+   makes the fallback ladder collapse to its last rung with a typed
+   Degraded("memory", _).  Off by default: fuel determinism must not
+   depend on allocator behaviour. *)
+let mem_soft_arg =
+  Arg.(value & opt (some int) None
+       & info [ "mem-soft" ] ~docv:"MB"
+         ~doc:"Soft memory watermark in MB of major heap: crossing it \
+               sheds the memoization caches (entries only) so memory \
+               comes back before the OS takes it.")
+
+let mem_hard_arg =
+  Arg.(value & opt (some int) None
+       & info [ "mem-hard" ] ~docv:"MB"
+         ~doc:"Hard memory watermark in MB of major heap: while above \
+               it the engine fallback ladder skips straight to its \
+               cheapest rung, reporting the skipped rungs as \
+               $(i,Degraded(memory, ...)).")
+
+let setup_memwatch soft hard =
+  let module Memwatch = Speccc_runtime.Memwatch in
+  (match soft, hard with
+   | Some s, _ when s <= 0 ->
+     failwith (Printf.sprintf "--mem-soft must be positive (got %d)" s)
+   | _, Some h when h <= 0 ->
+     failwith (Printf.sprintf "--mem-hard must be positive (got %d)" h)
+   | Some s, Some h when h < s ->
+     failwith
+       (Printf.sprintf "--mem-hard (%d) must be >= --mem-soft (%d)" h s)
+   | _ -> ());
+  if soft <> None || hard <> None then begin
+    Memwatch.on_soft Speccc_cache.Cache.shed;
+    Memwatch.configure ?soft_mb:soft ?hard_mb:hard ()
+  end
 
 let store_arg =
   Arg.(value & opt (some string) None
@@ -365,7 +411,8 @@ let print_certificate outcome =
 
 let check_cmd =
   let run source engine lookahead time_budget fuel deadline certify recover
-      stats =
+      mem_soft mem_hard stats =
+    setup_memwatch mem_soft mem_hard;
     let options =
       options_of ?fuel ?deadline ~engine ~lookahead ~time_budget ()
     in
@@ -427,7 +474,7 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Run the full consistency pipeline (Fig. 1)")
     Term.(const run $ spec_arg $ engine_arg $ lookahead_arg
           $ time_budget_arg $ fuel_arg $ deadline_arg $ certify_arg
-          $ recover_arg $ stats_arg)
+          $ recover_arg $ mem_soft_arg $ mem_hard_arg $ stats_arg)
 
 (* ---------- batch ---------- *)
 
@@ -466,10 +513,12 @@ let batch_cmd =
                  the sequential run.")
   in
   let run files engine lookahead time_budget fuel deadline certify recover
-      journal resume retries jobs stats inject seed store_path fsync =
+      journal resume retries jobs stats inject seed store_path fsync
+      mem_soft mem_hard =
     if resume && journal = None then
       failwith "--resume requires --journal PATH";
     install_faults inject seed;
+    setup_memwatch mem_soft mem_hard;
     if retries < 0 then
       failwith (Printf.sprintf "--retries must be >= 0 (got %d)" retries);
     if jobs < 1 then
@@ -521,7 +570,7 @@ let batch_cmd =
           $ time_budget_arg $ fuel_arg $ deadline_arg $ certify_arg
           $ recover_arg $ journal_arg $ resume_arg $ retries_arg
           $ jobs_arg $ stats_arg $ inject_arg $ seed_arg $ store_arg
-          $ fsync_arg)
+          $ fsync_arg $ mem_soft_arg $ mem_hard_arg)
 
 (* ---------- serve ---------- *)
 
@@ -593,8 +642,10 @@ let serve_cmd =
   in
   let run socket workers queue high_water deadline grace journal
       breaker_threshold breaker_cooldown engine lookahead time_budget fuel
-      certify recover retries stats inject seed store_path fsync =
+      certify recover retries stats inject seed store_path fsync
+      mem_soft mem_hard =
     install_faults inject seed;
+    setup_memwatch mem_soft mem_hard;
     if workers < 1 then
       failwith (Printf.sprintf "--workers must be >= 1 (got %d)" workers);
     if queue < 1 then
@@ -663,7 +714,7 @@ let serve_cmd =
           $ breaker_threshold_arg $ breaker_cooldown_arg $ engine_arg
           $ lookahead_arg $ time_budget_arg $ fuel_arg $ certify_arg
           $ recover_arg $ retries_arg $ stats_arg $ inject_arg $ seed_arg
-          $ store_arg $ fsync_arg)
+          $ store_arg $ fsync_arg $ mem_soft_arg $ mem_hard_arg)
 
 (* ---------- route ---------- *)
 
@@ -735,7 +786,7 @@ let route_cmd =
                  crash drills.")
   in
   let run shards replicas retries timeout socket_dir store_dir fsync workers
-      deadline grace worker_args stats =
+      deadline grace worker_args stats mem_soft mem_hard =
     if shards < 1 then
       failwith (Printf.sprintf "--shards must be >= 1 (got %d)" shards);
     if retries < 0 then
@@ -767,6 +818,13 @@ let route_cmd =
                 Filename.concat dir (Printf.sprintf "shard-%d.store" shard) ]
             | None -> [])
          @ (if fsync then [ "--fsync" ] else [])
+         (* watermarks apply inside the engine processes, not the router *)
+         @ (match mem_soft with
+            | Some mb -> [ "--mem-soft"; string_of_int mb ]
+            | None -> [])
+         @ (match mem_hard with
+            | Some mb -> [ "--mem-hard"; string_of_int mb ]
+            | None -> [])
          @ worker_args)
     in
     let config =
@@ -800,7 +858,7 @@ let route_cmd =
     Term.(const run $ shards_arg $ replicas_arg $ route_retries_arg
           $ timeout_arg $ socket_dir_arg $ store_dir_arg $ fsync_arg
           $ workers_arg $ route_deadline_arg $ grace_arg $ worker_args_arg
-          $ stats_arg)
+          $ stats_arg $ mem_soft_arg $ mem_hard_arg)
 
 (* ---------- localize ---------- *)
 

@@ -28,6 +28,7 @@ type registered = {
   reg_name : string;
   snapshot : unit -> stats;
   wipe : unit -> unit;
+  drop : unit -> unit;    (* entries only; counters survive as evictions *)
 }
 
 let registry : registered list ref = ref []
@@ -63,6 +64,7 @@ let stats () =
   |> List.sort (fun a b -> String.compare a.name b.name)
 
 let reset () = List.iter (fun entry -> entry.wipe ()) (registered ())
+let shed () = List.iter (fun entry -> entry.drop ()) (registered ())
 
 let hit_rate s =
   let total = s.hits + s.misses in
@@ -147,6 +149,15 @@ module Make (K : KEY) = struct
     t.misses <- 0;
     t.evictions <- 0
 
+  (* memory shedding, not a stats reset: every live entry counts as an
+     eviction so the [--stats] picture shows the shed happened *)
+  let drop_entries t =
+    let n = length t in
+    H.reset t.table;
+    t.newest <- None;
+    t.oldest <- None;
+    t.evictions <- t.evictions + n
+
   let create ~name ~capacity () =
     let t =
       { table = H.create (min capacity 64);
@@ -167,7 +178,8 @@ module Make (K : KEY) = struct
                evictions = t.evictions;
                size = length t;
                capacity = t.capacity });
-        wipe = (fun () -> clear t) };
+        wipe = (fun () -> clear t);
+        drop = (fun () -> drop_entries t) };
     t
 
   let create_dls ~name ~capacity () =

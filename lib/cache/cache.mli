@@ -30,6 +30,15 @@ val stats : unit -> stats list
 val reset : unit -> unit
 (** Clear all registered cache instances and zero their counters. *)
 
+val shed : unit -> unit
+(** Drop every entry from every registered instance but keep the
+    hit/miss counters (each dropped entry counts as an eviction) —
+    the memory-watermark shedding hook
+    ({!Speccc_runtime.Memwatch.on_soft}).  Safe to call from any
+    thread: instances are single-domain for {e lookups}, but a shed
+    only unlinks entries, and the worst race outcome is a recomputed
+    memo. *)
+
 val hit_rate : stats -> float
 (** [hits / (hits + misses)], or [0.] before any lookup. *)
 

@@ -53,18 +53,102 @@ let verdicts = Verdicts.create_dls ~name:"localize.verdict" ~capacity:512 ()
 
 let run_nonce = Atomic.make 0
 
-let run ~check formulas =
+(* ---------- anytime snapshots of the subset lattice ----------
+
+   The hash-cons ids keying the in-run memo are per-domain, so they
+   cannot survive a preemption (the retry may land on another domain
+   or another process).  Snapshots therefore key decided subsets by
+   *formula indices* — stable as long as the requirement list is the
+   same, which the resuming supervisor guarantees and a stored
+   formula-count field double-checks.  Encoding: "0.2.3:1,1:0"
+   (sorted indices dot-joined, ':', verdict bit, comma-separated). *)
+
+let snapshot_engine = "localize"
+
+let encode_decided decided =
+  Hashtbl.fold
+    (fun indices verdict acc ->
+       (String.concat "." (List.map string_of_int indices)
+        ^ ":" ^ (if verdict then "1" else "0"))
+       :: acc)
+    decided []
+  |> List.sort compare
+  |> String.concat ","
+
+let decode_decided s =
+  let table = Hashtbl.create 32 in
+  let ok =
+    String.split_on_char ',' s
+    |> List.for_all (fun entry ->
+        if entry = "" then true
+        else
+          match String.split_on_char ':' entry with
+          | [ ixs; bit ] when bit = "0" || bit = "1" ->
+            let indices =
+              String.split_on_char '.' ixs
+              |> List.map int_of_string_opt
+            in
+            if List.for_all Option.is_some indices then begin
+              Hashtbl.replace table
+                (List.filter_map Fun.id indices)
+                (bit = "1");
+              true
+            end
+            else false
+          | _ -> false)
+  in
+  if ok then Some table else None
+
+let run ?snapshot ~check formulas =
   let formulas_array = Array.of_list formulas in
   let n = Array.length formulas_array in
   let ids = Array.map Ltl.id formulas_array in
   let nonce = Atomic.fetch_and_add run_nonce 1 in
   let cache = Domain.DLS.get verdicts in
+  (* Seed decided subsets from an armed snapshot: each seeded subset
+     is one [check] (and its whole engine ladder) a resumed run never
+     pays again.  A count mismatch or decode failure degrades to a
+     cold start. *)
+  let decided =
+    match snapshot with
+    | None -> Hashtbl.create 32
+    | Some slot ->
+      (match Speccc_runtime.Snapshot.resume_for slot ~engine:snapshot_engine with
+       | Some snap
+         when Speccc_runtime.Snapshot.int_field snap "n" = Some n ->
+         (match Speccc_runtime.Snapshot.field snap "decided" with
+          | Some enc ->
+            (match decode_decided enc with
+             | Some table
+               when Hashtbl.fold
+                      (fun ixs _ ok ->
+                         ok && List.for_all (fun i -> i >= 0 && i < n) ixs)
+                      table true -> table
+             | Some _ | None -> Hashtbl.create 32)
+          | None -> Hashtbl.create 32)
+       | Some _ | None -> Hashtbl.create 32)
+  in
+  let publish () =
+    match snapshot with
+    | None -> ()
+    | Some slot ->
+      Speccc_runtime.Snapshot.publish slot
+        (Speccc_runtime.Snapshot.make ~engine:snapshot_engine
+           [ ("n", string_of_int n); ("decided", encode_decided decided) ])
+  in
   let check_indices indices =
-    let key =
-      nonce :: List.sort_uniq Int.compare (List.map (fun i -> ids.(i)) indices)
-    in
-    Verdicts.memo cache key
-      (fun () -> check (List.map (fun i -> formulas_array.(i)) indices))
+    let sorted = List.sort_uniq Int.compare indices in
+    match Hashtbl.find_opt decided sorted with
+    | Some verdict -> verdict
+    | None ->
+      let key = nonce :: List.map (fun i -> ids.(i)) sorted in
+      let verdict =
+        Verdicts.memo cache key
+          (fun () -> check (List.map (fun i -> formulas_array.(i)) indices))
+      in
+      Hashtbl.replace decided sorted verdict;
+      publish ();
+      verdict
   in
   if check_indices (List.init n Fun.id) then None
   else begin

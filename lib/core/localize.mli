@@ -19,6 +19,7 @@ type result = {
 }
 
 val run :
+  ?snapshot:Speccc_runtime.Snapshot.slot ->
   check:(Speccc_logic.Ltl.t list -> bool) ->
   Speccc_logic.Ltl.t list ->
   result option
@@ -33,6 +34,14 @@ val run :
     at most once per distinct requirement set; it must therefore be
     deterministic and extensional (order- and duplicate-insensitive),
     which holds for conjunction-based consistency checks.  Verdicts
-    never leak between runs. *)
+    never leak between runs.
+
+    [snapshot] makes the run {e anytime}: every decided subset is
+    published to the slot (engine ["localize"], decided subsets keyed
+    by formula index so they survive domain and process boundaries),
+    and an armed resume snapshot over the same formula list pre-seeds
+    those verdicts, so a preempted-then-retried localization re-checks
+    strictly fewer subsets.  A corrupt or mismatched snapshot (wrong
+    formula count, undecodable entry) degrades to a cold start. *)
 
 val pp : Format.formatter -> result -> unit

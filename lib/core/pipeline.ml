@@ -17,6 +17,7 @@ type options = {
   skip_engines : string list;
   recover : bool;
   certify : bool;
+  snapshot : Speccc_runtime.Snapshot.slot option;
 }
 
 let default_options () = {
@@ -32,6 +33,7 @@ let default_options () = {
   skip_engines = [];
   recover = false;
   certify = false;
+  snapshot = None;
 }
 
 type stage_times = {
@@ -71,13 +73,18 @@ let abstract_times options formulas =
     in
     (List.map (Timeabs.apply solution) formulas, Some solution)
 
+(* The governed ladder also owns the anytime and memory-pressure
+   machinery: a snapshot slot is only fed by it, and the hard-watermark
+   collapse is a ladder decision, so both route the run through it. *)
 let governed options =
   options.fuel <> None || options.deadline <> None || options.cancel <> None
-  || options.skip_engines <> []
+  || options.skip_engines <> [] || options.snapshot <> None
+  || Speccc_runtime.Memwatch.level () <> Speccc_runtime.Memwatch.Normal
 
 let make_budget options =
   Speccc_runtime.Budget.create ?fuel:options.fuel
-    ?deadline_in:options.deadline ?cancel:options.cancel ()
+    ?deadline_in:options.deadline ?cancel:options.cancel
+    ?snapshot:options.snapshot ()
 
 (* The ladder's floor: when every synthesis engine degraded, a lint
    pass can still return a sound verdict — an unsatisfiable requirement

@@ -41,6 +41,11 @@ type options = {
           {!Speccc_certify.Certify.apply} (on a small reserved budget)
           before reporting; a rejected certificate downgrades the
           verdict to [Inconclusive] *)
+  snapshot : Speccc_runtime.Snapshot.slot option;
+      (** anytime-progress slot threaded onto the governed budget: the
+          engines publish resumable frontiers into it, and an armed
+          resume snapshot lets a retried run skip already-completed
+          escalation work (see {!Speccc_runtime.Snapshot}) *)
 }
 
 val default_options : unit -> options

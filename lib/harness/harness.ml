@@ -33,6 +33,7 @@ and doc_result = {
   detail : string;
   fresh : bool;
   degradation : Realizability.rung list;
+  progress : Speccc_runtime.Snapshot.t option;
 }
 
 let default_config () = {
@@ -160,14 +161,31 @@ let verdict_of_tag detail = function
   | "failed" -> Some (Failed detail)
   | _ -> None
 
+(* The anytime progress object appended to partial verdicts: the rung
+   that was running plus its frontier fields (bound/round/states
+   reached, decided localization subsets).  Verbatim snapshot field
+   values — all short integers or index lists — rendered as JSON
+   strings. *)
+let progress_json snap =
+  Printf.sprintf "{\"engine\":\"%s\"%s}"
+    (json_escape (Speccc_runtime.Snapshot.engine snap))
+    (String.concat ""
+       (List.map
+          (fun (k, v) ->
+             Printf.sprintf ",\"%s\":\"%s\"" (json_escape k) (json_escape v))
+          (Speccc_runtime.Snapshot.fields snap)))
+
 let journal_line result =
   Printf.sprintf
-    "{\"doc\":\"%s\",\"verdict\":\"%s\",\"engine\":\"%s\",\"attempts\":%d,\"wall\":%.3f,\"detail\":\"%s\"}"
+    "{\"doc\":\"%s\",\"verdict\":\"%s\",\"engine\":\"%s\",\"attempts\":%d,\"wall\":%.3f,\"detail\":\"%s\"%s}"
     (json_escape result.doc)
     (verdict_tag result.verdict)
     (json_escape result.engine)
     result.attempts result.wall
     (json_escape result.detail)
+    (match result.progress with
+     | None -> ""
+     | Some snap -> ",\"progress\":" ^ progress_json snap)
 
 (* Append one line and flush before returning: the journal must
    survive the process dying right after this call. *)
@@ -248,6 +266,7 @@ let journal_parse_line line =
            detail;
            fresh = false;
            degradation = [];
+           progress = None;
          })
 
 let journal_read ?on_corrupt ?(repair = false) path =
@@ -347,8 +366,19 @@ let attempt_fuel config i =
   in
   max 1_000 (first / (1 lsl i))
 
-let backoff config i =
-  Float.min config.backoff_cap (config.backoff_base *. (2. ** float_of_int i))
+(* Seeded jitter: a parallel batch that hits a shared-cause failure
+   (store outage, breaker trip) would otherwise have all its workers
+   retrying in lockstep at exactly base*2^i.  The jitter factor
+   (1.0 .. 1.5) is derived from the document key and attempt index, so
+   it spreads retries across a window while staying bit-reproducible —
+   jobs=4 and jobs=1 runs sleep identical schedules per document. *)
+let jitter_factor ~key i =
+  let digest = Digest.string (Printf.sprintf "%s\x00backoff\x00%d" key i) in
+  1.0 +. (0.5 *. float_of_int (Char.code digest.[0]) /. 256.)
+
+let backoff config ~key i =
+  Float.min config.backoff_cap
+    (config.backoff_base *. (2. ** float_of_int i) *. jitter_factor ~key i)
 
 let check_once config document ~fuel =
   let options = { config.options with Pipeline.fuel = Some fuel } in
@@ -384,6 +414,22 @@ let store_persist config document result =
 
 let supervise_fresh config (key, document) =
   let started = Unix.gettimeofday () in
+  (* One anytime slot covers the whole attempt sequence: each attempt
+     publishes its frontier into it, and rearming before a retry turns
+     the previous attempt's last frontier into the next attempt's
+     starting point — a preempted search never cold-starts twice.
+     Callers (the serve mode) may hand in their own slot; otherwise
+     the document gets a private one. *)
+  let slot =
+    match config.options.Pipeline.snapshot with
+    | Some slot -> slot
+    | None -> Speccc_runtime.Snapshot.slot ()
+  in
+  let config =
+    { config with
+      options = { config.options with Pipeline.snapshot = Some slot } }
+  in
+  let partial () = Speccc_runtime.Snapshot.latest slot in
   let failed i error =
     {
       doc = key;
@@ -394,17 +440,22 @@ let supervise_fresh config (key, document) =
       detail = Runtime.to_string error;
       fresh = true;
       degradation = [];
+      progress = partial ();
     }
   in
   let rec attempt i last_error =
     if i > config.retries then failed i last_error
     else begin
-      if i > 0 then ignore (config.sleep (backoff config (i - 1)));
+      if i > 0 then begin
+        ignore (config.sleep (backoff config ~key (i - 1)));
+        Speccc_runtime.Snapshot.rearm slot
+      end;
       match check_once config document ~fuel:(attempt_fuel config i) with
       | Ok outcome ->
+        let verdict = classify outcome in
         {
           doc = key;
-          verdict = classify outcome;
+          verdict;
           engine = outcome.Pipeline.report.Realizability.engine_used;
           attempts = i + 1;
           wall = Unix.gettimeofday () -. started;
@@ -412,6 +463,7 @@ let supervise_fresh config (key, document) =
           fresh = true;
           degradation =
             Realizability.canonical_degradation outcome.Pipeline.report;
+          progress = (match verdict with Unknown -> partial () | _ -> None);
         }
       | Error error ->
         if externally_cancelled config then failed (i + 1) error
@@ -453,6 +505,7 @@ let check_loaded config (key, loaded) =
       detail = message;
       fresh = true;
       degradation = [];
+      progress = None;
     }
 
 (* [config.stop] is polled before each fresh document (journal

@@ -22,6 +22,12 @@
      "detail":"<one-line diagnostics>"}
     v}
 
+    Partial verdicts ([unknown]/[failed] results with anytime progress
+    to report) additionally carry a [progress] object — the rung that
+    was running and its frontier fields, e.g.
+    [{"engine":"explicit","bound":"4"}] — so a preempted check tells
+    the caller how far it got instead of answering a bare timeout.
+
     A resumed run ({!config.resume}) reads the journal back and skips
     every document whose key already has a line, reporting the
     journaled verdict with [fresh = false].  A truncated or corrupt
@@ -44,7 +50,10 @@ type config = {
       (** per-document pipeline options; [options.fuel] (default
           200k when unset) is the first attempt's budget *)
   retries : int;        (** extra attempts after the first (default 2) *)
-  backoff_base : float; (** seconds before the first retry (default 0.05) *)
+  backoff_base : float;
+      (** nominal seconds before the first retry (default 0.05); each
+          actual backoff is the doubled base stretched by a
+          deterministic per-document jitter factor (see {!backoff}) *)
   backoff_cap : float;  (** ceiling on any single backoff (default 1.0) *)
   sleep : float -> float;
       (** sleeping primitive, returning the seconds actually slept —
@@ -110,6 +119,11 @@ and doc_result = {
           the serve mode's circuit breakers feed on it; [[]] for
           [Failed] results and journal replays (the journal does not
           persist rungs) *)
+  progress : Speccc_runtime.Snapshot.t option;
+      (** the last anytime frontier the attempts published, attached
+          to partial verdicts ([Unknown]/[Failed]) and rendered as the
+          journal's [progress] object; [None] for definite verdicts
+          and journal replays *)
 }
 
 val default_config : unit -> config
@@ -135,6 +149,14 @@ val run : config -> (string * Speccc_core.Document.t) list -> summary
 val run_files : config -> string list -> summary
 (** {!run} over files, keyed by path ({!Speccc_core.Document.of_file}; an
     unreadable file is a [Failed] result, not an exception). *)
+
+val backoff : config -> key:string -> int -> float
+(** The seconds slept before retry [i] (0-based) of document [key]:
+    [backoff_base * 2^i], stretched by a deterministic jitter factor
+    in [1.0, 1.5) derived from [(key, i)], capped at [backoff_cap].
+    The jitter keeps a [--jobs N] batch from retrying in lockstep
+    after a shared-cause failure while staying bit-reproducible per
+    document. *)
 
 val check_one : config -> string -> Speccc_core.Document.t -> doc_result
 (** The per-document attempt loop {!run} applies to each document,

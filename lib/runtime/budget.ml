@@ -6,11 +6,12 @@ type t = {
   poll_every : int;
   mutable until_poll : int;
   mutable steps : int;
+  snapshot : Snapshot.slot option;  (* anytime-progress rendezvous *)
 }
 
 let max_poll_interval = 1024
 
-let create ?fuel ?deadline_in ?cancel ?(poll_every = 256) () =
+let create ?fuel ?deadline_in ?cancel ?(poll_every = 256) ?snapshot () =
   let poll_every = max 1 (min poll_every max_poll_interval) in
   {
     fuel = (match fuel with Some f -> max 0 f | None -> 0);
@@ -21,6 +22,7 @@ let create ?fuel ?deadline_in ?cancel ?(poll_every = 256) () =
     poll_every;
     until_poll = poll_every;
     steps = 0;
+    snapshot;
   }
 
 let unlimited () = create ()
@@ -71,7 +73,20 @@ let child parent ~fuel =
     poll_every = parent.poll_every;
     until_poll = parent.poll_every;
     steps = 0;
+    snapshot = parent.snapshot;
   }
+
+let slot budget = budget.snapshot
+
+let publish budget snap =
+  match budget.snapshot with
+  | None -> ()
+  | Some slot -> Snapshot.publish slot snap
+
+let resume_for budget ~engine =
+  match budget.snapshot with
+  | None -> None
+  | Some slot -> Snapshot.resume_for slot ~engine
 
 let absorb parent c =
   parent.steps <- parent.steps + c.steps;

@@ -24,13 +24,15 @@ val create :
   ?deadline_in:float ->
   ?cancel:Cancellation.token ->
   ?poll_every:int ->
+  ?snapshot:Snapshot.slot ->
   unit ->
   t
 (** [create ?fuel ?deadline_in ?cancel ()].  [fuel] is the number of
     steps allowed (omitted = unlimited); [deadline_in] is seconds from
     now (omitted = none); [poll_every] (default 256, clamped to
     [1..max_poll_interval]) is the polling period for the deadline and
-    the token. *)
+    the token; [snapshot] is an optional anytime-progress slot shared
+    with the supervisor (see {!Snapshot}). *)
 
 val unlimited : unit -> t
 (** No fuel limit, no deadline, no token.  [checkpoint] still counts
@@ -63,3 +65,17 @@ val child : t -> fuel:int -> t
 val absorb : t -> t -> unit
 (** [absorb parent c] debits [spent c] from [parent]'s fuel (saturating
     at zero) and adds it to [spent parent].  Call once per child. *)
+
+val slot : t -> Snapshot.slot option
+(** The anytime-progress slot, if one was attached.  Children share
+    their parent's slot. *)
+
+val publish : t -> Snapshot.t -> unit
+(** Publish a progress frontier to the attached slot; no-op without
+    one.  Engines call this at completed escalation steps so a
+    preempting supervisor sees the newest resumable state. *)
+
+val resume_for : t -> engine:string -> Snapshot.t option
+(** The armed resume snapshot for [engine], if the slot holds one.
+    Engines call this once at start-up to skip already-completed
+    escalation work. *)

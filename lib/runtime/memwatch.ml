@@ -1,0 +1,125 @@
+(* Memory watermarks: a Gc.alarm-based monitor with soft/hard
+   thresholds over the major-heap size.
+
+   Crossing the soft watermark runs registered shedding hooks (the
+   cache layer registers its own eviction from above — lib/runtime
+   cannot depend on lib/cache) so a hot process gives memory back
+   before the OS takes it.  Crossing the hard watermark flips a level
+   flag that the fallback ladder reads to skip memory-hungry rungs
+   with a typed Degraded("memory", _) entry instead of dying to the
+   OOM killer.
+
+   Disabled by default: fuel-budget determinism tests must not depend
+   on the allocator's mood.  The CLI arms it with --mem-soft/--mem-hard. *)
+
+type level = Normal | Soft | Hard
+
+let level_code = function Normal -> 0 | Soft -> 1 | Hard -> 2
+let level_of_code = function 0 -> Normal | 1 -> Soft | _ -> Hard
+
+let level_name = function
+  | Normal -> "normal"
+  | Soft -> "soft"
+  | Hard -> "hard"
+
+let state = Atomic.make 0            (* level_code of current level *)
+let forced = Atomic.make (-1)        (* test override; -1 = none *)
+let soft_trip_count = Atomic.make 0
+let hard_trip_count = Atomic.make 0
+let shed_count = Atomic.make 0
+
+let soft_words = Atomic.make max_int
+let hard_words = Atomic.make max_int
+
+let hooks : (unit -> unit) list ref = ref []
+let hooks_mutex = Mutex.create ()
+
+let on_soft hook =
+  Mutex.lock hooks_mutex;
+  hooks := hook :: !hooks;
+  Mutex.unlock hooks_mutex
+
+let run_hooks () =
+  Mutex.lock hooks_mutex;
+  let hs = !hooks in
+  Mutex.unlock hooks_mutex;
+  List.iter (fun h -> try h () with _ -> ()) hs;
+  Atomic.incr shed_count
+
+let level () =
+  match Atomic.get forced with
+  | -1 -> level_of_code (Atomic.get state)
+  | code -> level_of_code code
+
+let force l =
+  Atomic.set forced (match l with None -> -1 | Some l -> level_code l)
+
+let words_per_mb = 1024 * 1024 / (Sys.word_size / 8)
+
+(* Called from the Gc alarm (end of each major cycle) — keep it
+   allocation-light.  Level transitions are edge-triggered: hooks run
+   once per upward crossing, and the level decays when the heap
+   shrinks back under the watermark. *)
+let observe () =
+  let heap = (Gc.quick_stat ()).Gc.heap_words in
+  let now =
+    if heap >= Atomic.get hard_words then Hard
+    else if heap >= Atomic.get soft_words then Soft
+    else Normal
+  in
+  let before = level_of_code (Atomic.get state) in
+  if now <> before then begin
+    Atomic.set state (level_code now);
+    match before, now with
+    | (Normal | Soft), Hard ->
+      Atomic.incr hard_trip_count;
+      if before = Normal then Atomic.incr soft_trip_count;
+      run_hooks ()
+    | Normal, Soft ->
+      Atomic.incr soft_trip_count;
+      run_hooks ()
+    | _ -> ()
+  end
+
+let alarm = ref None
+
+let configure ?soft_mb ?hard_mb () =
+  Atomic.set soft_words
+    (match soft_mb with Some mb -> mb * words_per_mb | None -> max_int);
+  Atomic.set hard_words
+    (match hard_mb with Some mb -> mb * words_per_mb | None -> max_int);
+  (match !alarm with Some _ -> () | None ->
+    if soft_mb <> None || hard_mb <> None then
+      alarm := Some (Gc.create_alarm observe));
+  observe ()
+
+let disable () =
+  (match !alarm with
+   | Some a -> Gc.delete_alarm a; alarm := None
+   | None -> ());
+  Atomic.set soft_words max_int;
+  Atomic.set hard_words max_int;
+  Atomic.set state 0;
+  Atomic.set forced (-1)
+
+type stats = {
+  major_words : float;       (* cumulative words allocated on the major heap *)
+  heap_words : int;          (* current major heap size *)
+  compactions : int;
+  watermark : level;
+  soft_trips : int;
+  hard_trips : int;
+  sheds : int;
+}
+
+let stats () =
+  let g = Gc.quick_stat () in
+  {
+    major_words = g.Gc.major_words;
+    heap_words = g.Gc.heap_words;
+    compactions = g.Gc.compactions;
+    watermark = level ();
+    soft_trips = Atomic.get soft_trip_count;
+    hard_trips = Atomic.get hard_trip_count;
+    sheds = Atomic.get shed_count;
+  }

@@ -1,0 +1,165 @@
+(* Serializable progress frontiers ("anytime snapshots").
+
+   A snapshot is a tiny engine-tagged key/value record describing how
+   far a long-running search got: the explicit game's bound, the
+   symbolic fixpoint's layer, the SAT search's machine size, the
+   localizer's decided subsets.  Engines publish one at every completed
+   escalation step; supervisors (harness retries, the server watchdog,
+   the shard router) carry the last published snapshot across a
+   preemption so the next attempt resumes instead of cold-starting.
+
+   The string codec is a single line guarded by a checksum: a corrupt
+   or truncated snapshot decodes to [None] and the consumer falls back
+   to a cold start — never to wrong state. *)
+
+type t = {
+  engine : string;               (* "explicit" | "symbolic" | "sat" | "localize" *)
+  fields : (string * string) list;
+}
+
+let make ~engine fields = { engine; fields }
+
+let engine t = t.engine
+let fields t = t.fields
+
+let field t name = List.assoc_opt name t.fields
+
+let int_field t name =
+  match field t name with
+  | None -> None
+  | Some v -> int_of_string_opt v
+
+let with_field t name value =
+  { t with fields = (name, value) :: List.remove_assoc name t.fields }
+
+(* ---------- codec ---------- *)
+
+let magic = "speccc-snap1"
+
+(* FNV-1a 64-bit over the payload; corruption detection only, not
+   cryptographic. *)
+let checksum s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+       h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+              0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let needs_escape c =
+  match c with
+  | '%' | ';' | '=' | '|' -> true
+  | c -> Char.code c < 0x20 || Char.code c >= 0x7f
+
+let enc s =
+  if String.for_all (fun c -> not (needs_escape c)) s then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+         if needs_escape c then Buffer.add_string b (Printf.sprintf "%%%02x" (Char.code c))
+         else Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let dec s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i ok =
+    if i >= n then ok
+    else if s.[i] = '%' then begin
+      if i + 2 < n then
+        match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+        | Some code -> Buffer.add_char b (Char.chr (code land 0xff)); go (i + 3) ok
+        | None -> go (i + 1) false
+      else false
+    end
+    else begin Buffer.add_char b s.[i]; go (i + 1) ok end
+  in
+  if go 0 true then Some (Buffer.contents b) else None
+
+let payload t =
+  enc t.engine ^ ";"
+  ^ String.concat ";"
+      (List.map (fun (k, v) -> enc k ^ "=" ^ enc v) t.fields)
+
+let to_string t =
+  let body = payload t in
+  magic ^ "|" ^ checksum body ^ "|" ^ body
+
+let of_string line =
+  match String.split_on_char '|' line with
+  | [ m; sum; body ] when m = magic && sum = checksum body ->
+    (match String.split_on_char ';' body with
+     | engine :: rest ->
+       (match dec engine with
+        | None -> None
+        | Some engine ->
+          let rec decode_fields acc = function
+            | [] -> Some (List.rev acc)
+            | "" :: rest -> decode_fields acc rest
+            | kv :: rest ->
+              (match String.index_opt kv '=' with
+               | None -> None
+               | Some i ->
+                 let k = String.sub kv 0 i in
+                 let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+                 (match dec k, dec v with
+                  | Some k, Some v -> decode_fields ((k, v) :: acc) rest
+                  | _ -> None))
+          in
+          (match decode_fields [] rest with
+           | Some fields -> Some { engine; fields }
+           | None -> None))
+     | [] -> None)
+  | _ -> None
+
+(* ---------- slots ---------- *)
+
+(* A slot is the rendezvous between the engine (publishing progress
+   from its own domain) and a supervisor (reading it from the watchdog
+   thread after a preemption).  Atomics keep cross-domain reads sound;
+   the values themselves are immutable. *)
+
+type slot = {
+  latest : t option Atomic.t;    (* most recent frontier published *)
+  resume : t option Atomic.t;    (* frontier the next attempt starts from *)
+  published : int Atomic.t;
+  resumed : int Atomic.t;
+}
+
+let slot () =
+  { latest = Atomic.make None;
+    resume = Atomic.make None;
+    published = Atomic.make 0;
+    resumed = Atomic.make 0 }
+
+let publish slot t =
+  Atomic.set slot.latest (Some t);
+  Atomic.incr slot.published
+
+let latest slot = Atomic.get slot.latest
+
+let set_resume slot t = Atomic.set slot.resume t
+
+(* Arm the next attempt with whatever the previous one last published. *)
+let rearm slot =
+  match Atomic.get slot.latest with
+  | None -> ()
+  | Some _ as s -> Atomic.set slot.resume s
+
+let resume_for slot ~engine =
+  match Atomic.get slot.resume with
+  | Some t when t.engine = engine ->
+    Atomic.incr slot.resumed;
+    Some t
+  | Some _ | None -> None
+
+let published_count slot = Atomic.get slot.published
+let resumed_count slot = Atomic.get slot.resumed
+
+let clear slot =
+  Atomic.set slot.latest None;
+  Atomic.set slot.resume None

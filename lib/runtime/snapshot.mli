@@ -1,0 +1,71 @@
+(** Serializable progress frontiers for anytime verdicts.
+
+    A snapshot records how far a long-running engine search got — the
+    explicit game's escalation bound, the symbolic fixpoint's layer,
+    the SAT search's machine size, the localizer's decided subsets —
+    as an engine-tagged key/value record with a checksummed
+    single-line string codec.  Supervisors carry the last published
+    snapshot across a preemption (watchdog trip, harness retry, worker
+    respawn) so the next attempt resumes instead of cold-starting.
+
+    Corruption tolerance is structural: {!of_string} returns [None]
+    for any damaged line, and a consumer that gets [None] simply cold
+    starts.  A snapshot can only skip work that was already completed
+    and re-derivable — verdicts still flow through the engines and the
+    certificate gate, so a stale or forged snapshot can cost time, not
+    soundness. *)
+
+type t
+
+val make : engine:string -> (string * string) list -> t
+(** [make ~engine fields].  [engine] is the producing rung
+    ("explicit", "symbolic", "sat", "localize"). *)
+
+val engine : t -> string
+val fields : t -> (string * string) list
+val field : t -> string -> string option
+val int_field : t -> string -> int option
+val with_field : t -> string -> string -> t
+(** Functional field update (replaces an existing binding). *)
+
+val to_string : t -> string
+(** One-line codec: magic, checksum, percent-escaped payload.  Safe to
+    embed in JSONL strings and store records. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] on any corruption (bad magic,
+    checksum mismatch, malformed escape or field). *)
+
+(** {2 Slots}
+
+    A slot is the rendezvous between an engine publishing progress
+    from its own domain and a supervisor reading it from another
+    thread after a preemption.  [latest] is what the current attempt
+    has reached; [resume] is what the next attempt starts from. *)
+
+type slot
+
+val slot : unit -> slot
+
+val publish : slot -> t -> unit
+(** Record the current attempt's newest frontier. *)
+
+val latest : slot -> t option
+
+val rearm : slot -> unit
+(** Copy [latest] into [resume]: arm the next attempt with whatever
+    the previous one last published.  No-op when nothing was
+    published. *)
+
+val set_resume : slot -> t option -> unit
+(** Install an externally persisted snapshot (e.g. replayed from the
+    verdict store) as the resume point. *)
+
+val resume_for : slot -> engine:string -> t option
+(** The armed resume snapshot, if it belongs to [engine]; counts a
+    resume when it matches. *)
+
+val published_count : slot -> int
+val resumed_count : slot -> int
+
+val clear : slot -> unit

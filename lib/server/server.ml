@@ -89,6 +89,8 @@ type stats = {
   restarts : int;
   leaked_workers : int;
   max_queue_depth : int;
+  preempted : int;   (** requests answered by the watchdog with a partial verdict *)
+  resumed : int;     (** checks that warm-started from a saved snapshot *)
   breakers : (string * string) list;
 }
 
@@ -102,12 +104,16 @@ type job = {
   deadline : float;
   responded : bool Atomic.t;
   abandoned : bool Atomic.t;
+  snapshot : Snapshot.slot;     (* anytime progress for THIS job *)
+  snap_key : string option;     (* content key for the snapshot tables *)
 }
 
 type slot = {
   mutable domain : unit Domain.t option;
   finished : bool Atomic.t;
   mutable zombie : bool;        (* escalated past; retired in place *)
+  mutable preempted : int;      (* jobs the watchdog answered for this worker *)
+  mutable resumed : int;        (* jobs this worker warm-started from a snapshot *)
 }
 
 type pool = {
@@ -125,6 +131,11 @@ type pool = {
   mutable restarts : int;
   mutable next_wid : int;
   workers : (int, slot) Hashtbl.t;
+  (* last published frontier per content key: armed into the next
+     request for the same document so it resumes instead of
+     cold-starting.  The store (when configured) persists the same
+     snapshots across process lifetimes. *)
+  snapshots : (string, Snapshot.t) Hashtbl.t;
   watchdog : Watchdog.t;
   breakers : Breaker.t list;
   out_lock : Mutex.t;
@@ -221,10 +232,14 @@ let failed_result job ~wall error =
     detail = Runtime.to_string error;
     fresh = true;
     degradation = [];
+    progress = None;
   }
 
-(* The watchdog's answer for a request that blew its deadline —
-   [unknown], typed as a watchdog degradation. *)
+(* The watchdog's answer for a request that blew its deadline — a
+   typed partial verdict: [unknown] with the victim's last published
+   progress frontier attached, so the client sees how far the check
+   got (and that a retry will resume there) instead of a bare
+   timeout. *)
 let watchdog_result job ~wall =
   let error =
     Runtime.Degraded
@@ -240,7 +255,25 @@ let watchdog_result job ~wall =
     detail = Runtime.to_string error;
     fresh = true;
     degradation = [];
+    progress = Snapshot.latest job.snapshot;
   }
+
+(* Persist a preempted job's final frontier: the in-memory table feeds
+   the next request for the same document; the store (when configured)
+   survives worker respawns and process restarts. *)
+let save_snapshot pool job =
+  match (Snapshot.latest job.snapshot, job.snap_key) with
+  | Some snap, Some key ->
+    locked pool (fun () -> Hashtbl.replace pool.snapshots key snap);
+    (match pool.config.store with
+     | Some store -> (try Store.put_snapshot store ~key snap with _ -> ())
+     | None -> ())
+  | _ -> ()
+
+let drop_snapshot pool job =
+  match job.snap_key with
+  | Some key -> locked pool (fun () -> Hashtbl.remove pool.snapshots key)
+  | None -> ()
 
 (* Exactly-once: the worker finishing late and the watchdog escalating
    race on [job.responded]; the CAS winner writes the response line
@@ -325,7 +358,8 @@ and run_job pool wid job =
             (match job.fuel with
              | Some _ as f -> f
              | None -> base.Harness.options.Pipeline.fuel);
-          skip_engines = skip }
+          skip_engines = skip;
+          snapshot = Some job.snapshot }
       in
       { base with Harness.options; journal = None; resume = false; jobs = 1 }
     in
@@ -341,32 +375,59 @@ and run_job pool wid job =
         failed_result job ~wall:(Unix.gettimeofday () -. start) error
       | Ok () -> Harness.check_one harness job.key document
     in
+    let my_slot () = locked pool (fun () -> Hashtbl.find_opt pool.workers wid) in
+    if Snapshot.resumed_count job.snapshot > 0 then
+      (match my_slot () with
+       | Some slot -> slot.resumed <- slot.resumed + 1
+       | None -> ());
     (match Watchdog.complete pool.watchdog wjob with
      | `Ok ->
        record_breakers pool result;
+       (match result.Harness.verdict with
+        | Harness.Consistent | Harness.Inconsistent ->
+          (* the definite verdict supersedes any saved progress (the
+             store's put does the same for its snapshot record) *)
+          drop_snapshot pool job
+        | Harness.Unknown | Harness.Failed _ -> save_snapshot pool job);
        respond pool job result
-     | `Tripped | `Escalated ->
+     | `Tripped ->
        (* the deadline passed: the contract is [unknown], whatever the
-          late computation came back with *)
-       respond pool job (watchdog_result job ~wall:(Unix.gettimeofday () -. start)));
+          late computation came back with — but the progress frontier
+          survives for the retry *)
+       (match my_slot () with
+        | Some slot -> slot.preempted <- slot.preempted + 1
+        | None -> ());
+       save_snapshot pool job;
+       respond pool job (watchdog_result job ~wall:(Unix.gettimeofday () -. start))
+     | `Escalated ->
+       (* the watchdog already answered (and counted the preemption)
+          on this worker's behalf *)
+       ());
     not (Atomic.get job.abandoned)
 
 and escalate pool wid job start =
   (* watchdog thread: the worker is stuck between checkpoints.  Answer
-     on its behalf, retire it in place, bring up a replacement. *)
+     on its behalf — keeping whatever frontier the victim published
+     before wedging — retire it in place, bring up a replacement. *)
   Atomic.set job.abandoned true;
+  save_snapshot pool job;
   respond pool job (watchdog_result job ~wall:(Unix.gettimeofday () -. start));
   locked pool (fun () ->
       pool.restarts <- pool.restarts + 1;
       (match Hashtbl.find_opt pool.workers wid with
-       | Some slot -> slot.zombie <- true
+       | Some slot ->
+         slot.zombie <- true;
+         slot.preempted <- slot.preempted + 1
        | None -> ());
       spawn_locked pool)
 
 and spawn_locked pool =
   let wid = pool.next_wid in
   pool.next_wid <- wid + 1;
-  let slot = { domain = None; finished = Atomic.make false; zombie = false } in
+  let slot =
+    { domain = None; finished = Atomic.make false; zombie = false;
+      preempted = 0; resumed = 0 }
+  in
   Hashtbl.replace pool.workers wid slot;
   let domain =
     Domain.spawn (fun () ->
@@ -393,7 +454,7 @@ let error_response pool ?(id = Jsonl.Null) kind detail =
             ("detail", Jsonl.Str detail) ]))
 
 let health_response pool id =
-  let depth, live, restarts, served, shed =
+  let depth, live, restarts, served, shed, workers, saved_snaps =
     locked pool (fun () ->
         let live =
           Hashtbl.fold
@@ -401,7 +462,14 @@ let health_response pool id =
                if slot.zombie || Atomic.get slot.finished then n else n + 1)
             pool.workers 0
         in
-        (Queue.length pool.queue, live, pool.restarts, pool.served, pool.shed))
+        let workers =
+          Hashtbl.fold
+            (fun wid slot acc -> (wid, slot.preempted, slot.resumed) :: acc)
+            pool.workers []
+          |> List.sort compare
+        in
+        ( Queue.length pool.queue, live, pool.restarts, pool.served, pool.shed,
+          workers, Hashtbl.length pool.snapshots ))
   in
   let num n = Jsonl.Num (float_of_int n) in
   let caches =
@@ -420,12 +488,42 @@ let health_response pool id =
       let s = Store.stats store in
       [ ( "store",
           Jsonl.Obj
-            [ ("live", num s.Store.live); ("appends", num s.Store.appends);
+            [ ("live", num s.Store.live);
+              ("snapshots", num s.Store.snapshots);
+              ("appends", num s.Store.appends);
               ("hits", num s.Store.hits); ("misses", num s.Store.misses);
               ("compactions", num s.Store.compactions);
               ("recovered_bytes", num s.Store.recovered_bytes);
               ("crc_failures", num s.Store.crc_failures);
               ("file_bytes", num s.Store.file_bytes) ] ) ]
+  in
+  let anytime =
+    let total_p = List.fold_left (fun a (_, p, _) -> a + p) 0 workers in
+    let total_r = List.fold_left (fun a (_, _, r) -> a + r) 0 workers in
+    ( "anytime",
+      Jsonl.Obj
+        [ ("preempted", num total_p); ("resumed", num total_r);
+          ("saved_snapshots", num saved_snaps);
+          ( "workers",
+            Jsonl.Arr
+              (List.map
+                 (fun (wid, p, r) ->
+                    Jsonl.Obj
+                      [ ("id", num wid); ("preempted", num p);
+                        ("resumed", num r) ])
+                 workers) ) ] )
+  in
+  let memory =
+    let m = Memwatch.stats () in
+    ( "memory",
+      Jsonl.Obj
+        [ ("major_words", Jsonl.Num m.Memwatch.major_words);
+          ("heap_words", num m.Memwatch.heap_words);
+          ("compactions", num m.Memwatch.compactions);
+          ("watermark", Jsonl.Str (Memwatch.level_name m.Memwatch.watermark));
+          ("soft_trips", num m.Memwatch.soft_trips);
+          ("hard_trips", num m.Memwatch.hard_trips);
+          ("sheds", num m.Memwatch.sheds) ] )
   in
   write_line pool
     (Jsonl.to_string
@@ -457,7 +555,8 @@ let health_response pool id =
                      Jsonl.Obj
                        [ ("nodes", num hc.Ltl.nodes);
                          ("hits", num hc.Ltl.hc_hits);
-                         ("misses", num hc.Ltl.hc_misses) ] ) ]
+                         ("misses", num hc.Ltl.hc_misses) ] );
+                   anytime; memory ]
                   @ store_fields) ) ]))
 
 let handle_check pool id json =
@@ -487,6 +586,32 @@ let handle_check pool id json =
     locked pool (fun () -> pool.bad <- pool.bad + 1);
     error_response pool ~id "bad_request" message
   | _ ->
+    let snapshot = Snapshot.slot () in
+    let snap_key =
+      match document with
+      | Ok doc ->
+        let salt = Store.salt_of_options pool.config.harness.Harness.options in
+        Some (Store.key ~salt doc)
+      | Error _ -> None
+    in
+    (* warm-replay: arm the last saved frontier for this document so
+       the check resumes where the preempted attempt stopped — the
+       in-memory table first (this process), the store as fallback
+       (across restarts) *)
+    (match snap_key with
+     | Some skey ->
+       let saved =
+         match locked pool (fun () -> Hashtbl.find_opt pool.snapshots skey) with
+         | Some _ as s -> s
+         | None ->
+           (match pool.config.store with
+            | Some store -> Store.find_snapshot store skey
+            | None -> None)
+       in
+       (match saved with
+        | Some _ -> Snapshot.set_resume snapshot saved
+        | None -> ())
+     | None -> ());
     let job =
       {
         id;
@@ -499,6 +624,8 @@ let handle_check pool id json =
            | _ -> pool.config.deadline);
         responded = Atomic.make false;
         abandoned = Atomic.make false;
+        snapshot;
+        snap_key;
       }
     in
     (match enqueue pool job with
@@ -559,6 +686,7 @@ let make_pool config output =
       restarts = 0;
       next_wid = 0;
       workers = Hashtbl.create 16;
+      snapshots = Hashtbl.create 16;
       watchdog = Watchdog.create ~poll_interval:config.watchdog_poll ();
       breakers =
         List.map
@@ -607,6 +735,11 @@ let drain pool =
   leaked
 
 let finish pool ~leaked =
+  let preempted, resumed =
+    Hashtbl.fold
+      (fun _ slot (p, r) -> (p + slot.preempted, r + slot.resumed))
+      pool.workers (0, 0)
+  in
   {
     served = pool.served;
     shed = pool.shed;
@@ -616,6 +749,8 @@ let finish pool ~leaked =
     restarts = pool.restarts;
     leaked_workers = leaked;
     max_queue_depth = pool.max_depth;
+    preempted;
+    resumed;
     breakers =
       List.map
         (fun b -> (Breaker.rung b, Breaker.state_name b))
@@ -689,9 +824,9 @@ let pp_stats ppf (stats : stats) =
   Format.fprintf ppf
     "@[<v>served: %d@,shed: %d@,bad requests: %d@,watchdog trips: %d@,\
      escalations: %d@,worker restarts: %d@,leaked workers: %d@,\
-     max queue depth: %d@,breakers: %s@]"
+     max queue depth: %d@,preempted: %d@,resumed: %d@,breakers: %s@]"
     stats.served stats.shed stats.bad_requests stats.watchdog_trips
     stats.escalations stats.restarts stats.leaked_workers
-    stats.max_queue_depth
+    stats.max_queue_depth stats.preempted stats.resumed
     (String.concat ", "
        (List.map (fun (r, s) -> r ^ "=" ^ s) stats.breakers))

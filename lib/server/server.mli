@@ -47,9 +47,19 @@
     returns; wedged workers are waited on for [drain_wait] seconds,
     then leaked (reported in {!stats.leaked_workers}).
 
+    A preempted request is not answered with a bare timeout: the
+    response carries the victim's last published anytime [progress]
+    frontier, the frontier is saved (in memory, and in the store when
+    one is wired), and the next request for the same document warm-
+    replays it — the engines resume from the saved bound instead of
+    cold-starting.  See {!Speccc_runtime.Snapshot}.
+
     The [health] response carries the full supervision picture: queue
     depth, live workers, restart/shed/watchdog counters, per-rung
-    breaker objects [{"state","opens","failures"}], cache and
+    breaker objects [{"state","opens","failures"}], an [anytime]
+    object (total and per-worker [preempted]/[resumed] counters plus
+    the saved-snapshot count), a [memory] object (GC counters and the
+    {!Speccc_runtime.Memwatch} watermark state), cache and
     hash-consing counters, and (when a {!config.store} is wired) the
     verdict-store counters — the shard router's probe reads these to
     decide failover and to verify a respawned worker carries no
@@ -94,6 +104,12 @@ type stats = {
   restarts : int;        (** replacement workers spawned *)
   leaked_workers : int;  (** wedged domains still running at drain *)
   max_queue_depth : int;
+  preempted : int;
+      (** requests the watchdog answered with a partial verdict
+          ([unknown] plus the victim's last [progress] frontier) *)
+  resumed : int;
+      (** checks that warm-started from a saved anytime snapshot
+          instead of cold-starting *)
   breakers : (string * string) list;  (** rung, final breaker state *)
 }
 

@@ -387,6 +387,27 @@ let router_health router =
 let probe_response router p =
   let num n = Jsonl.Num (float_of_int n) in
   let parts = List.sort (fun (a, _) (b, _) -> compare a b) p.parts in
+  (* aggregate the workers' anytime counters so one router probe shows
+     the fleet-wide preemption/resume picture without reading every
+     per-shard health object *)
+  let anytime_totals =
+    let count field =
+      List.fold_left
+        (fun acc (_, health) ->
+          match health with
+          | None -> acc
+          | Some h -> (
+              match Jsonl.member "anytime" h with
+              | Some anytime ->
+                  acc + Option.value (Jsonl.int_member field anytime) ~default:0
+              | None -> acc))
+        0 parts
+    in
+    Jsonl.Obj
+      [ ("preempted", num (count "preempted"));
+        ("resumed", num (count "resumed"));
+        ("saved_snapshots", num (count "saved_snapshots")) ]
+  in
   let shards_json =
     List.map
       (fun (i, health) ->
@@ -408,6 +429,7 @@ let probe_response router p =
          ( "health",
            Jsonl.Obj
              [ ("router", router_health router);
+               ("anytime", anytime_totals);
                ("shards", Jsonl.Arr shards_json) ] ) ])
 
 let process_probe router shard p =

@@ -34,7 +34,9 @@
 
     A [health] request is fanned out to every live worker and the
     per-worker health objects (breakers, cache/hashcons/store
-    counters) are aggregated under the router's own counters.
+    counters) are aggregated under the router's own counters; the
+    workers' anytime counters (preemptions, resumes, saved snapshots)
+    are additionally summed into a pool-wide [anytime] object.
     [shutdown] (or EOF / the [stop] flag) drains queued and in-flight
     requests, asks each worker to shut down, and reaps the
     processes. *)

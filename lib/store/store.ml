@@ -64,14 +64,30 @@ let get_u32_be s off =
   lor (Char.code s.[off + 2] lsl 8)
   lor Char.code s.[off + 3]
 
-let encode_record ~key result =
-  let payload = key ^ "\n" ^ Harness.journal_line result in
+let frame_of_payload payload =
   let n = String.length payload in
   let frame = Bytes.create (8 + n) in
   put_u32_be frame 0 n;
   put_u32_be frame 4 (Int32.to_int (crc32 payload) land 0xFFFFFFFF);
   Bytes.blit_string payload 0 frame 8 n;
   frame
+
+let encode_record ~key result =
+  frame_of_payload (key ^ "\n" ^ Harness.journal_line result)
+
+(* Snapshot records share the frame format; their payload line is the
+   snapshot codec behind a "SNAP " marker instead of a verdict object.
+   They let a respawned worker warm-replay anytime progress alongside
+   verdicts: a preempted check's frontier survives the process. *)
+let snap_marker = "SNAP "
+
+let encode_snapshot_record ~key snap =
+  frame_of_payload
+    (key ^ "\n" ^ snap_marker ^ Speccc_runtime.Snapshot.to_string snap)
+
+type decoded =
+  | Verdict of string * Harness.doc_result
+  | Snapshot_of of string * Speccc_runtime.Snapshot.t
 
 (* Record payloads replay exactly like journal lines: fresh = false,
    attempts = 0, no degradation rungs. *)
@@ -84,8 +100,18 @@ let decode_payload payload =
         String.sub payload (i + 1) (String.length payload - i - 1)
       in
       if key = "" then None
+      else if
+        String.length line >= String.length snap_marker
+        && String.sub line 0 (String.length snap_marker) = snap_marker
+      then
+        (* a corrupt snapshot body is dropped (cold start), never fatal *)
+        Option.map
+          (fun s -> Snapshot_of (key, s))
+          (Speccc_runtime.Snapshot.of_string
+             (String.sub line (String.length snap_marker)
+                (String.length line - String.length snap_marker)))
       else
-        Option.map (fun r -> (key, r)) (Harness.journal_parse_line line)
+        Option.map (fun r -> Verdict (key, r)) (Harness.journal_parse_line line)
 
 (* ---------- the store ---------- *)
 
@@ -96,6 +122,7 @@ type t = {
   on_recover : string -> unit;
   lock : Mutex.t;
   index : (string, Harness.doc_result) Hashtbl.t;
+  snap_index : (string, Speccc_runtime.Snapshot.t) Hashtbl.t;
   mutable fd : Unix.file_descr option;
   mutable dead : int; (* superseded records still in the log *)
   mutable appends : int;
@@ -109,6 +136,7 @@ type t = {
 
 type stats = {
   live : int;
+  snapshots : int;
   appends : int;
   hits : int;
   misses : int;
@@ -145,7 +173,7 @@ let read_file path =
    length when every frame is sound.  Interior records that frame
    correctly but fail to parse are skipped, not fatal: their
    boundaries are still trustworthy. *)
-let scan ~on_corrupt ~count_crc index data =
+let scan ~on_corrupt ~count_crc index snap_index data =
   let len = String.length data in
   let pos = ref (String.length header) in
   let good_end = ref !pos in
@@ -162,7 +190,12 @@ let scan ~on_corrupt ~count_crc index data =
          raise Exit
        end;
        (match decode_payload payload with
-       | Some (key, result) -> Hashtbl.replace index key result
+       | Some (Verdict (key, result)) ->
+           Hashtbl.replace index key result;
+           (* a definite verdict supersedes any saved progress *)
+           Hashtbl.remove snap_index key
+       | Some (Snapshot_of (key, snap)) ->
+           Hashtbl.replace snap_index key snap
        | None ->
            on_corrupt
              (Printf.sprintf "unparsable record payload at offset %d (skipped)"
@@ -178,6 +211,7 @@ let default_on_recover msg = Printf.eprintf "speccc store: %s\n%!" msg
 let open_ ?(fsync = false) ?(compact_threshold = 1024) ?on_recover path =
   let on_recover = Option.value on_recover ~default:default_on_recover in
   let index = Hashtbl.create 256 in
+  let snap_index = Hashtbl.create 64 in
   let hlen = String.length header in
   let data = if Sys.file_exists path then read_file path else "" in
   let recovered = ref 0 in
@@ -202,7 +236,7 @@ let open_ ?(fsync = false) ?(compact_threshold = 1024) ?on_recover path =
         scan
           ~on_corrupt:(fun msg -> on_recover (path ^ ": " ^ msg))
           ~count_crc:(fun () -> incr crc_failures)
-          index data
+          index snap_index data
       in
       if keep < String.length data then begin
         recovered := String.length data - keep;
@@ -231,6 +265,7 @@ let open_ ?(fsync = false) ?(compact_threshold = 1024) ?on_recover path =
     on_recover;
     lock = Mutex.create ();
     index;
+    snap_index;
     fd = Some fd;
     dead = 0;
     appends = 0;
@@ -283,6 +318,13 @@ let compact_locked t =
      Hashtbl.iter
        (fun key result -> write_all out (encode_record ~key result))
        t.index;
+     (* live snapshots (keys still without a verdict) survive
+        compaction: a respawned worker must be able to resume them *)
+     Hashtbl.iter
+       (fun key snap ->
+          if not (Hashtbl.mem t.index key) then
+            write_all out (encode_snapshot_record ~key snap))
+       t.snap_index;
      maybe_fsync t out;
      Unix.close out
    with e ->
@@ -307,6 +349,11 @@ let compact_locked t =
 
 let put t ~key result =
   locked t (fun () ->
+      (* a definite verdict supersedes any saved anytime progress *)
+      if Hashtbl.mem t.snap_index key then begin
+        Hashtbl.remove t.snap_index key;
+        t.dead <- t.dead + 1
+      end;
       let prev = Hashtbl.find_opt t.index key in
       match prev with
       | Some p when verdict_tag p.Harness.verdict = verdict_tag result.Harness.verdict
@@ -342,10 +389,40 @@ let put t ~key result =
 
 let compact t = locked t (fun () -> compact_locked t)
 
+(* ---------- anytime snapshot records ---------- *)
+
+let put_snapshot t ~key snap =
+  locked t (fun () ->
+      (* progress for a key whose verdict is already durable is moot *)
+      if not (Hashtbl.mem t.index key) then begin
+        let encoded = Speccc_runtime.Snapshot.to_string snap in
+        let same =
+          match Hashtbl.find_opt t.snap_index key with
+          | Some prev -> Speccc_runtime.Snapshot.to_string prev = encoded
+          | None -> false
+        in
+        if not same then begin
+          let fd = append_fd t in
+          Fault.hit Fault.Checkpoint.store_append;
+          let frame = encode_snapshot_record ~key snap in
+          write_all fd frame;
+          maybe_fsync t fd;
+          t.appends <- t.appends + 1;
+          t.file_bytes <- t.file_bytes + Bytes.length frame;
+          if Hashtbl.mem t.snap_index key then t.dead <- t.dead + 1;
+          Hashtbl.replace t.snap_index key snap;
+          if t.dead >= t.compact_threshold then compact_locked t
+        end
+      end)
+
+let find_snapshot t key =
+  locked t (fun () -> Hashtbl.find_opt t.snap_index key)
+
 let stats t =
   locked t (fun () ->
       {
         live = Hashtbl.length t.index;
+        snapshots = Hashtbl.length t.snap_index;
         appends = t.appends;
         hits = t.hits;
         misses = t.misses;

@@ -26,6 +26,7 @@
     header   "SPECCCST1\n"
     record   u32_be payload_length | u32_be crc32(payload) | payload
     payload  <key> '\n' <Harness.journal_line verdict object>
+           | <key> '\n' "SNAP " <Snapshot.to_string codec line>
     v}
 
     Appends are flushed (optionally fsynced) per record.  {!open_}
@@ -49,6 +50,7 @@ type t
 
 type stats = {
   live : int;              (** distinct keys in the index *)
+  snapshots : int;         (** live anytime-snapshot entries *)
   appends : int;           (** records appended by this handle *)
   hits : int;
   misses : int;
@@ -95,6 +97,18 @@ val put : t -> key:string -> Speccc_harness.Harness.doc_result -> unit
     growth); a conflicting verdict is appended and wins, so the log
     stays a faithful history.  Announces the [store.append] fault
     checkpoint before writing. *)
+
+val put_snapshot : t -> key:string -> Speccc_runtime.Snapshot.t -> unit
+(** Append an anytime-snapshot record: the progress frontier of a
+    preempted check, keyed like its verdict would be.  Snapshot
+    records ride the same framed log (payload line ["SNAP " ^ codec]);
+    a later definite verdict for the key supersedes the snapshot (it
+    is dropped from the index and at the next compaction), identical
+    re-puts are deduplicated, and a corrupt snapshot body is skipped
+    at open — the consumer cold-starts, never resumes bad state. *)
+
+val find_snapshot : t -> string -> Speccc_runtime.Snapshot.t option
+(** The live snapshot for a key, if its verdict is not yet durable. *)
 
 val cacheable : Speccc_harness.Harness.doc_result -> bool
 (** [true] exactly for fresh definite verdicts

@@ -400,11 +400,37 @@ let solve ?budget ?(bound = 3) ?(max_letters = 4096) ~inputs ~outputs spec =
 
 let solve_iterative ?budget ?(max_bound = 8) ?max_letters ~inputs ~outputs
     spec =
+  (* Anytime resume: a snapshot records the last counting bound that
+     completed with Unknown, so a preempted-then-retried search starts
+     escalation above it instead of re-losing the small bounds.  The
+     escalation tail (doubling, clamped at [max_bound]) is identical
+     to a cold run's, so the final verdict cannot differ. *)
+  let publish bound =
+    match budget with
+    | None -> ()
+    | Some b ->
+      Speccc_runtime.Budget.publish b
+        (Speccc_runtime.Snapshot.make ~engine:"explicit"
+           [ ("bound", string_of_int bound) ])
+  in
+  let start =
+    match budget with
+    | None -> 1
+    | Some b ->
+      (match Speccc_runtime.Budget.resume_for b ~engine:"explicit" with
+       | Some snap ->
+         (match Speccc_runtime.Snapshot.int_field snap "bound" with
+          | Some k when k >= 1 -> min (2 * k) max_bound
+          | Some _ | None -> 1)
+       | None -> 1)
+  in
   let rec escalate bound =
     match solve ?budget ~bound ?max_letters ~inputs ~outputs spec with
     | Realizable _ as verdict -> verdict
     | Unrealizable _ as verdict -> verdict
-    | Unknown _ when 2 * bound <= max_bound -> escalate (2 * bound)
-    | Unknown _ -> Unknown bound
+    | Unknown _ when 2 * bound <= max_bound ->
+      publish bound;
+      escalate (2 * bound)
+    | Unknown _ -> publish bound; Unknown bound
   in
-  escalate 1
+  escalate (max 1 start)

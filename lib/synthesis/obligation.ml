@@ -59,7 +59,7 @@ let closure_of roots =
   Ltl.Set.elements
     (List.fold_left (fun acc root -> Ltl.Set.add root acc) acc roots)
 
-let solve ?budget ~inputs ~outputs spec =
+let solve ?budget ?snapshot_base ~inputs ~outputs spec =
   Speccc_runtime.Fault.hit Speccc_runtime.Fault.Checkpoint.engine_symbolic;
   let spec = Nnf.of_formula spec in
   let roots = flatten_conjunction spec in
@@ -215,6 +215,16 @@ let solve ?budget ~inputs ~outputs spec =
     Speccc_runtime.Fault.hit Speccc_runtime.Fault.Checkpoint.bdd_fixpoint;
     (match budget with
      | Some budget ->
+       (* Publish the fixpoint layer index before the checkpoint that
+          might preempt this round: the BDDs themselves are rebuilt on
+          resume, but the supervisor's partial verdict can report how
+          deep the iteration got. *)
+       (match snapshot_base with
+        | Some base ->
+          Speccc_runtime.Budget.publish budget
+            (Speccc_runtime.Snapshot.with_field base "round"
+               (string_of_int rounds))
+        | None -> ());
        Speccc_runtime.Budget.checkpoint budget ~stage:"symbolic"
      | None -> ());
     let t0 = Unix.gettimeofday () in

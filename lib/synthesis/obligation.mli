@@ -29,6 +29,7 @@ and strategy
 
 val solve :
   ?budget:Speccc_runtime.Budget.t ->
+  ?snapshot_base:Speccc_runtime.Snapshot.t ->
   inputs:string list ->
   outputs:string list ->
   Speccc_logic.Ltl.t ->
@@ -40,7 +41,10 @@ val solve :
     (stage ["symbolic"]); exhaustion raises
     [Speccc_runtime.Runtime.Interrupt].  The fault checkpoints
     ["engine.symbolic"] (entry) and ["bdd.fixpoint"] (per round) are
-    announced. *)
+    announced.  When [snapshot_base] is given, each fixpoint round
+    publishes it to the budget's snapshot slot with a ["round"] layer
+    index added (rebuild-on-resume: the index is progress telemetry
+    for partial verdicts; BDD state itself is reconstructed). *)
 
 val strategy_step :
   strategy -> (string * bool) list -> (string * bool) list

@@ -124,25 +124,62 @@ let run_explicit ?budget ~bound ~inputs ~outputs spec =
 
 let run_symbolic ?budget ~lookahead ~inputs ~outputs spec =
   let had_liveness = Classify.has_liveness spec in
-  let solve_at bound =
+  let max_bound = 4 * lookahead in
+  let solve_at ~completed bound =
     let safety_spec =
       if had_liveness then Classify.bound_liveness ~bound spec
       else Nnf.of_formula spec
     in
-    Obligation.solve ?budget ~inputs ~outputs safety_spec
+    (* The base snapshot carries the last lookahead that fully
+       completed (the resumable frontier); Obligation.solve adds the
+       live fixpoint layer index on top for partial-verdict telemetry. *)
+    let snapshot_base =
+      Snapshot.make ~engine:"symbolic"
+        (("attempting", string_of_int bound)
+         :: (match completed with
+             | Some k -> [ ("lookahead", string_of_int k) ]
+             | None -> []))
+    in
+    Obligation.solve ?budget ~snapshot_base ~inputs ~outputs safety_spec
+  in
+  let publish_completed bound =
+    match budget with
+    | None -> ()
+    | Some b ->
+      Budget.publish b
+        (Snapshot.make ~engine:"symbolic"
+           [ ("lookahead", string_of_int bound) ])
   in
   (* Bounding eventualities is a strengthening, so a loss at one
      look-ahead may be won at a larger one — escalate a few times, as
      G4LTL does with its unroll parameter. *)
-  let rec attempt bound =
-    match solve_at bound with
+  let rec attempt ~completed bound =
+    match solve_at ~completed bound with
     | Obligation.Realizable strategy -> Ok (strategy, bound)
     | Obligation.Unrealizable ->
-      if had_liveness && 2 * bound <= 4 * lookahead then
-        attempt (2 * bound)
-      else Error bound
+      if had_liveness && 2 * bound <= max_bound then begin
+        publish_completed bound;
+        attempt ~completed:(Some bound) (2 * bound)
+      end
+      else begin publish_completed bound; Error bound end
   in
-  let result, wall_time = with_timer (fun () -> attempt lookahead) in
+  (* Anytime resume: skip lookaheads a previous attempt already
+     refuted; the doubling tail matches a cold run's. *)
+  let start, start_completed =
+    match budget with
+    | None -> (lookahead, None)
+    | Some b ->
+      (match Budget.resume_for b ~engine:"symbolic" with
+       | Some snap ->
+         (match Snapshot.int_field snap "lookahead" with
+          | Some k when k >= lookahead && had_liveness ->
+            (max lookahead (min (2 * k) max_bound), Some k)
+          | Some _ | None -> (lookahead, None))
+       | None -> (lookahead, None))
+  in
+  let result, wall_time =
+    with_timer (fun () -> attempt ~completed:start_completed start)
+  in
   match result with
   | Ok (strategy, bound) ->
     let controller =
@@ -296,6 +333,37 @@ let check_governed ?budget ?(engine = Auto) ?(lookahead = 6) ?(bound = 8)
            rung_wall = 0.;
          })
       skipped
+  in
+  (* Hard memory watermark: under heap pressure the game engines'
+     state spaces (explicit position tables, BDD node stores) are the
+     liability, so the ladder collapses to its lowest-memory rung —
+     bounded SAT synthesis — and logs the higher rungs as typed
+     memory degradations.  Only the [Auto] ladder degrades; a forced
+     engine is an explicit caller choice. *)
+  let stages, skipped_rungs =
+    match engine, List.rev stages with
+    | Auto, (last :: _ :: _ as rev_stages)
+      when Memwatch.level () = Memwatch.Hard ->
+      let shed = List.rev (List.tl rev_stages) in
+      let mem_rungs =
+        List.map
+          (fun stage ->
+             let name = stage_name stage in
+             {
+               rung_engine = name;
+               rung_outcome = "skipped: hard memory watermark";
+               rung_error =
+                 Some
+                   (Runtime.Degraded
+                      ( "memory",
+                        Runtime.Engine_failure
+                          (name, "hard memory watermark") ));
+               rung_wall = 0.;
+             })
+          shed
+      in
+      ([ last ], skipped_rungs @ mem_rungs)
+    | _ -> (stages, skipped_rungs)
   in
   (* Fuel slicing: every rung but the last gets half of what remains,
      so a stuck early engine cannot starve the ladder's floor. *)

@@ -198,12 +198,36 @@ let solve ?budget ?(bound = 3) ~machine_states ~inputs ~outputs spec =
 
 let solve_iterative ?budget ?(bound = 3) ?(max_machine_states = 8) ~inputs
     ~outputs spec =
+  (* Anytime resume: the snapshot carries the last machine size that
+     was refuted, so a retried search skips straight past it.  The
+     doubling tail matches a cold run's, keeping verdicts identical. *)
+  let publish n =
+    match budget with
+    | None -> ()
+    | Some b ->
+      Speccc_runtime.Budget.publish b
+        (Speccc_runtime.Snapshot.make ~engine:"sat"
+           [ ("states", string_of_int n); ("bound", string_of_int bound) ])
+  in
+  let start =
+    match budget with
+    | None -> 1
+    | Some b ->
+      (match Speccc_runtime.Budget.resume_for b ~engine:"sat" with
+       | Some snap ->
+         (match Speccc_runtime.Snapshot.int_field snap "states" with
+          | Some k when k >= 1 -> min (2 * k) max_machine_states
+          | Some _ | None -> 1)
+       | None -> 1)
+  in
   let rec escalate n =
     match solve ?budget ~bound ~machine_states:n ~inputs ~outputs spec with
     | Realizable _ as verdict -> verdict
     | No_machine_within _ when 2 * n <= max_machine_states ->
+      publish n;
       escalate (2 * n)
     | No_machine_within _ ->
+      publish n;
       No_machine_within { states = n; bound }
   in
-  escalate 1
+  escalate (max 1 start)

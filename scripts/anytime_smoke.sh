@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Anytime-verdict smoke for `speccc serve`: a worker is wedged by an
+# injected delay *after* the symbolic engine has published its first
+# fixpoint-layer snapshot, so the watchdog's partial verdict must
+# carry a `progress` object (the frontier, not a bare timeout).  A
+# retry of the same document must warm-replay that snapshot (health
+# reports the preemption and the resume) and complete with the real
+# verdict.
+#
+# Usage: scripts/anytime_smoke.sh [path/to/speccc_cli.exe]
+set -euo pipefail
+
+BIN="${1:-_build/default/bin/speccc_cli.exe}"
+test -x "$BIN" || { echo "no binary at $BIN (run dune build first)"; exit 3; }
+
+dir=$(mktemp -d)
+cleanup() {
+  exec 3>&- 2>/dev/null || true
+  [ -n "${SERVER:-}" ] && kill "$SERVER" 2>/dev/null || true
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+# Unrealizable on purpose: the winning region must actually shrink,
+# so the symbolic fixpoint needs a second round — which is where the
+# injected delay wedges it (a one-round spec never reaches hit #1).
+DOC='If the pump is lost, the alarm is triggered.\nIf the pump is lost, the alarm is not triggered.'
+
+out="$dir/out.jsonl"
+mkfifo "$dir/in"
+# bdd.fixpoint fires at the top of every symbolic fixpoint round,
+# *after* the previous round published its layer snapshot — so a
+# delay on the second hit wedges the engine with a frontier already
+# in the slot.  Deadline 0.5 + grace 0.5 < delay 3: the watchdog
+# must hard-preempt.
+"$BIN" serve --workers 1 --request-deadline 0.5 --grace 0.5 \
+  --store "$dir/anytime.store" --stats \
+  --inject 'bdd.fixpoint@1=delay:3' \
+  < "$dir/in" > "$out" 2> "$dir/serve.log" &
+SERVER=$!
+exec 3> "$dir/in"
+
+send() { printf '%s\n' "$1" >&3; }
+
+await() { # $1 = id — wait until a response line lands
+  for _ in $(seq 150); do
+    grep -q "\"id\":$1[,}]" "$out" && return 0
+    sleep 0.2
+  done
+  echo "timed out waiting for response id=$1"; cat "$out" "$dir/serve.log"; exit 1
+}
+
+fail() { echo "$1"; cat "$out" "$dir/serve.log"; exit 1; }
+
+# ---- preemption: the partial verdict must carry the frontier ----
+send "{\"id\":1,\"doc\":\"$DOC\"}"
+await 1
+line1=$(grep '"id":1[,}]' "$out")
+echo "$line1" | grep -q '"verdict":"unknown"' \
+  || fail "preempted request did not answer unknown"
+echo "$line1" | grep -q '"engine":"watchdog"' \
+  || fail "the watchdog did not answer the wedged request"
+echo "$line1" | grep -q '"progress":{"engine":"symbolic"' \
+  || fail "partial verdict has no progress object"
+echo "$line1" | grep -q '"round":"' \
+  || fail "symbolic progress has no fixpoint round"
+echo "preemption OK: $(echo "$line1" | grep -o '"progress":{[^}]*}')"
+
+# ---- retry: warm-replay the snapshot, complete for real ----
+send "{\"id\":2,\"doc\":\"$DOC\"}"
+await 2
+line2=$(grep '"id":2[,}]' "$out")
+echo "$line2" | grep -q '"verdict":"inconsistent"' \
+  || fail "retry did not complete with the real verdict"
+echo "$line2" | grep -q '"progress"' \
+  && fail "a definite verdict must not carry a progress object"
+echo "retry OK: resumed check completed with the real verdict"
+
+# ---- health: the preemption and the resume are both on the books ----
+send '{"id":3,"cmd":"health"}'
+await 3
+line3=$(grep '"id":3[,}]' "$out")
+echo "$line3" | grep -q '"anytime":{' \
+  || fail "health has no anytime object"
+echo "$line3" | grep -Eq '"preempted":[1-9]' \
+  || fail "health does not report the preemption"
+echo "$line3" | grep -Eq '"resumed":[1-9]' \
+  || fail "health does not report the resume"
+echo "health OK: $(echo "$line3" | grep -o '"anytime":{[^]]*"workers":\[[^]]*\]')"
+
+send '{"id":4,"cmd":"shutdown"}'
+exec 3>&-
+rm -f "$dir/in"
+wait "$SERVER"; SERVER=
+
+grep -Eq 'preempted: [1-9]' "$dir/serve.log" \
+  || fail "--stats did not report the preemption"
+grep -Eq 'resumed: [1-9]' "$dir/serve.log" \
+  || fail "--stats did not report the resume"
+echo "anytime smoke passed"

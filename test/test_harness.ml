@@ -84,17 +84,27 @@ let test_recover_rescues_partial_garbage () =
 
 let test_retry_schedule () =
   let sleeps = ref [] in
-  let summary =
-    Harness.run (test_config ~retries:3 ~sleeps ())
-      [ ("bad", garbage_doc) ]
-  in
+  let config = test_config ~retries:3 ~sleeps () in
+  let summary = Harness.run config [ ("bad", garbage_doc) ] in
   (match summary.Harness.results with
    | [ { Harness.verdict = Harness.Failed _; attempts; _ } ] ->
      Alcotest.(check int) "all attempts used" 4 attempts
    | _ -> Alcotest.fail "expected one failed result");
-  (* bounded exponential backoff: base 0.05, doubled, capped at 1.0 *)
+  (* bounded exponential backoff: base 0.05, doubled, jittered by a
+     per-(key, attempt) factor in [1.0, 1.5), capped at 1.0 — the
+     recorded schedule must match Harness.backoff exactly (the jitter
+     is deterministic) and stay within the doubling envelope *)
+  let expected =
+    List.map (fun i -> Harness.backoff config ~key:"bad" i) [ 0; 1; 2 ]
+  in
   Alcotest.(check (list (float 1e-9))) "backoff schedule"
-    [ 0.05; 0.1; 0.2 ] (List.rev !sleeps)
+    expected (List.rev !sleeps);
+  List.iteri
+    (fun i slept ->
+       let nominal = 0.05 *. (2. ** float_of_int i) in
+       Alcotest.(check bool) "within jitter envelope" true
+         (slept >= nominal && slept < nominal *. 1.5))
+    (List.rev !sleeps)
 
 let test_unreadable_file_is_failed () =
   let summary =

@@ -25,7 +25,7 @@ let with_store_path f =
 let result ?(verdict = Speccc_harness.Harness.Consistent) ?(engine = "symbolic")
     ?(detail = "ok") doc =
   { Speccc_harness.Harness.doc; verdict; engine; attempts = 1; wall = 0.01;
-    detail; fresh = true; degradation = [] }
+    detail; fresh = true; degradation = []; progress = None }
 
 let verdict_testable =
   Alcotest.testable
