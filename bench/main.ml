@@ -409,6 +409,74 @@ let localize_bench () =
        | None -> Format.printf "%-14d (consistent?)@." n)
     localize_sizes
 
+(* ---------- template-compiled automata ---------- *)
+
+(* Per-instance wall times for the automaton construction over many
+   distinct instances of each catalogue template, on both routes: the
+   template compiler (one tableau per shape, atom substitution after)
+   and the raw GPVW tableau (forced by a governed call, which bypasses
+   every cache).  Distributions are skewed — the template route pays
+   one expensive compile then streams cheap instantiations — so the
+   table reports p50/p95 per group rather than a mean. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let template_families =
+  let atom family i slot = Ltl.prop (Printf.sprintf "%s_%s%d" family slot i) in
+  [
+    ( "response",
+      fun i ->
+        Ltl.Always
+          (Ltl.Implies
+             (atom "resp" i "g", Ltl.Eventually (atom "resp" i "r"))) );
+    ("absence", fun i -> Ltl.Always (Ltl.Not (atom "abs" i "p")));
+    ( "universality",
+      fun i -> Ltl.Always (Ltl.Implies (atom "univ" i "g", atom "univ" i "r"))
+    );
+    ("existence", fun i -> Ltl.Eventually (atom "exist" i "p"));
+    ( "precedence",
+      fun i ->
+        Ltl.Weak_until (Ltl.Not (atom "prec" i "p"), atom "prec" i "s") );
+  ]
+
+let template_bench () =
+  Format.printf "@.== Template-compiled automata (%d instances/group) ==@.@."
+    200;
+  let instances = 200 in
+  Format.printf "%-14s %-10s %12s %12s %12s@." "template" "route" "total(s)"
+    "p50(us)" "p95(us)";
+  List.iter
+    (fun (family, make) ->
+       let formulas = List.init instances make in
+       let run route build =
+         let walls =
+           List.map
+             (fun f ->
+                let t0 = Unix.gettimeofday () in
+                ignore (build f);
+                Unix.gettimeofday () -. t0)
+             formulas
+         in
+         let sorted = Array.of_list walls in
+         Array.sort compare sorted;
+         Format.printf "%-14s %-10s %12.4f %12.1f %12.1f@." family route
+           (List.fold_left ( +. ) 0. walls)
+           (percentile sorted 0.50 *. 1e6)
+           (percentile sorted 0.95 *. 1e6)
+       in
+       run "template" (fun f -> Speccc_automata.Nbw.of_ltl f);
+       run "tableau"
+         (fun f ->
+            Speccc_automata.Nbw.of_ltl
+              ~budget:(Speccc_runtime.Budget.create ~fuel:10_000_000 ())
+              f))
+    template_families
+
 (* ---------- json trajectory output ----------
 
    Machine-readable perf snapshot for tracking the trajectory across
@@ -501,7 +569,9 @@ let () =
     match Array.to_list Sys.argv with
     | _ :: ([ _ ] as args) -> args
     | _ :: args when args <> [] -> args
-    | _ -> [ "table1"; "fig1"; "fig2"; "ablations"; "robots"; "localize" ]
+    | _ ->
+      [ "table1"; "fig1"; "fig2"; "ablations"; "robots"; "localize";
+        "template" ]
   in
   List.iter
     (fun group ->
@@ -520,6 +590,7 @@ let () =
        | "ablation-lookahead" -> ablation_lookahead ()
        | "robots" -> robot_sweep ()
        | "localize" -> localize_bench ()
+       | "template" -> template_bench ()
        | "json" -> bench_json ()
        | other -> Format.printf "unknown bench group %S@." other)
     groups

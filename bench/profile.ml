@@ -1,0 +1,160 @@
+(* Scratch profiler for the synthesis core: single-shot walls for the
+   hot BENCH rows without bechamel overhead.  Usage:
+     dune exec bench/profile.exe -- tele1 loc16 *)
+
+open Speccc_logic
+open Speccc_core
+open Speccc_synthesis
+open Speccc_partition
+open Speccc_casestudies
+
+let sym_options =
+  { (Pipeline.default_options ()) with
+    Pipeline.engine = Realizability.Symbolic }
+
+let row_named want =
+  List.find
+    (fun r -> r.Table1.group ^ ":" ^ r.Table1.row_id = want)
+    Table1.rows
+
+let prepare row =
+  match row.Table1.source with
+  | Table1.Sentences texts ->
+    let outcome = Pipeline.run ~options:sym_options texts in
+    let t = outcome.Pipeline.times in
+    Printf.printf
+      "  stages: translate %.3fs abstract %.3fs partition %.3fs synth %.3fs\n%!"
+      t.Pipeline.translation_s t.Pipeline.abstraction_s t.Pipeline.partition_s
+      t.Pipeline.synthesis_s;
+    (outcome.Pipeline.formulas, outcome.Pipeline.partition.Partition.partition)
+  | Table1.Formulas (formulas, inputs, outputs) ->
+    (formulas, { Partition.inputs; outputs })
+
+let table_row name =
+  let tp = Unix.gettimeofday () in
+  let formulas, partition = prepare (row_named name) in
+  Printf.printf "%s: prepare %.3fs\n%!" name (Unix.gettimeofday () -. tp);
+  let t0 = Unix.gettimeofday () in
+  let report =
+    Realizability.check ~engine:Realizability.Symbolic
+      ~inputs:partition.Partition.inputs
+      ~outputs:partition.Partition.outputs formulas
+  in
+  Printf.printf "%s: %.3fs engine=%s detail=%s\n%!" name
+    (Unix.gettimeofday () -. t0)
+    report.Realizability.engine_used report.Realizability.detail
+
+let localize n =
+  let explicit_options =
+    { (Pipeline.default_options ()) with
+      Pipeline.engine = Realizability.Explicit }
+  in
+  let innocent k =
+    Ltl_parse.formula
+      (Printf.sprintf "G (i%d -> o%d)" (k mod 4) (k mod 4))
+  in
+  let formulas =
+    (Ltl_parse.formula "G (trigger -> flag)"
+     :: List.init (n - 2) (fun k -> innocent k))
+    @ [ Ltl_parse.formula "G (trigger -> !flag)" ]
+  in
+  let check subset =
+    let _, report =
+      Pipeline.check_formulas ~options:explicit_options subset
+    in
+    report.Realizability.verdict = Realizability.Consistent
+  in
+  let t0 = Unix.gettimeofday () in
+  (match Localize.run ~check formulas with
+   | Some result ->
+     Printf.printf "localize n=%d: %.3fs culprit=%d\n%!" n
+       (Unix.gettimeofday () -. t0)
+       result.Localize.culprit
+   | None -> Printf.printf "localize n=%d: consistent?\n%!" n)
+
+let stages name =
+  let row = row_named name in
+  let texts =
+    match row.Table1.source with
+    | Table1.Sentences texts -> texts
+    | Table1.Formulas _ -> []
+  in
+  let t0 = Unix.gettimeofday () in
+  let config = Speccc_translate.Translate.default_config () in
+  let translation = Speccc_translate.Translate.specification config texts in
+  Printf.printf "translate: %.3fs\n%!" (Unix.gettimeofday () -. t0);
+  let raw =
+    List.map
+      (fun r -> r.Speccc_translate.Translate.formula)
+      translation.Speccc_translate.Translate.requirements
+  in
+  let t0 = Unix.gettimeofday () in
+  let thetas = Speccc_timeabs.Timeabs.thetas_of_formulas raw in
+  Printf.printf "thetas (%d): %.3fs\n%!" (List.length thetas)
+    (Unix.gettimeofday () -. t0);
+  let t0 = Unix.gettimeofday () in
+  (match thetas with
+   | [] -> ()
+   | _ ->
+     let problem = Speccc_timeabs.Timeabs.problem ~budget:5 thetas in
+     ignore (Speccc_timeabs.Timeabs.solve_smt problem));
+  Printf.printf "solve_smt: %.3fs\n%!" (Unix.gettimeofday () -. t0);
+  let formulas =
+    match thetas with
+    | [] -> raw
+    | _ ->
+      let problem = Speccc_timeabs.Timeabs.problem ~budget:5 thetas in
+      let sol = Speccc_timeabs.Timeabs.solve_smt problem in
+      List.map (Speccc_timeabs.Timeabs.apply sol) raw
+  in
+  let partition =
+    (Partition.of_requirements formulas).Partition.partition
+  in
+  Printf.printf "partition: %d in, %d out\n%!"
+    (List.length partition.Partition.inputs)
+    (List.length partition.Partition.outputs);
+  let spec = Ltl.conj_list formulas in
+  Printf.printf "spec size: %d, has_liveness: %b\n%!" (Ltl.size spec)
+    (Speccc_logic.Classify.has_liveness spec);
+  let t0 = Unix.gettimeofday () in
+  let bounded = Speccc_logic.Classify.bound_liveness ~bound:6 spec in
+  Printf.printf "bound_liveness: %.3fs size=%d\n%!"
+    (Unix.gettimeofday () -. t0) (Ltl.size bounded);
+  let t0 = Unix.gettimeofday () in
+  (match
+     Obligation.solve ~inputs:partition.Partition.inputs
+       ~outputs:partition.Partition.outputs bounded
+   with
+   | Obligation.Realizable s ->
+     Printf.printf "obligation: %.3fs realizable %s\n%!"
+       (Unix.gettimeofday () -. t0) (Obligation.stats s);
+     let t0 = Unix.gettimeofday () in
+     (match Obligation.to_mealy s with
+      | Some m ->
+        Printf.printf "to_mealy: %.3fs states=%d\n%!"
+          (Unix.gettimeofday () -. t0) m.Mealy.num_states;
+        let t0 = Unix.gettimeofday () in
+        let m' = Minimize.minimize m in
+        Printf.printf "minimize: %.3fs states=%d\n%!"
+          (Unix.gettimeofday () -. t0) m'.Mealy.num_states
+      | None ->
+        Printf.printf "to_mealy: %.3fs overflow\n%!"
+          (Unix.gettimeofday () -. t0))
+   | Obligation.Unrealizable ->
+     Printf.printf "obligation: %.3fs UNREALIZABLE\n%!"
+       (Unix.gettimeofday () -. t0))
+
+let () =
+  Array.iteri
+    (fun i arg ->
+       if i > 0 then
+         match arg with
+         | "tele1" -> table_row "TELE:1"
+         | "stele1" -> stages "TELE:1"
+         | "scara221" -> stages "CARA:2.2.1"
+         | "cara32" -> table_row "CARA:3.2"
+         | "cara221" -> table_row "CARA:2.2.1"
+         | "loc8" -> localize 8
+         | "loc16" -> localize 16
+         | other -> Printf.printf "unknown %s\n" other)
+    Sys.argv

@@ -222,6 +222,12 @@ let print_stats () =
     h.Ltl.nodes h.Ltl.hc_hits h.Ltl.hc_misses;
   Format.eprintf "%a" Speccc_cache.Cache.pp_stats
     (Speccc_cache.Cache.stats ());
+  let b = Speccc_bdd.Bdd.counters () in
+  Format.eprintf
+    "== bdd ==@.bdd               nodes=%d op_hits=%d op_misses=%d \
+     reorders=%d@."
+    b.Speccc_bdd.Bdd.nodes b.Speccc_bdd.Bdd.op_hits
+    b.Speccc_bdd.Bdd.op_misses b.Speccc_bdd.Bdd.reorders;
   let module Memwatch = Speccc_runtime.Memwatch in
   let m = Memwatch.stats () in
   Format.eprintf

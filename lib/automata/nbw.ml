@@ -296,7 +296,49 @@ let build ?budget formula =
 
 module C = Speccc_cache.Cache.Make (Speccc_cache.Cache.Int_key)
 
-let table = C.create_dls ~name:"nbw.of_ltl" ~capacity:256 ()
+let table =
+  C.create_dls ~name:"nbw.of_ltl"
+    ~capacity:(Speccc_cache.Cache.capacity ~name:"nbw.of_ltl" ~default:256)
+    ()
+
+(* Template-compiled automata: formulas that instantiate a catalogue
+   template shape ([Template.abstract]) share one compiled automaton
+   per shape; an instance is served by renaming the compiled guards,
+   which is linear in the automaton instead of exponential in the
+   formula.  The shape cache ["nbw.template"] keys on the canonical
+   formula's id; its hits count instantiations that bypassed the
+   tableau, its misses count shape compilations. *)
+
+let template_table =
+  C.create_dls ~name:"nbw.template"
+    ~capacity:(Speccc_cache.Cache.capacity ~name:"nbw.template" ~default:1024)
+    ()
+
+let rename_atoms mapping auto =
+  let rename a =
+    match List.assoc_opt a mapping with Some b -> b | None -> a
+  in
+  {
+    auto with
+    transitions =
+      List.map
+        (fun (src, guard, dst) ->
+           (src, List.map (fun (a, b) -> (rename a, b)) guard, dst))
+        auto.transitions;
+    atoms = List.sort_uniq compare (List.map rename auto.atoms);
+  }
+
+let of_template formula =
+  match Template.abstract formula with
+  | None -> None
+  | Some { Template.canonical; mapping; _ } ->
+    let compiled =
+      C.memo
+        (Domain.DLS.get template_table)
+        (Ltl.id canonical)
+        (fun () -> build canonical)
+    in
+    Some (rename_atoms mapping compiled)
 
 let of_ltl ?budget formula =
   match budget with
@@ -305,7 +347,10 @@ let of_ltl ?budget formula =
     if Speccc_runtime.Fault.active () then build formula
     else
       C.memo (Domain.DLS.get table) (Ltl.id formula)
-        (fun () -> build formula)
+        (fun () ->
+           match of_template formula with
+           | Some auto -> auto
+           | None -> build formula)
 
 let guard_holds guard assignment =
   List.for_all

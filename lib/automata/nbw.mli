@@ -31,8 +31,12 @@ val of_ltl : ?budget:Speccc_runtime.Budget.t -> Speccc_logic.Ltl.t -> t
     memoized per domain by formula id (cache ["nbw.of_ltl"]), so
     repeated translations of the same formula — e.g. across the
     bound-escalation loops of the explicit and SAT engines — are
-    free.  Governed calls always rebuild, preserving per-node fuel
-    accounting and fault-checkpoint hit counts. *)
+    free.  On a formula-cache miss, formulas that instantiate a
+    catalogue template shape ({!Template.abstract}) are served by atom
+    substitution into one compiled automaton per shape (cache
+    ["nbw.template"]) instead of running the tableau.  Governed calls
+    always rebuild, preserving per-node fuel accounting and
+    fault-checkpoint hit counts. *)
 
 val guard_holds : guard -> (string * bool) list -> bool
 (** Is the guard enabled by the (total or partial, missing = false)

@@ -1,0 +1,69 @@
+open Speccc_logic
+
+type abstraction = {
+  template : string;
+  arity : int;
+  canonical : Ltl.t;
+  mapping : (string * string) list;
+}
+
+let slot_name k = Printf.sprintf "__slot%d" k
+
+(* Simultaneous atom substitution.  Applying the whole map at once
+   keeps the renaming correct even when a concrete atom is itself
+   named like a slot (the map is a bijection, not a rewrite system). *)
+let rec map_atoms subst formula =
+  let recurse = map_atoms subst in
+  match formula with
+  | Ltl.True | Ltl.False -> formula
+  | Ltl.Prop a ->
+    (match List.assoc_opt a subst with
+     | Some b -> Ltl.Prop b
+     | None -> formula)
+  | Ltl.Not g -> Ltl.Not (recurse g)
+  | Ltl.And (g, h) -> Ltl.And (recurse g, recurse h)
+  | Ltl.Or (g, h) -> Ltl.Or (recurse g, recurse h)
+  | Ltl.Implies (g, h) -> Ltl.Implies (recurse g, recurse h)
+  | Ltl.Iff (g, h) -> Ltl.Iff (recurse g, recurse h)
+  | Ltl.Next g -> Ltl.Next (recurse g)
+  | Ltl.Eventually g -> Ltl.Eventually (recurse g)
+  | Ltl.Always g -> Ltl.Always (recurse g)
+  | Ltl.Until (g, h) -> Ltl.Until (recurse g, recurse h)
+  | Ltl.Weak_until (g, h) -> Ltl.Weak_until (recurse g, recurse h)
+  | Ltl.Release (g, h) -> Ltl.Release (recurse g, recurse h)
+
+(* Atoms in first-occurrence order, left to right. *)
+let atoms_in_order formula =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec walk = function
+    | Ltl.True | Ltl.False -> ()
+    | Ltl.Prop a ->
+      if not (Hashtbl.mem seen a) then begin
+        Hashtbl.add seen a ();
+        order := a :: !order
+      end
+    | Ltl.Not g | Ltl.Next g | Ltl.Eventually g | Ltl.Always g -> walk g
+    | Ltl.And (g, h) | Ltl.Or (g, h) | Ltl.Implies (g, h) | Ltl.Iff (g, h)
+    | Ltl.Until (g, h) | Ltl.Weak_until (g, h) | Ltl.Release (g, h) ->
+      walk g;
+      walk h
+  in
+  walk formula;
+  List.rev !order
+
+let abstract formula =
+  match Speccc_patterns.Patterns.recognize formula with
+  | None -> None
+  | Some instance ->
+    let atoms = atoms_in_order formula in
+    let forward = List.mapi (fun k a -> (a, slot_name k)) atoms in
+    let mapping = List.mapi (fun k a -> (slot_name k, a)) atoms in
+    Some
+      {
+        template =
+          Speccc_patterns.Patterns.pattern_name instance.Speccc_patterns.Patterns.pattern;
+        arity = List.length atoms;
+        canonical = Ltl.intern (map_atoms forward formula);
+        mapping;
+      }

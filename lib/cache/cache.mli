@@ -16,6 +16,12 @@ type stats = {
   capacity : int;       (** per-instance bound *)
 }
 
+val capacity : name:string -> default:int -> int
+(** Central sizing table: the configured capacity for a cache name, or
+    [default] when the name has no entry.  Call sites create caches
+    with [~capacity:(capacity ~name ~default:...)] so every budget
+    lives in one table in this module. *)
+
 val enabled : unit -> bool
 
 val set_enabled : bool -> unit

@@ -49,7 +49,11 @@ let shrink_partners ~check_indices culprit candidates =
 
 module Verdicts = Speccc_cache.Cache.Make (Speccc_cache.Cache.Int_list_key)
 
-let verdicts = Verdicts.create_dls ~name:"localize.verdict" ~capacity:512 ()
+let verdicts =
+  Verdicts.create_dls ~name:"localize.verdict"
+    ~capacity:
+      (Speccc_cache.Cache.capacity ~name:"localize.verdict" ~default:512)
+    ()
 
 let run_nonce = Atomic.make 0
 

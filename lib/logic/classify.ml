@@ -4,7 +4,11 @@
 
 module C = Speccc_cache.Cache.Make (Speccc_cache.Cache.Int_key)
 
-let table = C.create_dls ~name:"logic.classify" ~capacity:16384 ()
+let table =
+  C.create_dls ~name:"logic.classify"
+    ~capacity:
+      (Speccc_cache.Cache.capacity ~name:"logic.classify" ~default:16384)
+    ()
 
 let rec nnf_has_until formula =
   match formula with

@@ -118,7 +118,10 @@ let pp ?(syntax = Ascii) ppf formula =
 
 module C = Speccc_cache.Cache.Make (Speccc_cache.Cache.Int_key)
 
-let table = C.create_dls ~name:"logic.print" ~capacity:4096 ()
+let table =
+  C.create_dls ~name:"logic.print"
+    ~capacity:(Speccc_cache.Cache.capacity ~name:"logic.print" ~default:4096)
+    ()
 
 let syntax_index = function Unicode -> 0 | Ascii -> 1 | Paper -> 2
 

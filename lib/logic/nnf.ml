@@ -5,7 +5,10 @@
 
 module C = Speccc_cache.Cache.Make (Speccc_cache.Cache.Int_key)
 
-let table = C.create_dls ~name:"logic.nnf" ~capacity:16384 ()
+let table =
+  C.create_dls ~name:"logic.nnf"
+    ~capacity:(Speccc_cache.Cache.capacity ~name:"logic.nnf" ~default:16384)
+    ()
 
 let rec positive f =
   match f with

@@ -116,6 +116,39 @@ let of_string line =
      | [] -> None)
   | _ -> None
 
+(* ---------- antichain field codec ----------
+
+   The explicit engine's antichain frontiers are lists of counting
+   functions (int arrays, -1 for inactive).  They ride inside an
+   ordinary snapshot field, so the line format and its version tag are
+   unchanged: arrays are joined with ':', elements with ',' — both
+   characters pass the escaper untouched.  Decoding is strict; any
+   malformed element rejects the whole field and the consumer cold
+   starts. *)
+
+let counts_to_field antichain =
+  String.concat ":"
+    (List.map
+       (fun counts ->
+          String.concat ","
+            (Array.to_list (Array.map string_of_int counts)))
+       antichain)
+
+let counts_of_field s =
+  if s = "" then Some []
+  else
+    let parse_counts part =
+      let cells = String.split_on_char ',' part in
+      let parsed = List.map int_of_string_opt cells in
+      if List.for_all Option.is_some parsed then
+        Some (Array.of_list (List.map Option.get parsed))
+      else None
+    in
+    let parts = List.map parse_counts (String.split_on_char ':' s) in
+    if List.for_all Option.is_some parts then
+      Some (List.map Option.get parts)
+    else None
+
 (* ---------- slots ---------- *)
 
 (* A slot is the rendezvous between the engine (publishing progress

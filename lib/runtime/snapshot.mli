@@ -36,6 +36,20 @@ val of_string : string -> t option
 (** Inverse of {!to_string}; [None] on any corruption (bad magic,
     checksum mismatch, malformed escape or field). *)
 
+(** {2 Antichain frontiers}
+
+    The explicit engine's resumable frontier is an antichain of
+    counting functions.  These helpers pack one into a single field
+    value (and back), so it travels inside the existing line codec —
+    same magic, same checksum, no version bump. *)
+
+val counts_to_field : int array list -> string
+
+val counts_of_field : string -> int array list option
+(** Strict inverse of {!counts_to_field}; [None] on any malformed
+    element.  Shape validation (array lengths, value ranges) is the
+    consumer's job. *)
+
 (** {2 Slots}
 
     A slot is the rendezvous between an engine publishing progress

@@ -481,6 +481,15 @@ let health_response pool id =
       (Cache.stats ())
   in
   let hc = Ltl.hashcons_stats () in
+  let bdd =
+    let c = Speccc_bdd.Bdd.counters () in
+    ( "bdd",
+      Jsonl.Obj
+        [ ("nodes", num c.Speccc_bdd.Bdd.nodes);
+          ("op_hits", num c.Speccc_bdd.Bdd.op_hits);
+          ("op_misses", num c.Speccc_bdd.Bdd.op_misses);
+          ("reorders", num c.Speccc_bdd.Bdd.reorders) ] )
+  in
   let store_fields =
     match pool.config.store with
     | None -> []
@@ -556,7 +565,7 @@ let health_response pool id =
                        [ ("nodes", num hc.Ltl.nodes);
                          ("hits", num hc.Ltl.hc_hits);
                          ("misses", num hc.Ltl.hc_misses) ] );
-                   anytime; memory ]
+                   bdd; anytime; memory ]
                   @ store_fields) ) ]))
 
 let handle_check pool id json =

@@ -408,6 +408,27 @@ let probe_response router p =
         ("resumed", num (count "resumed"));
         ("saved_snapshots", num (count "saved_snapshots")) ]
   in
+  (* same fleet-wide aggregation for the BDD backend: total node
+     allocations, memo-cache hits and reordering passes across all
+     workers *)
+  let bdd_totals =
+    let count field =
+      List.fold_left
+        (fun acc (_, health) ->
+          match health with
+          | None -> acc
+          | Some h -> (
+              match Jsonl.member "bdd" h with
+              | Some bdd ->
+                  acc + Option.value (Jsonl.int_member field bdd) ~default:0
+              | None -> acc))
+        0 parts
+    in
+    Jsonl.Obj
+      [ ("nodes", num (count "nodes"));
+        ("op_hits", num (count "op_hits"));
+        ("reorders", num (count "reorders")) ]
+  in
   let shards_json =
     List.map
       (fun (i, health) ->
@@ -430,6 +451,7 @@ let probe_response router p =
            Jsonl.Obj
              [ ("router", router_health router);
                ("anytime", anytime_totals);
+               ("bdd", bdd_totals);
                ("shards", Jsonl.Arr shards_json) ] ) ])
 
 let process_probe router shard p =

@@ -220,6 +220,331 @@ let solve_game ?budget auto by_src ~bound ~num_input_bits ~num_output_bits
   if not alive.(initial_id) then None
   else Some (game, alive, initial_id, combined)
 
+(* ---------- antichain game solving ----------
+
+   Counting functions are ordered pointwise ([-1] inactive is bottom);
+   the transition function is monotone in that order and overflow is
+   upward-closed, so the system's safety winning region is downward
+   closed and is represented exactly by its ⊑-maximal elements
+   (Acacia-style).  Instead of enumerating every reachable counting
+   function forward, the fixpoint works backward on antichains: one
+   controllable-predecessor step maps the current frontier to the
+   maximal positions from which the mover can stay inside it, and the
+   iteration stops as soon as the initial position falls out (early
+   exit) or the frontier stabilizes.  Independent requirements then
+   cost a few antichain elements instead of a product state space. *)
+
+type algorithm = Antichain | Enumerate
+
+let default_algorithm () =
+  match Sys.getenv_opt "SPECCC_EXPLICIT" with
+  | Some ("full" | "enum" | "enumerate") -> Enumerate
+  | Some _ | None -> Antichain
+
+(* f ⊑ g, pointwise on counts with -1 (inactive) as bottom. *)
+let dominated f g =
+  let n = Array.length f in
+  let rec go q = q >= n || (f.(q) <= g.(q) && go (q + 1)) in
+  go 0
+
+let insert_maximal f antichain =
+  if List.exists (fun g -> dominated f g) antichain then antichain
+  else f :: List.filter (fun g -> not (dominated g f)) antichain
+
+let meet f g = Array.init (Array.length f) (fun q -> min f.(q) g.(q))
+
+let meet_antichains a b =
+  List.fold_left
+    (fun acc f ->
+       List.fold_left (fun acc g -> insert_maximal (meet f g) acc) acc b)
+    [] a
+
+(* Largest f with succ(f, letter) ⊑ w and no overflow:
+   f(q) = min over enabled edges q→q' of w(q') − credit(q'), clamped to
+   [-1, bound]; states with no enabled edge are unconstrained. *)
+let pre_max auto by_src ~bound w letter =
+  let n = Array.length w in
+  Array.init n (fun q ->
+      let c = ref bound in
+      List.iter
+        (fun t ->
+           if (not t.never) && letter land t.guard_mask = t.guard_value
+           then begin
+             let credit = if auto.Nbw.accepting.(t.dst) then 1 else 0 in
+             let allow = w.(t.dst) - credit in
+             if allow < !c then c := allow
+           end)
+        by_src.(q);
+      if !c < 0 then -1 else !c)
+
+let initial_counts_of auto =
+  let counts = Array.make auto.Nbw.num_states (-1) in
+  List.iter
+    (fun q -> counts.(q) <- (if auto.Nbw.accepting.(q) then 1 else 0))
+    auto.Nbw.initial;
+  counts
+
+(* One controllable-predecessor step on antichains.
+   System game (∀input ∃output): meet over inputs of the union over
+   (output, frontier element) of maximal predecessors.
+   Dual game (∃input ∀output): union over inputs of the meet over
+   outputs of the per-output predecessor antichains. *)
+let cpre_antichain tick auto by_src ~bound ~num_input_bits ~num_output_bits
+    ~system_moves_second frontier =
+  let num_inputs = 1 lsl num_input_bits in
+  let num_outputs = 1 lsl num_output_bits in
+  let combined imask omask = imask lor (omask lsl num_input_bits) in
+  if system_moves_second then begin
+    let per_input imask =
+      let acc = ref [] in
+      for omask = 0 to num_outputs - 1 do
+        List.iter
+          (fun w ->
+             acc :=
+               insert_maximal
+                 (pre_max auto by_src ~bound w (combined imask omask))
+                 !acc)
+          frontier
+      done;
+      !acc
+    in
+    let result = ref (per_input 0) in
+    for imask = 1 to num_inputs - 1 do
+      tick ();
+      result := meet_antichains !result (per_input imask)
+    done;
+    !result
+  end
+  else begin
+    let per_input imask =
+      let per_output omask =
+        List.fold_left
+          (fun acc w ->
+             insert_maximal
+               (pre_max auto by_src ~bound w (combined imask omask))
+               acc)
+          [] frontier
+      in
+      let acc = ref (per_output 0) in
+      for omask = 1 to num_outputs - 1 do
+        acc := meet_antichains !acc (per_output omask)
+      done;
+      !acc
+    in
+    let result = ref [] in
+    for imask = 0 to num_inputs - 1 do
+      tick ();
+      List.iter (fun f -> result := insert_maximal f !result)
+        (per_input imask)
+    done;
+    !result
+  end
+
+(* Greatest fixpoint on antichains.  Publishes the frontier (with the
+   bound and the game side) into the budget slot every round, so a
+   preempted run resumes from its last frontier instead of from top;
+   warm starts are verdict-safe — a "lost" outcome under a resumed
+   frontier is re-checked from top, so a stale or forged snapshot can
+   cost time, never flip a verdict (winning outcomes are self-certifying:
+   a converged frontier satisfies W ⊑ CPre(W), so ↓W is a winning
+   invariant no matter where the iteration started). *)
+let solve_game_antichain ?budget auto by_src ~bound ~num_input_bits
+    ~num_output_bits ~system_moves_second =
+  let tick () =
+    match budget with
+    | Some budget ->
+      Speccc_runtime.Budget.checkpoint budget ~stage:"explicit"
+    | None -> ()
+  in
+  let n = auto.Nbw.num_states in
+  let initial = initial_counts_of auto in
+  let top = Array.make n bound in
+  let game_tag = if system_moves_second then "system" else "dual" in
+  let publish frontier =
+    match budget with
+    | None -> ()
+    | Some b ->
+      Speccc_runtime.Budget.publish b
+        (Speccc_runtime.Snapshot.make ~engine:"explicit"
+           [
+             ("bound", string_of_int bound);
+             ("game", game_tag);
+             ("frontier", Speccc_runtime.Snapshot.counts_to_field frontier);
+           ])
+  in
+  let resumed =
+    match budget with
+    | None -> None
+    | Some b ->
+      (match Speccc_runtime.Budget.resume_for b ~engine:"explicit" with
+       | Some snap
+         when Speccc_runtime.Snapshot.int_field snap "bound" = Some bound
+              && Speccc_runtime.Snapshot.field snap "game" = Some game_tag ->
+         (match Speccc_runtime.Snapshot.field snap "frontier" with
+          | None -> None
+          | Some raw ->
+            (match Speccc_runtime.Snapshot.counts_of_field raw with
+             | Some (_ :: _ as frontier)
+               when List.for_all
+                      (fun w ->
+                         Array.length w = n
+                         && Array.for_all (fun c -> c >= -1 && c <= bound) w)
+                      frontier ->
+               Some frontier
+             | Some _ | None -> None))
+       | Some _ | None -> None)
+  in
+  let cpre frontier =
+    cpre_antichain tick auto by_src ~bound ~num_input_bits ~num_output_bits
+      ~system_moves_second frontier
+  in
+  let rec gfp warm frontier =
+    tick ();
+    let frontier' = meet_antichains frontier (cpre frontier) in
+    if not (List.exists (dominated initial) frontier') then
+      (* Early exit: the initial position fell out.  Under a warm start
+         this could be an artifact of the resumed frontier, so re-check
+         from the top before conceding. *)
+      if warm then gfp false [ top ] else None
+    else if
+      List.for_all (fun f -> List.exists (dominated f) frontier') frontier
+    then Some frontier'
+    else begin
+      publish frontier';
+      gfp warm frontier'
+    end
+  in
+  match resumed with
+  | Some frontier -> gfp true frontier
+  | None -> gfp false [ top ]
+
+(* Controller extraction from a winning antichain: forward walk over
+   the counting functions actually reached under the strategy "first
+   output whose successor stays dominated" — the same move preference
+   as the enumerative extraction, so the machines coincide. *)
+let extract_controller_antichain ?budget auto by_src ~bound frontier ~inputs
+    ~outputs =
+  let tick () =
+    match budget with
+    | Some budget ->
+      Speccc_runtime.Budget.checkpoint budget ~stage:"explicit"
+    | None -> ()
+  in
+  let num_input_bits = List.length inputs in
+  let num_inputs = 1 lsl num_input_bits in
+  let num_outputs = 1 lsl List.length outputs in
+  let combined imask omask = imask lor (omask lsl num_input_bits) in
+  let winning f = List.exists (fun w -> dominated f w) frontier in
+  let ids = Hashtbl.create 64 in
+  let rows = ref [] in
+  let rec intern counts =
+    let key = key_of_counts counts in
+    match Hashtbl.find_opt ids key with
+    | Some id -> id
+    | None ->
+      tick ();
+      let id = Hashtbl.length ids in
+      Hashtbl.add ids key id;
+      let row = Array.make num_inputs (0, 0) in
+      rows := row :: !rows;
+      for imask = 0 to num_inputs - 1 do
+        let rec first omask =
+          if omask >= num_outputs then
+            assert false (* dominated positions always have a move *)
+          else
+            match
+              successor_counts auto by_src ~bound counts
+                (combined imask omask)
+            with
+            | Some next when winning next -> (omask, next)
+            | Some _ | None -> first (omask + 1)
+        in
+        let omask, next = first 0 in
+        row.(imask) <- (omask, intern next)
+      done;
+      id
+  in
+  let initial = intern (initial_counts_of auto) in
+  let step_table = Array.of_list (List.rev !rows) in
+  {
+    Mealy.inputs;
+    outputs;
+    num_states = Array.length step_table;
+    initial;
+    step = (fun state imask -> step_table.(state).(imask));
+  }
+
+(* Environment counterstrategy from a won dual game: first input under
+   which every system answer stays dominated — again the enumerative
+   extraction's preference. *)
+let extract_counterstrategy_antichain ?budget auto by_src ~bound frontier
+    ~inputs ~outputs =
+  let tick () =
+    match budget with
+    | Some budget ->
+      Speccc_runtime.Budget.checkpoint budget ~stage:"explicit"
+    | None -> ()
+  in
+  let num_input_bits = List.length inputs in
+  let num_inputs = 1 lsl num_input_bits in
+  let num_outputs = 1 lsl List.length outputs in
+  let combined imask omask = imask lor (omask lsl num_input_bits) in
+  let winning f = List.exists (fun w -> dominated f w) frontier in
+  let successors counts imask =
+    let rec collect omask acc =
+      if omask < 0 then Some acc
+      else
+        match
+          successor_counts auto by_src ~bound counts (combined imask omask)
+        with
+        | Some next when winning next -> collect (omask - 1) (next :: acc)
+        | Some _ | None -> None
+    in
+    collect (num_outputs - 1) []
+  in
+  let winning_move counts =
+    let rec first imask =
+      if imask >= num_inputs then assert false
+      else
+        match successors counts imask with
+        | Some nexts -> (imask, nexts)
+        | None -> first (imask + 1)
+    in
+    first 0
+  in
+  let ids = Hashtbl.create 64 in
+  let moves = ref [] in
+  let nexts_table = ref [] in
+  let rec intern counts =
+    let key = key_of_counts counts in
+    match Hashtbl.find_opt ids key with
+    | Some id -> id
+    | None ->
+      tick ();
+      let id = Hashtbl.length ids in
+      Hashtbl.add ids key id;
+      let imask, nexts = winning_move counts in
+      moves := (id, imask) :: !moves;
+      let row = Array.make num_outputs 0 in
+      nexts_table := (id, row) :: !nexts_table;
+      List.iteri (fun omask next -> row.(omask) <- intern next) nexts;
+      id
+  in
+  let initial = intern (initial_counts_of auto) in
+  let num_states = Hashtbl.length ids in
+  let move_arr = Array.make num_states 0 in
+  List.iter (fun (id, imask) -> move_arr.(id) <- imask) !moves;
+  let next_arr = Array.make num_states [||] in
+  List.iter (fun (id, row) -> next_arr.(id) <- row) !nexts_table;
+  {
+    cs_inputs = inputs;
+    cs_outputs = outputs;
+    cs_num_states = num_states;
+    cs_initial = initial;
+    cs_move = (fun state -> move_arr.(state));
+    cs_next = (fun state omask -> next_arr.(state).(omask));
+  }
+
 (* Extract a Mealy controller from the winning region: in each alive
    state, for each input, pick the first output leading to an alive
    successor. *)
@@ -367,39 +692,68 @@ let check_size ~max_letters ~inputs ~outputs =
           letter budget (max_letters = %d); use the symbolic engine"
          bits max_letters)
 
-let solve ?budget ?(bound = 3) ?(max_letters = 4096) ~inputs ~outputs spec =
+let solve ?budget ?(bound = 3) ?(max_letters = 4096) ?algorithm ~inputs
+    ~outputs spec =
   Speccc_runtime.Fault.hit Speccc_runtime.Fault.Checkpoint.engine_explicit;
   check_size ~max_letters ~inputs ~outputs;
+  let algorithm =
+    match algorithm with Some a -> a | None -> default_algorithm ()
+  in
   let num_input_bits = List.length inputs in
   let num_output_bits = List.length outputs in
   (* System game: UCW of the negation. *)
   let ucw = Nbw.of_ltl ?budget (Ltl.neg spec) in
   let by_src = compile_automaton ucw ~inputs ~outputs in
-  match
-    solve_game ?budget ucw by_src ~bound ~num_input_bits ~num_output_bits
-      ~system_moves_second:true
-  with
-  | Some (game, alive, initial_id, combined) ->
-    Realizable
-      (extract_controller game alive initial_id combined ~inputs ~outputs)
-  | None ->
-    (* Dual game: the environment tries to realize the negation; it
-       moves first (Moore), i.e. picks the input before seeing the
-       output.  Winning it proves unrealizability exactly. *)
-    let ucw_dual = Nbw.of_ltl ?budget spec in
-    let by_src_dual = compile_automaton ucw_dual ~inputs ~outputs in
-    (match
-       solve_game ?budget ucw_dual by_src_dual ~bound ~num_input_bits
-         ~num_output_bits ~system_moves_second:false
-     with
-     | Some (game, alive, initial_id, combined) ->
-       Unrealizable
-         (extract_counterstrategy game alive initial_id combined ~inputs
-            ~outputs)
-     | None -> Unknown bound)
+  match algorithm with
+  | Antichain -> begin
+      match
+        solve_game_antichain ?budget ucw by_src ~bound ~num_input_bits
+          ~num_output_bits ~system_moves_second:true
+      with
+      | Some frontier ->
+        Realizable
+          (extract_controller_antichain ?budget ucw by_src ~bound frontier
+             ~inputs ~outputs)
+      | None ->
+        let ucw_dual = Nbw.of_ltl ?budget spec in
+        let by_src_dual = compile_automaton ucw_dual ~inputs ~outputs in
+        (match
+           solve_game_antichain ?budget ucw_dual by_src_dual ~bound
+             ~num_input_bits ~num_output_bits ~system_moves_second:false
+         with
+         | Some frontier ->
+           Unrealizable
+             (extract_counterstrategy_antichain ?budget ucw_dual by_src_dual
+                ~bound frontier ~inputs ~outputs)
+         | None -> Unknown bound)
+    end
+  | Enumerate -> begin
+      match
+        solve_game ?budget ucw by_src ~bound ~num_input_bits ~num_output_bits
+          ~system_moves_second:true
+      with
+      | Some (game, alive, initial_id, combined) ->
+        Realizable
+          (extract_controller game alive initial_id combined ~inputs ~outputs)
+      | None ->
+        (* Dual game: the environment tries to realize the negation; it
+           moves first (Moore), i.e. picks the input before seeing the
+           output.  Winning it proves unrealizability exactly. *)
+        let ucw_dual = Nbw.of_ltl ?budget spec in
+        let by_src_dual = compile_automaton ucw_dual ~inputs ~outputs in
+        (match
+           solve_game ?budget ucw_dual by_src_dual ~bound ~num_input_bits
+             ~num_output_bits ~system_moves_second:false
+         with
+         | Some (game, alive, initial_id, combined) ->
+           Unrealizable
+             (extract_counterstrategy game alive initial_id combined ~inputs
+                ~outputs)
+         | None -> Unknown bound)
+    end
 
-let solve_iterative ?budget ?(max_bound = 8) ?max_letters ~inputs ~outputs
-    spec =
+let solve_iterative ?budget ?(max_bound = 8) ?max_letters ?algorithm ~inputs
+    ~outputs spec =
   (* Anytime resume: a snapshot records the last counting bound that
      completed with Unknown, so a preempted-then-retried search starts
      escalation above it instead of re-losing the small bounds.  The
@@ -420,12 +774,20 @@ let solve_iterative ?budget ?(max_bound = 8) ?max_letters ~inputs ~outputs
       (match Speccc_runtime.Budget.resume_for b ~engine:"explicit" with
        | Some snap ->
          (match Speccc_runtime.Snapshot.int_field snap "bound" with
-          | Some k when k >= 1 -> min (2 * k) max_bound
+          | Some k when k >= 1 ->
+            (* A bare bound marks a bound that completed with Unknown —
+               escalate past it.  A snapshot carrying an antichain
+               frontier marks a bound that was preempted mid-fixpoint:
+               restart at that bound and let the game solver warm-start
+               from the frontier. *)
+            if Speccc_runtime.Snapshot.field snap "frontier" <> None then
+              min k max_bound
+            else min (2 * k) max_bound
           | Some _ | None -> 1)
        | None -> 1)
   in
   let rec escalate bound =
-    match solve ?budget ~bound ?max_letters ~inputs ~outputs spec with
+    match solve ?budget ~bound ?max_letters ?algorithm ~inputs ~outputs spec with
     | Realizable _ as verdict -> verdict
     | Unrealizable _ as verdict -> verdict
     | Unknown _ when 2 * bound <= max_bound ->

@@ -40,6 +40,23 @@ type verdict =
   | Unrealizable of counterstrategy
   | Unknown of int  (** bound at which both games were lost *)
 
+type algorithm =
+  | Antichain
+      (** Backward greatest fixpoint over ⊑-maximal counting functions
+          (Acacia-style).  The winning region is downward closed, so
+          its frontier of maximal elements represents it exactly;
+          independent requirements cost a few antichain elements
+          instead of a product state space.  This is the default. *)
+  | Enumerate
+      (** Forward enumeration of every reachable counting function
+          followed by a greatest fixpoint on the explicit game graph —
+          the original engine, kept selectable for differential
+          testing and as a fallback. *)
+
+val default_algorithm : unit -> algorithm
+(** [Antichain], unless the environment variable [SPECCC_EXPLICIT] is
+    set to ["full"], ["enum"] or ["enumerate"]. *)
+
 val refute : counterstrategy -> Mealy.t -> Speccc_logic.Trace.t
 (** Play the counterstrategy against a candidate controller; the
     resulting lasso word is a concrete run of the controller that
@@ -51,21 +68,30 @@ val solve :
   ?budget:Speccc_runtime.Budget.t ->
   ?bound:int ->
   ?max_letters:int ->
+  ?algorithm:algorithm ->
   inputs:string list ->
   outputs:string list ->
   Speccc_logic.Ltl.t ->
   verdict
 (** [solve ~inputs ~outputs spec].  Default [bound] is [3]; default
-    [max_letters] is [4096] ([= 2^12] combined valuations).  When
-    [budget] is given, one fuel unit is spent per explored game
-    position and per fixpoint sweep (stage ["explicit"]); exhaustion
-    raises [Speccc_runtime.Runtime.Interrupt].  The fault checkpoint
-    ["engine.explicit"] is announced on entry. *)
+    [max_letters] is [4096] ([= 2^12] combined valuations); default
+    [algorithm] is {!default_algorithm}.  Both algorithms decide the
+    same games with the same move preferences during extraction, so
+    verdicts and witness machines coincide.  When [budget] is given,
+    fuel is spent as the solver progresses (stage ["explicit"]) —
+    per explored position under [Enumerate], per fixpoint round /
+    input valuation / extracted state under [Antichain]; exhaustion
+    raises [Speccc_runtime.Runtime.Interrupt].  Under [Antichain] and
+    a budget, each fixpoint round publishes its frontier as a snapshot
+    so a preempted run can warm-start; warm starts are verdict-safe
+    (a loss under a resumed frontier is re-checked from the top).
+    The fault checkpoint ["engine.explicit"] is announced on entry. *)
 
 val solve_iterative :
   ?budget:Speccc_runtime.Budget.t ->
   ?max_bound:int ->
   ?max_letters:int ->
+  ?algorithm:algorithm ->
   inputs:string list ->
   outputs:string list ->
   Speccc_logic.Ltl.t ->

@@ -4,6 +4,24 @@
    block merging.  Blocks start from identical output rows; a round
    splits every block by the vector of successor blocks; rounds repeat
    until stable (at most n rounds). *)
+(* Signatures are interned int arrays, hashed over every element: the
+   earlier list-based signatures allocated two [num_inputs]-element
+   lists per state per round and fed them to [Hashtbl.hash], whose
+   default meaningful-node limit truncates long lists — hash collisions
+   then degenerate lookups into full-list comparisons. *)
+let hash_int_array a =
+  let h = ref 5381 in
+  Array.iter (fun x -> h := (!h * 33) + x) a;
+  !h land max_int
+
+module Sig_key = struct
+  type t = int * int array
+  let equal (ha, a) (hb, b) = ha = hb && a == b || (ha = hb && a = b)
+  let hash (h, _) = h
+end
+
+module Sig_table = Hashtbl.Make (Sig_key)
+
 let minimize machine =
   let num_inputs = 1 lsl List.length machine.Mealy.inputs in
   (* reachable states *)
@@ -23,52 +41,57 @@ let minimize machine =
       end
     done
   done;
-  let states = List.rev !order in
-  (* block assignment, keyed by state *)
-  let block = Hashtbl.create 64 in
-  let assign_blocks signature_of =
-    let signatures = Hashtbl.create 64 in
+  let states = Array.of_list (List.rev !order) in
+  let n = Array.length states in
+  let dense = Hashtbl.create 64 in
+  Array.iteri (fun i s -> Hashtbl.add dense s i) states;
+  (* step tables over dense indices, computed exactly once *)
+  let outs = Array.make_matrix n num_inputs 0 in
+  let succ = Array.make_matrix n num_inputs 0 in
+  for i = 0 to n - 1 do
+    for imask = 0 to num_inputs - 1 do
+      let omask, next = machine.Mealy.step states.(i) imask in
+      outs.(i).(imask) <- omask;
+      succ.(i).(imask) <- Hashtbl.find dense next
+    done
+  done;
+  (* initial partition: identical output rows.  Output rows never
+     change, so intern them once and prepend the row id to every later
+     signature (blocks then never coarsen). *)
+  let intern_round signature_of =
+    let signatures = Sig_table.create 64 in
+    let fresh = Array.make n 0 in
     let next_block = ref 0 in
-    let changed = ref false in
-    List.iter
-      (fun s ->
-         let signature = signature_of s in
-         let b =
-           match Hashtbl.find_opt signatures signature with
-           | Some b -> b
-           | None ->
-             let b = !next_block in
-             incr next_block;
-             Hashtbl.add signatures signature b;
-             b
-         in
-         (match Hashtbl.find_opt block s with
-          | Some old when old = b -> ()
-          | _ -> changed := true);
-         Hashtbl.replace block s b)
-      states;
-    (!next_block, !changed)
+    for i = 0 to n - 1 do
+      let signature = signature_of i in
+      let keyed = (hash_int_array signature, signature) in
+      match Sig_table.find_opt signatures keyed with
+      | Some b -> fresh.(i) <- b
+      | None ->
+        let b = !next_block in
+        incr next_block;
+        Sig_table.add signatures keyed b;
+        fresh.(i) <- b
+    done;
+    fresh
   in
-  (* initial partition: identical output rows *)
-  let output_row s =
-    List.init num_inputs (fun imask -> fst (machine.Mealy.step s imask))
-  in
-  let _ = assign_blocks (fun s -> (output_row s, [])) in
-  (* refine by successor-block vectors (keeping the output row in the
-     signature so blocks never coarsen); every signature of a round
-     reads the same pre-round snapshot *)
-  let rec refine () =
-    let snapshot = Hashtbl.copy block in
-    let _, changed =
-      assign_blocks (fun s ->
-          ( output_row s,
-            List.init num_inputs (fun imask ->
-                let _, next = machine.Mealy.step s imask in
-                Hashtbl.find snapshot next) ))
+  let row_id = intern_round (fun i -> outs.(i)) in
+  let block = ref (Array.copy row_id) in
+  let changed = ref true in
+  while !changed do
+    let old = !block in
+    let fresh =
+      intern_round (fun i ->
+          let signature = Array.make (num_inputs + 1) row_id.(i) in
+          for imask = 0 to num_inputs - 1 do
+            signature.(imask + 1) <- old.(succ.(i).(imask))
+          done;
+          signature)
     in
-    if changed then refine ()
-  in
-  refine ();
+    changed := fresh <> old;
+    block := fresh
+  done;
+  let block = !block in
   (* renumber blocks so the initial state is block 0 and numbering is
      stable (first-seen order along [states]) *)
   let renumber = Hashtbl.create 64 in
@@ -82,23 +105,21 @@ let minimize machine =
       Hashtbl.add renumber b id;
       id
   in
-  let initial_block = Hashtbl.find block machine.Mealy.initial in
-  let _ = id_of_block initial_block in
+  let initial_dense = Hashtbl.find dense machine.Mealy.initial in
+  let _ = id_of_block block.(initial_dense) in
   (* representative per block, in state order *)
   let representative = Hashtbl.create 64 in
-  List.iter
-    (fun s ->
-       let id = id_of_block (Hashtbl.find block s) in
-       if not (Hashtbl.mem representative id) then
-         Hashtbl.add representative id s)
-    states;
+  for i = 0 to n - 1 do
+    let id = id_of_block block.(i) in
+    if not (Hashtbl.mem representative id) then
+      Hashtbl.add representative id i
+  done;
   let num_states = !next_id in
   let step_table =
     Array.init num_states (fun id ->
-        let s = Hashtbl.find representative id in
+        let i = Hashtbl.find representative id in
         Array.init num_inputs (fun imask ->
-            let omask, next = machine.Mealy.step s imask in
-            (omask, id_of_block (Hashtbl.find block next))))
+            (outs.(i).(imask), id_of_block block.(succ.(i).(imask)))))
   in
   {
     machine with

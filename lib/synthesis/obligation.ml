@@ -6,9 +6,11 @@ type strategy = {
   inputs : string list;
   outputs : string list;
   closure : Ltl.t array;            (* obligation index -> formula *)
-  progression : Bdd.t array;        (* V(g): letter vars ∪ next-z vars *)
-  winning : Bdd.t;                  (* over current-z vars *)
-  winning_next : Bdd.t;             (* winning renamed to next-z vars *)
+  (* The BDD-valued fields are mutable because dynamic reordering
+     rebuilds every live diagram; see [reorder_for_extraction]. *)
+  mutable progression : Bdd.t array; (* V(g): letter vars ∪ next-z vars *)
+  mutable winning : Bdd.t;           (* over current-z vars *)
+  mutable winning_next : Bdd.t;      (* winning renamed to next-z vars *)
   initial_indices : int list;
       (* the top-level conjuncts pending at step 0 *)
   num_props : int;
@@ -87,6 +89,16 @@ let solve ?budget ?snapshot_base ~inputs ~outputs spec =
      governs every BDD built below — including the strategy object's
      later steps, which reuse the manager but do bounded work. *)
   Bdd.set_budget manager budget;
+  (* Reordering trigger: once the unique table outgrows this, the
+     fixpoint reorders at the next round boundary.  Governed runs never
+     reorder (sifting would perturb fuel accounting). *)
+  (match
+     match Sys.getenv_opt "SPECCC_BDD_REORDER" with
+     | Some raw -> int_of_string_opt raw
+     | None -> Some 150_000
+   with
+   | Some 0 | None -> ()
+   | Some threshold -> Bdd.set_reorder_threshold manager (Some threshold));
   let props = inputs @ outputs in
   let num_props = List.length props in
   let prop_var =
@@ -177,9 +189,9 @@ let solve ?budget ?snapshot_base ~inputs ~outputs spec =
   let top_quantifiable bdd =
     List.fold_left
       (fun acc v -> if is_quantifiable v then Some v else acc)
-      None (Bdd.support bdd)
+      None (Bdd.support manager bdd)
   in
-  let cpre w =
+  let cpre conjuncts w =
     let target = rename_to_next w in
     let buckets = Array.make (max_quantifiable + 1) [] in
     let residual = ref [] in
@@ -211,7 +223,35 @@ let solve ?budget ?snapshot_base ~inputs ~outputs spec =
         !peak (Bdd.size all) (Bdd.size result) (Bdd.node_count manager);
     result
   in
-  let rec fixpoint w rounds =
+  let z_groups =
+    List.init num_obligations (fun j ->
+        [ z_var ~num_props j; z_next_var ~num_props j ])
+  in
+  (* Round-boundary reordering: every BDD that survives across rounds
+     (partitioned transition relation, progressions, the current
+     winning approximation) is threaded through the sift; inputs stay
+     pinned root-most and each (z_j, z'_j) pair stays glued so the
+     current-to-next renaming stays monotone. *)
+  let maybe_reorder conjuncts w =
+    if budget = None && Bdd.reorder_due manager then begin
+      let roots = w :: (conjuncts @ Array.to_list progression_bdds) in
+      match
+        Bdd.reorder manager ~pinned:num_inputs ~groups:z_groups roots
+      with
+      | w' :: rest ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | x :: tl -> take (n - 1) (x :: acc) tl
+        in
+        let conjuncts', progs = take (List.length conjuncts) [] rest in
+        List.iteri (fun j p -> progression_bdds.(j) <- p) progs;
+        (conjuncts', w')
+      | [] -> (conjuncts, w)
+    end
+    else (conjuncts, w)
+  in
+  let rec fixpoint conjuncts w rounds =
     Speccc_runtime.Fault.hit Speccc_runtime.Fault.Checkpoint.bdd_fixpoint;
     (match budget with
      | Some budget ->
@@ -228,13 +268,16 @@ let solve ?budget ?snapshot_base ~inputs ~outputs spec =
        Speccc_runtime.Budget.checkpoint budget ~stage:"symbolic"
      | None -> ());
     let t0 = Unix.gettimeofday () in
-    let w' = Bdd.and_ manager w (cpre w) in
+    let w' = Bdd.and_ manager w (cpre conjuncts w) in
     if debug then
       Printf.eprintf "round %d: |W|=%d -> %d (%.2fs)\n%!" rounds (Bdd.size w)
         (Bdd.size w') (Unix.gettimeofday () -. t0);
-    if Bdd.equal w w' then (w, rounds) else fixpoint w' (rounds + 1)
+    if Bdd.equal w w' then (w, rounds)
+    else
+      let conjuncts, w' = maybe_reorder conjuncts w' in
+      fixpoint conjuncts w' (rounds + 1)
   in
-  let winning, rounds = fixpoint (Bdd.one manager) 1 in
+  let winning, rounds = fixpoint conjuncts (Bdd.one manager) 1 in
   let initial_indices = List.map index_of roots in
   let initial_assignment =
     List.init num_obligations (fun j ->
@@ -314,14 +357,295 @@ let strategy_reset strategy =
   Array.fill strategy.state 0 (Array.length strategy.state) false;
   List.iter (fun j -> strategy.state.(j) <- true) strategy.initial_indices
 
+(* Controller enumeration over the implicit product.
+
+   The naive extraction calls [strategy_step] once per input valuation:
+   2^|inputs| restrict+any_sat passes per state, each over a per-state
+   constraint BDD that conjoins every pending progression.  Building
+   those conjunctions dominates extraction — tens of thousands of fresh
+   nodes per state even with memoized balanced conjunction trees,
+   because each state's pending set differs near the root of every
+   conjunction tree.
+
+   This version never materializes the conjunction:
+
+   - The whole progression family (every obligation plus the
+     winning-next region) is cofactored by the input variables ONCE,
+     in a shared DFS over the input cube — states only differ in which
+     factors they keep, so per state and input cube the relevant
+     factors are a filter over a precomputed leaf.
+   - Each (state, leaf) pair is then a satisfiability question on the
+     product of the remaining factors, solved by a backtracking search
+     that branches high first at the shallowest live root — the same
+     preference [Bdd.any_sat] has.  Factors reduced to [one] drop out,
+     so the active list shrinks as the search deepens.
+   - Next-obligation variables occur purely positively (progressions
+     never negate them), so once the letters are gone the high path of
+     each factor is a satisfying assignment — the suffix needs no
+     search at all.  A step counter catches pathological backtracking
+     and falls back to the exact conjunction for that subproblem.
+
+   The produced machine can differ from the conjunction-based one only
+   in don't-care variables (a variable that cancels out of the
+   conjunction is unconstrained there, while the product search still
+   assigns it), so it is deterministic and satisfies the same pending
+   obligations. *)
 let to_mealy ?(max_states = 4096) strategy =
   let num_inputs = List.length strategy.inputs in
   if num_inputs > 20 then None
   else begin
-    let key state = String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list state)) in
+    let manager = strategy.manager in
+    let num_imasks = 1 lsl num_inputs in
+    let num_obligations = Array.length strategy.closure in
+    let num_props = strategy.num_props in
+    let num_vars = num_props + (2 * num_obligations) in
+    let lose () =
+      (* Should not happen from a winning state; fail loudly. *)
+      invalid_arg "Obligation.strategy_step: no move from winning state"
+    in
+    (* Active factor cells: (obligation, root var, root level, diagram),
+       lists sorted by root level so the variable to branch on is always
+       the head's root and cofactoring touches only the head run. *)
+    let cell j d = (j, Bdd.top d, Bdd.level manager (Bdd.top d), d) in
+    let rec insert ((_, _, l, _) as c) list =
+      match list with
+      | [] -> [ c ]
+      | ((_, _, l', _) as c') :: rest ->
+        if l <= l' then c :: list else c' :: insert c rest
+    in
+    (* Shared input phase: cofactor the whole factor family by every
+       input cube.  Leaves are deduplicated — an input no factor
+       mentions never splits — and [leaf_of_imask] maps each input
+       valuation to its leaf.  A factor that dies under some cube is
+       recorded in [leaf_dead]: fatal later only if its obligation is
+       pending. *)
+    let leaf_cells = ref [] and leaf_dead = ref [] and leaf_count = ref 0 in
+    let leaf_of_imask = Array.make num_imasks 0 in
+    let () =
+      let family =
+        List.filter
+          (fun (_, _, _, d) -> not (Bdd.is_one d))
+          (cell (-1) strategy.winning_next
+          :: List.init num_obligations (fun j -> cell j strategy.progression.(j)))
+      in
+      if List.exists (fun (_, _, _, d) -> Bdd.is_zero d) family then lose ();
+      let family =
+        List.sort (fun (_, _, l, _) (_, _, l', _) -> compare l l') family
+      in
+      let rec build active dead fixed_mask fixed_value =
+        match active with
+        | (_, v, _, _) :: _ when v < num_inputs ->
+          let rec split run rest =
+            match rest with
+            | ((_, v', _, _) as c) :: tail when v' = v ->
+              split (c :: run) tail
+            | _ -> (run, rest)
+          in
+          let run, rest = split [] active in
+          let branch b =
+            let active, dead =
+              List.fold_left
+                (fun (active, dead) (j, _, _, d) ->
+                   let c = if b then Bdd.high d else Bdd.low d in
+                   if Bdd.is_zero c then (active, j :: dead)
+                   else if Bdd.is_one c then (active, dead)
+                   else (insert (cell j c) active, dead))
+                (rest, dead) run
+            in
+            build active dead
+              (fixed_mask lor (1 lsl v))
+              (if b then fixed_value lor (1 lsl v) else fixed_value)
+          in
+          branch false;
+          branch true
+        | _ ->
+          let id = !leaf_count in
+          incr leaf_count;
+          leaf_cells := active :: !leaf_cells;
+          leaf_dead := dead :: !leaf_dead;
+          (* Spread this leaf over every imask extending the fixed
+             input bits. *)
+          let free = ref [] in
+          for v = num_inputs - 1 downto 0 do
+            if fixed_mask land (1 lsl v) = 0 then free := v :: !free
+          done;
+          let free = Array.of_list !free in
+          let num_free = Array.length free in
+          for k = 0 to (1 lsl num_free) - 1 do
+            let imask = ref fixed_value in
+            for b = 0 to num_free - 1 do
+              if k land (1 lsl b) <> 0 then imask := !imask lor (1 lsl free.(b))
+            done;
+            leaf_of_imask.(!imask) <- id
+          done
+      in
+      build family [] 0 0
+    in
+    let num_leaves = !leaf_count in
+    let leaf_cells = Array.of_list (List.rev !leaf_cells) in
+    let leaf_dead = Array.of_list (List.rev !leaf_dead) in
+    (* Assignment marks, epoch-cleared: [mark_epoch.(v) = epoch] means
+       variable [v] carries [mark_val.(v)] in the current search. *)
+    let mark_epoch = Array.make num_vars 0 in
+    let mark_val = Array.make num_vars false in
+    let epoch = ref 0 in
+    let exception Bail in
+    (* Fast path for the next-obligation tail: variables there occur
+       purely positively (progressions never negate them), so the high
+       path of each factor is a satisfying assignment — no search.
+       Bails if a letter variable shows up inside a next-rooted factor
+       (possible only after exotic reorders), if a variable was already
+       branched to false, or if positivity is ever violated; the caller
+       then falls back to the exact conjunction. *)
+    (* A bail aborts the whole search ([Exit] → exact fallback), and
+       the fallback starts a fresh mark epoch, so marks set before the
+       bail need no undoing. *)
+    let try_pure_next zs =
+      match
+        List.iter
+          (fun d ->
+             let rec follow d =
+               let v = Bdd.top d in
+               if v < 0 then (if Bdd.is_zero d then raise Bail)
+               else if v < num_props then raise Bail
+               else if mark_epoch.(v) = !epoch then
+                 if mark_val.(v) then follow (Bdd.high d) else raise Bail
+               else begin
+                 let h = Bdd.high d in
+                 if Bdd.is_zero h then raise Bail;
+                 mark_epoch.(v) <- !epoch;
+                 mark_val.(v) <- true;
+                 follow h
+               end
+             in
+             follow d)
+          zs
+      with
+      | () -> true
+      | exception Bail -> raise Exit
+    in
+    let solve_budget = 200_000 in
+    (* Backtracking search below the input prefix.  The active factors
+       are split: [letters] holds the factors rooted at output
+       variables (few — most factors lose their letter part to the
+       input cofactor), sorted by root level and branched high first,
+       the same preference [Bdd.any_sat] has; [zs] holds the factors
+       rooted at next-obligation variables, which are never branched —
+       once the letters are gone they are solved in one pass by
+       [try_pure_next].  Setting a factor aside is O(1), so the sorted
+       insertions only ever walk the short letter list. *)
+    let rec solve_product letters zs steps =
+      if !steps <= 0 then raise Exit;
+      decr steps;
+      match letters with
+      | [] -> try_pure_next zs
+      | (_, v, _, _) :: _ ->
+        let branch b =
+          let rec cofactor list zs_acc =
+            match list with
+            | (j, v', _, d) :: rest when v' = v ->
+              let c = if b then Bdd.high d else Bdd.low d in
+              if Bdd.is_zero c then None
+              else begin
+                match cofactor rest zs_acc with
+                | None -> None
+                | Some (lets, zacc) ->
+                  if Bdd.is_one c then Some (lets, zacc)
+                  else if Bdd.top c >= num_props then Some (lets, c :: zacc)
+                  else Some (insert (cell j c) lets, zacc)
+              end
+            | _ -> Some (list, zs_acc)
+          in
+          match cofactor letters zs with
+          | None -> false
+          | Some (lets, zs) ->
+            mark_epoch.(v) <- !epoch;
+            mark_val.(v) <- b;
+            if solve_product lets zs steps then true
+            else begin
+              mark_epoch.(v) <- 0;
+              false
+            end
+        in
+        branch true || branch false
+    in
+    (* One decoded move per (state, leaf): run the product search with
+       fresh marks, then read the outputs and next obligations straight
+       out of the mark arrays.  Falls back to the exact conjunction if
+       the search budget trips or the fast path bails. *)
+    let solve_leaf state cells =
+      incr epoch;
+      (* One pass filters the pending factors and splits them:
+         letter-rooted cells keep their sorted order, next-rooted
+         diagrams are set aside (order irrelevant). *)
+      let zs = ref [] in
+      let rec split = function
+        | [] -> []
+        | ((j, v, _, d) as c) :: rest ->
+          if j >= 0 && not state.(j) then split rest
+          else if v >= num_props then begin
+            zs := d :: !zs;
+            split rest
+          end
+          else c :: split rest
+      in
+      let letters = split cells in
+      let zs = !zs in
+      let ok =
+        match solve_product letters zs (ref solve_budget) with
+        | ok -> ok
+        | exception Exit ->
+          incr epoch;
+          (match
+             Bdd.any_sat
+               (Bdd.and_list manager
+                  (List.filter_map
+                     (fun (j, _, _, d) ->
+                        if j < 0 || state.(j) then Some d else None)
+                     cells))
+           with
+           | None -> false
+           | Some assignment ->
+             List.iter
+               (fun (v, b) ->
+                  mark_epoch.(v) <- !epoch;
+                  mark_val.(v) <- b)
+               assignment;
+             true)
+      in
+      if not ok then lose ();
+      let omask = ref 0 in
+      for v = num_inputs to num_props - 1 do
+        if mark_epoch.(v) = !epoch && mark_val.(v) then
+          omask := !omask lor (1 lsl (v - num_inputs))
+      done;
+      let next = Array.make num_obligations false in
+      for j = 0 to num_obligations - 1 do
+        let v = num_props + (2 * j) + 1 in
+        if mark_epoch.(v) = !epoch && mark_val.(v) then next.(j) <- true
+      done;
+      (!omask, next)
+    in
+    (* One move per leaf; the per-imask row is assembled from the
+       leaf map at interning time. *)
+    let moves_of state =
+      Array.init num_leaves (fun leaf ->
+          if List.exists (fun j -> j >= 0 && state.(j)) leaf_dead.(leaf)
+          then lose ();
+          solve_leaf state leaf_cells.(leaf))
+    in
+    (* States are interned by their pending bitset, packed into a few
+       machine words. *)
+    let key_words = (num_obligations + 62) / 63 in
+    let key state =
+      let k = Array.make (max key_words 1) 0 in
+      for j = 0 to num_obligations - 1 do
+        if state.(j) then k.(j / 63) <- k.(j / 63) lor (1 lsl (j mod 63))
+      done;
+      k
+    in
     let ids = Hashtbl.create 64 in
-    let states = ref [] in
-    let transitions = Hashtbl.create 256 in
+    let table = ref (Array.make 64 [||]) in
     let overflow = ref false in
     let rec intern state =
       let k = key state in
@@ -335,17 +659,25 @@ let to_mealy ?(max_states = 4096) strategy =
         end
         else begin
           Hashtbl.add ids k id;
-          states := (id, Array.copy state) :: !states;
-          for imask = 0 to (1 lsl num_inputs) - 1 do
-            if not !overflow then begin
-              strategy.state <- Array.copy state;
-              let input = Mealy.assignment_of_mask strategy.inputs imask in
-              let outputs = strategy_step strategy input in
-              let omask = Mealy.mask_of_assignment strategy.outputs outputs in
-              let next = intern strategy.state in
-              Hashtbl.replace transitions (id, imask) (omask, next)
-            end
-          done;
+          let moves = moves_of state in
+          let encoded = Array.make num_imasks (0, 0) in
+          if id >= Array.length !table then begin
+            let bigger = Array.make (2 * Array.length !table) [||] in
+            Array.blit !table 0 bigger 0 (Array.length !table);
+            table := bigger
+          end;
+          !table.(id) <- encoded;
+          (* Successors interned once per leaf, not once per imask. *)
+          let next_ids =
+            Array.map
+              (fun (_, next) -> if !overflow then 0 else intern next)
+              moves
+          in
+          if not !overflow then
+            for imask = 0 to num_imasks - 1 do
+              let leaf = leaf_of_imask.(imask) in
+              encoded.(imask) <- (fst moves.(leaf), next_ids.(leaf))
+            done;
           id
         end
     in
@@ -353,19 +685,21 @@ let to_mealy ?(max_states = 4096) strategy =
     let initial = intern (Array.copy strategy.state) in
     strategy_reset strategy;
     if !overflow then None
-    else
+    else begin
+      let num_states = Hashtbl.length ids in
+      let table = !table in
       Some
         {
           Mealy.inputs = strategy.inputs;
           outputs = strategy.outputs;
-          num_states = Hashtbl.length ids;
+          num_states;
           initial;
           step =
             (fun state imask ->
-               match Hashtbl.find_opt transitions (state, imask) with
-               | Some move -> move
-               | None -> (0, state));
+               if state >= 0 && state < num_states then table.(state).(imask)
+               else (0, state));
         }
+    end
   end
 
 let stats strategy =

@@ -101,6 +101,71 @@ let prop_negation_partitions =
     QCheck2.Gen.(pair formula_gen trace_gen)
     (fun (f, w) -> accepts f w <> accepts (Ltl.Not f) w)
 
+(* --- template-compiled automata --- *)
+
+(* Shapes the pattern catalogue recognizes, with small propositional
+   parameters: every generated formula must take the template path. *)
+let template_formula_gen =
+  let open QCheck2.Gen in
+  let atom = map Ltl.prop (oneofl prop_names) in
+  let state_formula =
+    oneof
+      [
+        atom;
+        map (fun f -> Ltl.Not f) atom;
+        map2 (fun f g -> Ltl.And (f, g)) atom atom;
+        map2 (fun f g -> Ltl.Or (f, g)) atom atom;
+      ]
+  in
+  oneof
+    [
+      map (fun p -> Ltl.Always (Ltl.Not p)) state_formula;
+      map (fun p -> Ltl.Always p) state_formula;
+      map (fun p -> Ltl.Eventually p) state_formula;
+      map2
+        (fun g r -> Ltl.Always (Ltl.Implies (g, Ltl.Eventually r)))
+        state_formula state_formula;
+      map2 (fun p s -> Ltl.Weak_until (Ltl.Not p, s)) state_formula
+        state_formula;
+    ]
+
+let prop_template_matches_tableau =
+  QCheck2.Test.make ~count:150
+    ~name:"template-compiled automata accept the same lassos as the tableau"
+    QCheck2.Gen.(pair template_formula_gen (list_size (int_range 1 4) trace_gen))
+    (fun (f, words) ->
+       if Template.abstract f = None then
+         QCheck2.Test.fail_report "generator produced a non-template shape";
+       let templated = Nbw.of_ltl f in
+       (* a governed call bypasses both caches and runs the tableau *)
+       let tableau =
+         Nbw.of_ltl ~budget:(Speccc_runtime.Budget.create ~fuel:1_000_000 ()) f
+       in
+       List.for_all
+         (fun w ->
+            Nbw.accepts_lasso templated w = Nbw.accepts_lasso tableau w)
+         words)
+
+let test_template_sharing () =
+  let hits () =
+    match
+      List.find_opt
+        (fun s -> s.Speccc_cache.Cache.name = "nbw.template")
+        (Speccc_cache.Cache.stats ())
+    with
+    | Some s -> s.Speccc_cache.Cache.hits
+    | None -> 0
+  in
+  let first = Nbw.of_ltl (parse "G (tpl_p -> F tpl_q)") in
+  let before = hits () in
+  let second = Nbw.of_ltl (parse "G (tpl_r -> F tpl_s)") in
+  Alcotest.(check bool) "second instance served from the compiled shape" true
+    (hits () > before);
+  Alcotest.(check int) "instances share the shape's state count"
+    first.Nbw.num_states second.Nbw.num_states;
+  Alcotest.(check (slist string compare)) "atoms substituted"
+    [ "tpl_r"; "tpl_s" ] second.Nbw.atoms
+
 let () =
   Alcotest.run "automata"
     [
@@ -115,5 +180,10 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_membership_matches_semantics;
           QCheck_alcotest.to_alcotest prop_negation_partitions;
+        ] );
+      ( "template",
+        [
+          QCheck_alcotest.to_alcotest prop_template_matches_tableau;
+          Alcotest.test_case "sharing" `Quick test_template_sharing;
         ] );
     ]

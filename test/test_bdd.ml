@@ -106,7 +106,7 @@ let test_rename_monotone () =
   Alcotest.(check bool) "monotone rename agrees with compose-rename" true
     (Bdd.equal fast slow);
   Alcotest.(check (list int)) "support shifted" [ 1; 3; 5 ]
-    (Bdd.support fast);
+    (Bdd.support m fast);
   (* a non-monotone mapping is rejected *)
   (match Bdd.rename_monotone m [ (0, 5); (2, 3) ] f with
    | exception Invalid_argument _ -> ()
@@ -135,12 +135,12 @@ let prop_rename_monotone_matches_rename =
 let test_support_satcount () =
   let m = Bdd.manager () in
   let f = Bdd.or_ m (Bdd.var m 0) (Bdd.var m 3) in
-  Alcotest.(check (list int)) "support" [ 0; 3 ] (Bdd.support f);
+  Alcotest.(check (list int)) "support" [ 0; 3 ] (Bdd.support m f);
   Alcotest.(check (float 0.0)) "sat_count over 4 vars" 12.0
-    (Bdd.sat_count f ~nvars:4);
+    (Bdd.sat_count m f ~nvars:4);
   Alcotest.(check (float 0.0)) "one over 3 vars" 8.0
-    (Bdd.sat_count (Bdd.one m) ~nvars:3);
-  Alcotest.(check (float 0.0)) "zero" 0.0 (Bdd.sat_count (Bdd.zero m) ~nvars:3)
+    (Bdd.sat_count m (Bdd.one m) ~nvars:3);
+  Alcotest.(check (float 0.0)) "zero" 0.0 (Bdd.sat_count m (Bdd.zero m) ~nvars:3)
 
 let test_any_sat () =
   let m = Bdd.manager () in
@@ -174,7 +174,7 @@ let prop_satcount_matches =
           List.length
             (List.filter (fun a -> eval_expr a e) (all_assignments nvars))
         in
-        int_of_float (Bdd.sat_count d ~nvars) = expected)
+        int_of_float (Bdd.sat_count m d ~nvars) = expected)
 
 let prop_exists_is_disjunction =
   QCheck2.Test.make ~count:200 ~name:"exists v. f = f[v:=0] || f[v:=1]"
@@ -204,6 +204,55 @@ let prop_canonical =
        in
        Bdd.equal d1 d2 = semantically_equal)
 
+
+(* Reordering drill: sifting must preserve semantics exactly, and the
+   rebuilt manager must stay canonical — rebuilding the same function
+   after the reorder has to produce the translated root itself. *)
+let prop_reorder_preserves_semantics =
+  QCheck2.Test.make ~count:200 ~name:"reorder preserves semantics"
+    QCheck2.Gen.(pair expr_gen expr_gen)
+    (fun (e1, e2) ->
+       let m = Bdd.manager () in
+       let d1 = build m e1 and d2 = build m e2 in
+       match Bdd.reorder m ~groups:[ [ 1; 2 ] ] [ d1; d2 ] with
+       | [ r1; r2 ] ->
+         List.for_all
+           (fun a ->
+              Bdd.eval r1 a = eval_expr a e1
+              && Bdd.eval r2 a = eval_expr a e2)
+           (all_assignments nvars)
+         && Bdd.equal (build m e1) r1
+         && Bdd.equal (build m e2) r2
+       | _ -> false)
+
+let test_reorder_pinned_and_counters () =
+  let m = Bdd.manager () in
+  Bdd.set_reorder_threshold m (Some 1);
+  (* A function whose optimal order differs from the identity order:
+     pairwise comparisons x_i <-> y_i built with all x's above all
+     y's. *)
+  let n = 6 in
+  let f =
+    let parts =
+      List.init n (fun i -> Bdd.eqv m (Bdd.var m i) (Bdd.var m (n + i)))
+    in
+    Bdd.and_list m parts
+  in
+  let before = Bdd.size f in
+  Alcotest.(check bool) "trigger due" true (Bdd.reorder_due m);
+  (match Bdd.reorder m ~pinned:1 [ f ] with
+   | [ f' ] ->
+     Alcotest.(check bool) "variable 0 stays root-most" true
+       (match Bdd.top_var f' with Some 0 -> true | _ -> false);
+     Alcotest.(check bool) "sifting shrinks the comparator" true
+       (Bdd.size f' < before);
+     Alcotest.(check int) "one reorder recorded" 1 (Bdd.reorders m);
+     let all = all_assignments (2 * n) in
+     let reference a = List.for_all (fun i -> a i = a (n + i)) (List.init n Fun.id) in
+     Alcotest.(check bool) "same function" true
+       (List.for_all (fun a -> Bdd.eval f' a = reference a) all)
+   | _ -> Alcotest.fail "root list shape")
+
 let () =
   Alcotest.run "bdd"
     [
@@ -226,5 +275,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_exists_is_disjunction;
           QCheck_alcotest.to_alcotest prop_canonical;
           QCheck_alcotest.to_alcotest prop_rename_monotone_matches_rename;
+          QCheck_alcotest.to_alcotest prop_reorder_preserves_semantics;
+        ] );
+      ( "reordering",
+        [
+          Alcotest.test_case "pinned sift + counters" `Quick
+            test_reorder_pinned_and_counters;
         ] );
     ]

@@ -112,6 +112,31 @@ let test_verdicts_cache_independent () =
     [ Speccc_synthesis.Realizability.Explicit;
       Speccc_synthesis.Realizability.Symbolic ]
 
+(* ---------- capacity table ---------- *)
+
+let test_capacity_table () =
+  Alcotest.(check int) "unknown names keep their default" 77
+    (Cache.capacity ~name:"no-such-cache" ~default:77);
+  Alcotest.(check bool) "automaton cache is sized well above the seed's 256"
+    true
+    (Cache.capacity ~name:"nbw.of_ltl" ~default:256 >= 16384);
+  (* the live instance must actually carry the table's size *)
+  match stat "nbw.of_ltl" with
+  | Some s ->
+    Alcotest.(check int) "live instance uses the table"
+      (Cache.capacity ~name:"nbw.of_ltl" ~default:256)
+      s.Cache.capacity
+  | None ->
+    (* instance not created in this process yet: force it *)
+    ignore
+      (Speccc_automata.Nbw.of_ltl (Speccc_logic.Ltl.prop "capacity_probe"));
+    (match stat "nbw.of_ltl" with
+     | Some s ->
+       Alcotest.(check int) "live instance uses the table"
+         (Cache.capacity ~name:"nbw.of_ltl" ~default:256)
+         s.Cache.capacity
+     | None -> Alcotest.fail "nbw.of_ltl cache not registered")
+
 let () =
   Alcotest.run "cache"
     [
@@ -122,6 +147,7 @@ let () =
           Alcotest.test_case "memo counters" `Quick test_memo_counters;
           Alcotest.test_case "disabled pass-through" `Quick
             test_disabled_is_passthrough;
+          Alcotest.test_case "capacity table" `Quick test_capacity_table;
         ] );
       ( "pipeline",
         [

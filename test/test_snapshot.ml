@@ -430,6 +430,43 @@ let test_journal_progress_object () =
   Alcotest.(check bool) "no progress on definite verdicts" false
     (contains "\"progress\"" definite)
 
+(* ---------- antichain frontier fields ---------- *)
+
+let counts_gen =
+  let open QCheck2.Gen in
+  list_size (0 -- 5)
+    (array_size (1 -- 6) (int_range (-1) 9))
+
+let prop_antichain_field_roundtrip =
+  QCheck2.Test.make ~count:300
+    ~name:"antichain frontiers round-trip through the snapshot codec"
+    counts_gen
+    (fun antichain ->
+       let raw = Snapshot.counts_to_field antichain in
+       (* field-level inverse *)
+       (match Snapshot.counts_of_field raw with
+        | Some decoded ->
+          List.length decoded = List.length antichain
+          && List.for_all2 (fun a b -> a = b) decoded antichain
+        | None -> false)
+       &&
+       (* and through the full line codec, next to ordinary fields *)
+       let snap =
+         Snapshot.make ~engine:"explicit"
+           [ ("bound", "3"); ("game", "system"); ("frontier", raw) ]
+       in
+       match Snapshot.of_string (Snapshot.to_string snap) with
+       | None -> false
+       | Some back -> Snapshot.field back "frontier" = Some raw)
+
+let test_antichain_field_rejects_malformed () =
+  Alcotest.(check bool) "empty decodes to []" true
+    (Snapshot.counts_of_field "" = Some []);
+  Alcotest.(check bool) "non-numeric cell rejected" true
+    (Snapshot.counts_of_field "1,x:2" = None);
+  Alcotest.(check bool) "empty cell rejected" true
+    (Snapshot.counts_of_field "1,,2" = None)
+
 let () =
   ignore test_forged_snapshot_costs_time_not_soundness;
   Alcotest.run "snapshot"
@@ -440,6 +477,9 @@ let () =
           QCheck_alcotest.to_alcotest prop_codec_rejects_truncation;
           Alcotest.test_case "corruption rejected" `Quick
             test_codec_rejects_corruption;
+          QCheck_alcotest.to_alcotest prop_antichain_field_roundtrip;
+          Alcotest.test_case "malformed frontier rejected" `Quick
+            test_antichain_field_rejects_malformed;
         ] );
       ( "slot",
         [
