@@ -1485,6 +1485,159 @@ let fuzz_cmd =
          ])
     Term.(const run $ n_arg $ seed_arg $ corpus_arg $ report_arg $ buggy_arg)
 
+let chaos_cmd =
+  let module C = Speccc_chaos.Chaos in
+  let module W = Speccc_chaos.Workload in
+  let workload_arg =
+    Arg.(value & opt string "batch"
+         & info [ "workload" ] ~docv:"KIND"
+           ~doc:"Workload to explore: $(b,batch) (journalled batch run \
+                 with a persistent store), $(b,serve) (closed-loop \
+                 single-worker soak) or $(b,route) (2-shard routed soak \
+                 with real worker processes).")
+  in
+  let trace_arg =
+    Arg.(value & flag
+         & info [ "trace" ]
+           ~doc:"Phase 1 only: run the workload clean and print the \
+                 ordered fault-checkpoint trace with occurrence counts.")
+  in
+  let explore_arg =
+    Arg.(value & flag
+         & info [ "explore" ]
+           ~doc:"Phase 2: enumerate single-site perturbations (and \
+                 seeded pairs) over the clean trace, replay each \
+                 schedule, check the recovery invariants, and \
+                 delta-debug minimize any failure.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Seed for the paired-perturbation sampler; the whole \
+                 exploration is deterministic in it.")
+  in
+  let pairs_arg =
+    Arg.(value & opt int 5
+         & info [ "pairs" ] ~docv:"N"
+           ~doc:"Number of seeded two-perturbation schedules to add on \
+                 top of the single-site sweep.")
+  in
+  let occ_arg =
+    Arg.(value & opt int 3
+         & info [ "max-occ" ] ~docv:"N"
+           ~doc:"Explore at most the first $(docv) occurrences of each \
+                 site (capped sites are reported, not silently dropped).")
+  in
+  let sites_arg =
+    Arg.(value & opt_all string []
+         & info [ "site" ] ~docv:"CHECKPOINT"
+           ~doc:"Restrict the sweep to this checkpoint (repeatable); \
+                 see $(b,speccc --list-faults).")
+  in
+  let max_schedules_arg =
+    Arg.(value & opt int 0
+         & info [ "max-schedules" ] ~docv:"N"
+           ~doc:"Replay at most $(docv) schedules (0 = no cap); the \
+                 truncation is reported.")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Persist every minimized failing schedule as a \
+                 replayable $(b,.chaos) entry under $(docv).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Replay one $(b,.chaos) corpus entry: clean oracle run, \
+                 perturbed run, invariant suite and counter \
+                 requirements.  Exit 0 when the entry's expectation \
+                 holds.")
+  in
+  let run workload trace explore seed pairs occ sites max_schedules corpus
+      replay =
+    let binary = Sys.executable_name in
+    let log s = Format.eprintf "%s@." s in
+    match replay with
+    | Some file -> (
+        match C.load_entry file with
+        | Error e ->
+            Format.eprintf "chaos: %s: %s@." file e;
+            exit 3
+        | Ok entry -> (
+            match C.replay ~binary entry with
+            | Ok notes ->
+                List.iter (fun n -> Format.printf "  %s@." n) notes;
+                Format.printf "chaos: %s holds@." (Filename.basename file)
+            | Error problems ->
+                List.iter
+                  (fun p -> Format.eprintf "chaos: %s: %s@." file p)
+                  problems;
+                exit 1))
+    | None -> (
+        let w =
+          match W.kind_of_string workload with
+          | Some kind -> W.seed ~kind ()
+          | None ->
+              Format.eprintf "chaos: unknown workload %S@." workload;
+              exit 3
+        in
+        if trace then begin
+          let clean, tr = C.run_clean ~binary w in
+          (match clean.W.crashed with
+           | Some e ->
+               Format.eprintf "chaos: clean run crashed: %s@." e;
+               exit 1
+           | None -> ());
+          Format.printf "clean %s trace (%d checkpoint hits):@." workload
+            (List.length tr);
+          List.iteri
+            (fun i site -> Format.printf "  %4d  %s@." i site)
+            tr;
+          Format.printf "per-site occurrence counts:@.";
+          List.iter
+            (fun (site, n) -> Format.printf "  %-24s x%d@." site n)
+            (C.site_counts tr)
+        end
+        else if explore then begin
+          let report =
+            C.explore ~binary ~sites ~occ_cap:occ ~pairs ~max_schedules
+              ?corpus_dir:corpus ~seed ~log w
+          in
+          Format.printf "%a" C.pp_report report;
+          if report.C.violations <> [] then exit 1
+        end
+        else begin
+          Format.eprintf
+            "chaos: nothing to do (pass --trace, --explore or --replay)@.";
+          exit 3
+        end)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Deterministic trace-and-perturb fault-schedule exploration"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs a workload clean while recording the ordered stream \
+              of fault checkpoints it announces, then enumerates \
+              perturbations of that trace (crash, stall, torn write at \
+              each site occurrence; SIGKILL of route workers; seeded \
+              pairs), replays each through the seeded fault plans, and \
+              asserts end-to-end recovery invariants: definite verdicts \
+              match the clean run, no acknowledged journal/store write \
+              is lost after recovery, responses are exactly-once and \
+              within the watchdog bound, and recovery counters are \
+              booked consistently with the injections.  Failing \
+              schedules are minimized and persisted as replayable \
+              $(b,.chaos) corpus entries.  Exit code 1 when an \
+              invariant is violated.";
+         ])
+    Term.(const run $ workload_arg $ trace_arg $ explore_arg $ seed_arg
+          $ pairs_arg $ occ_arg $ sites_arg $ max_schedules_arg
+          $ corpus_arg $ replay_arg)
+
 (* Exit codes: 0 consistent / success, 1 inconsistent (or lint /
    monitor findings), 2 unknown or degraded verdict, 3 usage or parse
    error.  Cmdliner reports its own CLI errors as 124; fold them into
@@ -1504,7 +1657,7 @@ let () =
         List.iter
           (fun (name, description) ->
              Format.printf "%-28s %s@." name description)
-          Speccc_runtime.Fault.Checkpoint.all;
+          (Speccc_runtime.Fault.Checkpoint.all ());
         `Ok ()
       end
       else `Help (`Pager, None)
@@ -1520,7 +1673,8 @@ let () =
     Cmd.group ~default info
       [ translate_cmd; tree_cmd; check_cmd; batch_cmd; serve_cmd;
         route_cmd; localize_cmd; synth_cmd; lint_cmd; monitor_cmd;
-        report_cmd; testgen_cmd; patterns_cmd; table_cmd; fuzz_cmd ]
+        report_cmd; testgen_cmd; patterns_cmd; table_cmd; fuzz_cmd;
+        chaos_cmd ]
   in
   (* cmdliner reserves the double dash for long names; accept the
      documented "--n" spelling anyway. *)

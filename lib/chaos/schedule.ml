@@ -1,0 +1,95 @@
+(* Fault schedules: the unit the chaos explorer enumerates, minimizes
+   and persists.  A schedule is a list of perturbations, each aimed at
+   the n-th occurrence of a registered fault checkpoint; replaying one
+   is just installing the equivalent [Fault] trigger plan.  [Kill] is
+   the exception: it is performed by the route workload driver (a real
+   SIGKILL of a worker process), not by the in-process fault plan, and
+   its [site] is the pseudo-site {!kill_site} with the 0-based request
+   index as the occurrence. *)
+
+module Fault = Speccc_runtime.Fault
+
+type action =
+  | Crash            (* raise at the site: the process/attempt dies *)
+  | Delay of float   (* stall the site this many seconds *)
+  | Corrupt          (* mangle the artifact (corrupt-capable sites) *)
+  | Kill             (* SIGKILL a route worker at this request index *)
+
+type perturbation = { site : string; occurrence : int; action : action }
+type t = perturbation list
+
+let kill_site = "route.request"
+
+let action_to_string = function
+  | Crash -> "crash"
+  | Delay s -> Printf.sprintf "delay:%g" s
+  | Corrupt -> "corrupt"
+  | Kill -> "kill"
+
+let action_of_string s =
+  match String.index_opt s ':' with
+  | None -> (
+      match s with
+      | "crash" -> Some Crash
+      | "corrupt" -> Some Corrupt
+      | "kill" -> Some Kill
+      | _ -> None)
+  | Some i -> (
+      let head = String.sub s 0 i in
+      let arg = String.sub s (i + 1) (String.length s - i - 1) in
+      match (head, float_of_string_opt arg) with
+      | "delay", Some f when f >= 0.0 -> Some (Delay f)
+      | _ -> None)
+
+let perturbation_to_string { site; occurrence; action } =
+  Printf.sprintf "%s@%d=%s" site occurrence (action_to_string action)
+
+let perturbation_of_string s =
+  match String.index_opt s '=' with
+  | None -> None
+  | Some eq -> (
+      let target = String.sub s 0 eq in
+      let action = String.sub s (eq + 1) (String.length s - eq - 1) in
+      match action_of_string action with
+      | None -> None
+      | Some action -> (
+          match String.index_opt target '@' with
+          | None -> None
+          | Some at -> (
+              let site = String.sub target 0 at in
+              let occ = String.sub target (at + 1) (String.length target - at - 1) in
+              match int_of_string_opt occ with
+              | Some occurrence when occurrence >= 0 && site <> "" ->
+                  Some { site; occurrence; action }
+              | _ -> None)))
+
+let to_string schedule =
+  String.concat " " (List.map perturbation_to_string schedule)
+
+(* The [Fault] trigger plan equivalent of a schedule ([Kill] entries
+   are the route driver's job, not the plan's). *)
+let triggers schedule =
+  List.filter_map
+    (fun { site; occurrence; action } ->
+       let mk action =
+         Some { Fault.checkpoint = site; after = occurrence; action }
+       in
+       match action with
+       | Crash -> mk (Fault.Fail "chaos")
+       | Delay s -> mk (Fault.Delay s)
+       | Corrupt -> mk Fault.Corrupt
+       | Kill -> None)
+    schedule
+
+let kills schedule =
+  List.filter_map
+    (fun p -> if p.action = Kill then Some p.occurrence else None)
+    schedule
+  |> List.sort_uniq compare
+
+(* Total injected stall: the slack the latency invariant must grant a
+   schedule before calling a late answer a violation. *)
+let delay_budget schedule =
+  List.fold_left
+    (fun acc p -> match p.action with Delay s -> acc +. s | _ -> acc)
+    0.0 schedule

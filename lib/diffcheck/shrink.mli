@@ -8,6 +8,11 @@
     re-runs are capped so shrinking a case that drives the synthesis
     engines stays affordable. *)
 
+val list_shrinks : 'a list -> 'a list list
+(** The generic ddmin list ladder: both halves of the list, then every
+    single-element deletion, largest candidates first.  Shared with the
+    chaos explorer's schedule minimizer. *)
+
 val shrink :
   ?buggy_timeabs:bool ->
   ?max_attempts:int ->

@@ -206,7 +206,15 @@ let ends_with_newline path =
            input_char ic = '\n'
          end)
 
+let journal_checkpoint =
+  Fault.Checkpoint.register "journal.append"
+    "batch/serve journal, before a verdict line is appended (a raising \
+     trigger models dying between finishing a document and journaling \
+     it; --resume re-checks exactly that document)"
+
 let journal_append ?(fsync = false) path result =
+  Fault.in_scope journal_checkpoint @@ fun () ->
+  Fault.hit journal_checkpoint;
   let repair = Sys.file_exists path && not (ends_with_newline path) in
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
@@ -214,6 +222,7 @@ let journal_append ?(fsync = false) path result =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
+       Fault.io_event "journal.write";
        if repair then output_char oc '\n';
        output_string oc (journal_line result);
        output_char oc '\n';
@@ -641,7 +650,20 @@ let run_parallel config journaled documents =
 let run_loaded config documents =
   let journaled =
     match config.journal with
-    | Some path when config.resume -> journal_read ~repair:true path
+    | Some path when config.resume ->
+      (* Replay only definite verdicts.  A journaled [Unknown] or
+         [Failed] indicts the budget or the environment of the crashed
+         run, not the spec — replaying it would let one transient
+         fault poison every subsequent --resume (found by the chaos
+         explorer: a corrupted witness degraded a verdict to unknown,
+         and the resumed run parroted the degraded answer instead of
+         re-checking).  Same policy as the store above. *)
+      List.filter
+        (fun (_, r) ->
+           match r.verdict with
+           | Consistent | Inconsistent -> true
+           | Unknown | Failed _ -> false)
+        (journal_read ~repair:true path)
     | Some _ | None -> []
   in
   let results, interrupted =

@@ -74,10 +74,59 @@ let perform name = function
   | Delay seconds -> if seconds > 0.0 then Unix.sleepf seconds
   | Corrupt -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Trace observer.  The chaos explorer installs one to record the
+   ordered checkpoint stream of a clean run; it sees every announce,
+   with or without an installed plan, before any trigger fires. *)
+
+let observer : (string -> unit) option Atomic.t = Atomic.make None
+let set_observer f = Atomic.set observer f
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint scopes and the strict-I/O lint.  A scope is pushed for
+   the dynamic extent of a guarded I/O path (store append, journal
+   line, socket write); [io_event] records a violation when a raw
+   write runs with no enclosing scope while the lint is armed.  The
+   scope stack is domain-local so worker domains lint independently. *)
+
+let scope_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let in_scope name f =
+  let stack = Domain.DLS.get scope_key in
+  stack := name :: !stack;
+  Fun.protect ~finally:(fun () -> stack := List.tl !stack) f
+
+let current_scope () =
+  match !(Domain.DLS.get scope_key) with
+  | [] -> None
+  | name :: _ -> Some name
+
+let strict = Atomic.make false
+let unguarded : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let strict_io enabled =
+  locked (fun () -> Hashtbl.reset unguarded);
+  Atomic.set strict enabled
+
+let io_event kind =
+  if Atomic.get strict && current_scope () = None then
+    locked (fun () ->
+        let n = Option.value ~default:0 (Hashtbl.find_opt unguarded kind) in
+        Hashtbl.replace unguarded kind (n + 1))
+
+let unguarded_io () =
+  locked (fun () ->
+      Hashtbl.fold (fun k n acc -> (k, n) :: acc) unguarded []
+      |> List.sort compare)
+
 (* Count the hit and collect matching triggers under the lock, then
    fire them unlocked.  [Corrupt] triggers fire only when
    [allow_corrupt]; the return value says whether one did. *)
 let announce ~allow_corrupt name =
+  (match Atomic.get observer with
+   | None -> ()
+   | Some notify -> notify name);
   let corrupted, to_perform =
     locked (fun () ->
         match !state with
@@ -113,44 +162,66 @@ let hit name = ignore (announce ~allow_corrupt:false name)
 let corrupt name = announce ~allow_corrupt:true name
 
 module Checkpoint = struct
-  let sat_solve = "sat.solve"
-  let tableau_expand = "tableau.expand"
-  let bdd_fixpoint = "bdd.fixpoint"
-  let engine_symbolic = "engine.symbolic"
-  let engine_explicit = "engine.explicit"
-  let engine_sat = "engine.sat"
-  let pipeline_lint = "pipeline.lint"
-  let witness_controller = "witness.controller"
-  let witness_counterstrategy = "witness.counterstrategy"
-  let witness_core = "witness.core"
-  let harness_document = "harness.document"
-  let server_request = "server.request"
-  let store_append = "store.append"
+  (* The registry is dynamic: announcing modules register their sites
+     at init, so [--list-faults] and the chaos explorer enumerate the
+     live vocabulary instead of a hand-maintained list going stale.
+     Registration order is link order, which is stable for a given
+     binary. *)
+  type entry = { name : string; desc : string; corrupt_site : bool }
 
-  let all = [
-    sat_solve, "CDCL solver entry (lib/sat)";
-    tableau_expand, "each GPVW tableau node expansion (lib/automata)";
-    bdd_fixpoint, "each symbolic obligation-game fixpoint round";
-    engine_symbolic, "BDD obligation-game engine entry";
-    engine_explicit, "explicit bounded-synthesis engine entry";
-    engine_sat, "SAT bounded-machine engine entry";
-    pipeline_lint, "lint pass entry (the ladder's floor)";
-    witness_controller,
-      "controller emission; Corrupt flips the controller's output bits";
-    witness_counterstrategy,
-      "counterstrategy emission; Corrupt zeroes the environment moves";
-    witness_core, "unsat-core emission; Corrupt empties the core";
-    harness_document,
+  let registry : entry list ref = ref []
+
+  let register ?(corruptible = false) name desc =
+    locked (fun () ->
+        if not (List.exists (fun e -> e.name = name) !registry) then
+          registry :=
+            !registry @ [ { name; desc; corrupt_site = corruptible } ]);
+    name
+
+  let all () =
+    locked (fun () -> List.map (fun e -> (e.name, e.desc)) !registry)
+
+  let mem name =
+    locked (fun () -> List.exists (fun e -> e.name = name) !registry)
+
+  let corruptible name =
+    locked (fun () ->
+        List.exists (fun e -> e.name = name && e.corrupt_site) !registry)
+
+  let sat_solve = register "sat.solve" "CDCL solver entry (lib/sat)"
+  let tableau_expand =
+    register "tableau.expand"
+      "each GPVW tableau node expansion (lib/automata)"
+  let bdd_fixpoint =
+    register "bdd.fixpoint" "each symbolic obligation-game fixpoint round"
+  let engine_symbolic =
+    register "engine.symbolic" "BDD obligation-game engine entry"
+  let engine_explicit =
+    register "engine.explicit" "explicit bounded-synthesis engine entry"
+  let engine_sat = register "engine.sat" "SAT bounded-machine engine entry"
+  let pipeline_lint =
+    register "pipeline.lint" "lint pass entry (the ladder's floor)"
+  let witness_controller =
+    register ~corruptible:true "witness.controller"
+      "controller emission; Corrupt flips the controller's output bits"
+  let witness_counterstrategy =
+    register ~corruptible:true "witness.counterstrategy"
+      "counterstrategy emission; Corrupt zeroes the environment moves"
+  let witness_core =
+    register ~corruptible:true "witness.core"
+      "unsat-core emission; Corrupt empties the core"
+  let harness_document =
+    register "harness.document"
       "batch harness, before each document and outside its confinement \
-       (a raising trigger simulates a crash)";
-    server_request,
+       (a raising trigger simulates a crash)"
+  let server_request =
+    register "server.request"
       "serve mode, inside a worker just before it starts a request \
-       (a Delay models an engine stalled between checkpoints)";
-    store_append,
+       (a Delay models an engine stalled between checkpoints)"
+  let store_append =
+    register ~corruptible:true "store.append"
       "verdict store, before a record is appended to the log (a \
-       raising trigger models the process dying mid-write; recovery \
-       truncates the torn tail on the next open)";
-  ]
-
-  let mem name = List.mem_assoc name all
+       raising trigger models the process dying mid-write; Corrupt \
+       leaves a torn half-frame that recovery truncates on the next \
+       open)"
 end

@@ -3,14 +3,15 @@
     Engines announce named checkpoints ({!hit}, {!corrupt}).  Normally
     a hit is a single memory read; when a plan is {!install}ed, the
     n-th hit of a named checkpoint deterministically performs its
-    action — raising a typed error, delaying, or (for witness-emission
+    action — raising a typed error, delaying, or (for corrupt-capable
     checkpoints) corrupting the emitted artifact — so every recovery
     path of the fallback ladder {e and} every certificate-rejection
     path is exercisable from tests without pathological inputs.
 
-    The full checkpoint vocabulary is registered in {!Checkpoint};
-    tests and the CLI ([speccc --list-faults]) read it from there
-    instead of hardcoding strings.
+    The checkpoint vocabulary is a registry ({!Checkpoint}): every
+    announcing module registers its sites at init, and tests, the
+    chaos explorer, and the CLI ([speccc --list-faults]) enumerate it
+    from there instead of hardcoding strings.
 
     Installation is global and {e off by default}.  The plan state is
     protected by a mutex, so checkpoints may be announced from any
@@ -27,7 +28,7 @@ type action =
   | Delay of float    (** sleep this many seconds, then continue *)
   | Corrupt
       (** at a {!corrupt} checkpoint: silently mangle the emitted
-          witness (the site decides how); ignored by {!hit} sites *)
+          artifact (the site decides how); ignored by {!hit} sites *)
 
 type trigger = {
   checkpoint : string;
@@ -54,7 +55,7 @@ val hit : string -> unit
     trigger fires at most once. *)
 
 val corrupt : string -> bool
-(** Announce a witness-emission checkpoint.  Counts like {!hit} and
+(** Announce a corrupt-capable checkpoint.  Counts like {!hit} and
     performs raising/delaying triggers the same way; returns [true]
     exactly when an armed [Corrupt] trigger fires at this hit, in
     which case the caller must mangle the artifact it is about to
@@ -64,12 +65,58 @@ val hits : string -> int
 (** Hits recorded at a checkpoint since the last [install]/[clear]
     (0 when inactive). *)
 
-(** The registered checkpoint vocabulary.  Announcing modules use
-    these constants; tests install triggers through them; the CLI
-    lists them.  Keeping the registry here (rather than spread over
-    the announcing libraries) gives [--list-faults] one authoritative
-    source. *)
+val set_observer : (string -> unit) option -> unit
+(** Install (or remove, with [None]) a process-global trace observer.
+    The observer is called with the checkpoint name on {e every}
+    announce — with or without an installed plan, before any trigger
+    fires — so a clean run's ordered checkpoint stream can be
+    recorded.  The chaos explorer uses this for its trace phase; the
+    callback must be fast and must not announce checkpoints itself. *)
+
+val in_scope : string -> (unit -> 'a) -> 'a
+(** Run [f] with [name] pushed on the calling domain's checkpoint
+    scope stack.  Guarded I/O paths (store append, journal line,
+    socket write) wrap their syscalls in the scope of the checkpoint
+    that covers them, which is what the strict-I/O lint checks. *)
+
+val current_scope : unit -> string option
+(** Innermost enclosing checkpoint scope on this domain, if any. *)
+
+val strict_io : bool -> unit
+(** Arm (or disarm) the strict-I/O lint and reset its findings.  While
+    armed, {!io_event} calls with no enclosing {!in_scope} are
+    recorded as violations. *)
+
+val io_event : string -> unit
+(** Announce a raw I/O operation of the given kind (["unix.write"],
+    ["journal.write"], …).  A single atomic read when the lint is
+    disarmed; when armed and no checkpoint scope encloses the call,
+    the event is booked as unguarded. *)
+
+val unguarded_io : unit -> (string * int) list
+(** Unguarded I/O events recorded since the lint was last armed,
+    sorted by kind.  Empty means every I/O path announced under an
+    enclosing checkpoint. *)
+
+(** The registered checkpoint vocabulary.  Announcing modules
+    {!Checkpoint.register} their sites at module init and keep the
+    returned name; tests install triggers through the constants; the
+    CLI and the chaos explorer enumerate {!Checkpoint.all}. *)
 module Checkpoint : sig
+  val register : ?corruptible:bool -> string -> string -> string
+  (** [register name desc] adds a checkpoint to the registry (idempotent
+      per name) and returns [name].  [corruptible] marks sites that
+      honor a [Corrupt] trigger via {!corrupt}. *)
+
+  val all : unit -> (string * string) list
+  (** [(name, description)] for every registered checkpoint, in
+      registration (link) order. *)
+
+  val mem : string -> bool
+
+  val corruptible : string -> bool
+  (** Whether the named site was registered as corrupt-capable. *)
+
   val sat_solve : string
   val tableau_expand : string
   val bdd_fixpoint : string
@@ -100,12 +147,7 @@ module Checkpoint : sig
 
   val store_append : string
   (** announced by the verdict store before appending a record — a
-      raising trigger models the process dying mid-write, the torn
-      tail the store's open-time recovery truncates *)
-
-  val all : (string * string) list
-  (** [(name, description)] for every registered checkpoint, in a
-      stable order. *)
-
-  val mem : string -> bool
+      raising trigger models the process dying mid-write; a [Corrupt]
+      trigger leaves a torn half-frame on disk, the tail the store's
+      open-time recovery truncates *)
 end

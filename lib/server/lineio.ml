@@ -39,8 +39,7 @@ let rec next_line ?deadline t ~stop =
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
        | [], _, _ -> ()
        | _ ->
-         (match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         (match Speccc_runtime.Eintr.read t.fd t.chunk 0 (Bytes.length t.chunk) with
           | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
             t.eof <- true
           | 0 -> t.eof <- true

@@ -209,17 +209,28 @@ let response_line job result =
   "{\"id\":" ^ Jsonl.to_string job.id ^ ","
   ^ String.sub body 1 (String.length body - 1)
 
+let server_write =
+  Fault.Checkpoint.register "server.write"
+    "serve mode, as a response line is written to the client (a Delay \
+     stalls the write under the output lock; a raising trigger is \
+     absorbed like a vanished client — the journal still has the \
+     verdict)"
+
 let write_line pool line =
   Mutex.lock pool.out_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock pool.out_lock)
     (fun () ->
+       Fault.in_scope server_write @@ fun () ->
        try
+         Fault.hit server_write;
+         Fault.io_event "server.write";
          output_string pool.output line;
          output_char pool.output '\n';
          flush pool.output
-       with Sys_error _ | Unix.Unix_error _ ->
-         (* client went away; the journal still has the verdict *)
+       with Sys_error _ | Unix.Unix_error _ | Runtime.Interrupt _ ->
+         (* client went away (or an injected crash says it did); the
+            journal still has the verdict *)
          ())
 
 let failed_result job ~wall error =
@@ -286,7 +297,13 @@ let respond pool job result =
        Mutex.lock pool.journal_lock;
        Fun.protect
          ~finally:(fun () -> Mutex.unlock pool.journal_lock)
-         (fun () -> Harness.journal_append path result)
+         (fun () ->
+            (* The response is already on the wire: a journal I/O
+               failure (or an injected crash at the journal.append
+               checkpoint) must cost the journal line, never the
+               worker or the watchdog thread performing this call. *)
+            try Harness.journal_append path result
+            with Sys_error _ | Unix.Unix_error _ | Runtime.Interrupt _ -> ())
      | None -> ());
     locked pool (fun () -> pool.served <- pool.served + 1)
   end
@@ -802,7 +819,7 @@ let run_socket ?(stop = fun () -> false) config ~path =
            | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
            | [], _, _ -> accept_loop ()
            | _ ->
-             let conn, _ = Unix.accept sock in
+             let conn, _ = Eintr.accept sock in
              let out = Unix.out_channel_of_descr conn in
              Mutex.lock pool.out_lock;
              pool.output <- out;

@@ -20,6 +20,19 @@
 module Jsonl = Speccc_server.Jsonl
 module Breaker = Speccc_server.Breaker
 module Lineio = Speccc_server.Lineio
+module Fault = Speccc_runtime.Fault
+module Eintr = Speccc_runtime.Eintr
+
+let shard_dispatch =
+  Fault.Checkpoint.register "shard.dispatch"
+    "router, as a dispatcher hands a check to its shard (a raising \
+     trigger fails this attempt and forces a failover to the next \
+     ring candidate; a Delay stalls the dispatch)"
+
+let route_write =
+  Fault.Checkpoint.register "route.write"
+    "router, as a response line is written to the client (a raising \
+     trigger is absorbed like a vanished client)"
 
 (* ---------- consistent-hash ring ---------- *)
 
@@ -183,11 +196,16 @@ let write_line router line =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock router.out_lock)
     (fun () ->
+      Fault.in_scope route_write @@ fun () ->
       try
+        Fault.hit route_write;
+        Fault.io_event "route.write";
         output_string router.output line;
         output_char router.output '\n';
         flush router.output
-      with Sys_error _ | Unix.Unix_error _ -> ())
+      with
+      | Sys_error _ | Unix.Unix_error _
+      | Speccc_runtime.Runtime.Interrupt _ -> ())
 
 let finish_one router =
   locked router (fun () ->
@@ -203,14 +221,16 @@ let enqueue router shard job ~fresh =
 (* ---------- worker lifecycle (dispatcher-thread only) ---------- *)
 
 let send_line fd line =
+  (* worker-facing writes ride under the dispatch checkpoint's scope so
+     the strict-I/O lint sees them as guarded *)
+  Fault.in_scope shard_dispatch @@ fun () ->
   let data = line ^ "\n" in
   let n = String.length data in
   let off = ref 0 in
   while !off < n do
-    match Unix.write_substring fd data !off (n - !off) with
+    match Eintr.write_substring fd data !off (n - !off) with
     | 0 -> raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
     | written -> off := !off + written
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
 let kill_worker router shard =
@@ -342,6 +362,10 @@ let redispatch router c =
 
 let process_check router shard c =
   c.tried <- shard.index :: c.tried;
+  (* Announced after this shard is marked tried: a raising trigger here
+     is caught by the dispatcher and redispatches to the next ring
+     candidate, the same failover path a dead worker takes. *)
+  Fault.hit shard_dispatch;
   let attempt =
     if Breaker.should_skip shard.breaker ~now:(Unix.gettimeofday ()) then
       Error `Skipped

@@ -2,6 +2,14 @@ module Document = Speccc_core.Document
 module Pipeline = Speccc_core.Pipeline
 module Harness = Speccc_harness.Harness
 module Fault = Speccc_runtime.Fault
+module Eintr = Speccc_runtime.Eintr
+
+let store_compact =
+  Fault.Checkpoint.register "store.compact"
+    "verdict store, after the compacted temp log is written and before \
+     the atomic rename (a SIGKILL or raising trigger here must leave \
+     the old log intact; a Delay opens the kill window the compaction \
+     drill uses)"
 
 let header = "SPECCCST1\n"
 let max_payload = 1 lsl 26 (* a frame longer than 64 MiB is corruption *)
@@ -150,15 +158,7 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let write_all fd bytes =
-  let n = Bytes.length bytes in
-  let off = ref 0 in
-  while !off < n do
-    match Unix.write fd bytes !off (n - !off) with
-    | 0 -> raise (Sys_error "store: short write")
-    | w -> off := !off + w
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done
+let write_all fd bytes = Eintr.write_all fd bytes
 
 let maybe_fsync t fd = if t.fsync then try Unix.fsync fd with Unix.Unix_error _ -> ()
 
@@ -308,6 +308,7 @@ let append_fd t =
 (* Rewrite live records only; crash-safe via temp file + atomic
    rename.  Caller holds the lock. *)
 let compact_locked t =
+  Fault.in_scope store_compact @@ fun () ->
   let fd = append_fd t in
   let tmp = t.path ^ ".compact.tmp" in
   let out =
@@ -331,6 +332,9 @@ let compact_locked t =
      (try Unix.close out with Unix.Unix_error _ -> ());
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
+  (* The temp log is complete but the rename has not happened: dying
+     here must leave the old log authoritative and the tmp ignorable. *)
+  Fault.hit store_compact;
   Unix.rename tmp t.path;
   if t.fsync then begin
     (* Persist the rename itself: fsync the containing directory. *)
@@ -362,11 +366,22 @@ let put t ~key result =
              the log. *)
           ()
       | _ ->
+          Fault.in_scope Fault.Checkpoint.store_append @@ fun () ->
           let fd = append_fd t in
-          (* A raising trigger here models dying mid-write: nothing
-             reaches the log, the index is untouched. *)
-          Fault.hit Fault.Checkpoint.store_append;
           let frame = encode_record ~key result in
+          (* A raising trigger here models dying mid-write: nothing
+             reaches the log, the index is untouched.  A [Corrupt]
+             trigger models dying *inside* the write: half the frame
+             reaches the disk and the handle dies with the process, so
+             the next open finds a torn tail and truncates it. *)
+          if Fault.corrupt Fault.Checkpoint.store_append then begin
+            let torn = Bytes.sub frame 0 (max 1 (Bytes.length frame / 2)) in
+            write_all fd torn;
+            maybe_fsync t fd;
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            t.fd <- None;
+            raise (Sys_error (t.path ^ ": injected torn write"))
+          end;
           write_all fd frame;
           maybe_fsync t fd;
           t.appends <- t.appends + 1;
@@ -402,6 +417,7 @@ let put_snapshot t ~key snap =
           | None -> false
         in
         if not same then begin
+          Fault.in_scope Fault.Checkpoint.store_append @@ fun () ->
           let fd = append_fd t in
           Fault.hit Fault.Checkpoint.store_append;
           let frame = encode_snapshot_record ~key snap in

@@ -1,0 +1,215 @@
+(* Tests for the chaos explorer: schedule and corpus-entry codecs, the
+   fault-checkpoint registry, the strict-I/O lint (no raw I/O path may
+   run outside an enclosing checkpoint scope), and full replays of
+   every pinned [.chaos] corpus entry — the explorer-found regressions
+   and the crash drills, each run clean + perturbed (+ recovery) with
+   the whole invariant suite. *)
+
+module Fault = Speccc_runtime.Fault
+module Chaos = Speccc_chaos.Chaos
+module Schedule = Speccc_chaos.Schedule
+module Workload = Speccc_chaos.Workload
+
+let binary =
+  let exe = "speccc_cli.exe" in
+  let candidates =
+    [ Filename.concat ".." (Filename.concat "bin" exe);
+      List.fold_left Filename.concat "_build" [ "default"; "bin"; exe ] ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path when Filename.is_relative path ->
+    Filename.concat (Sys.getcwd ()) path
+  | Some path -> path
+  | None -> Alcotest.fail ("speccc CLI binary not built: " ^ Sys.getcwd ())
+
+(* ---------- schedule codec ---------- *)
+
+let test_schedule_roundtrip () =
+  let cases =
+    [ { Schedule.site = "store.append"; occurrence = 0; action = Schedule.Crash };
+      { Schedule.site = "bdd.fixpoint"; occurrence = 3;
+        action = Schedule.Delay 2.5 };
+      { Schedule.site = "witness.controller"; occurrence = 1;
+        action = Schedule.Corrupt };
+      { Schedule.site = Schedule.kill_site; occurrence = 2;
+        action = Schedule.Kill } ]
+  in
+  List.iter
+    (fun p ->
+       let s = Schedule.perturbation_to_string p in
+       match Schedule.perturbation_of_string s with
+       | Some q -> Alcotest.(check string) ("roundtrip " ^ s) s
+                     (Schedule.perturbation_to_string q)
+       | None -> Alcotest.fail ("unparsable own output: " ^ s))
+    cases;
+  List.iter
+    (fun bad ->
+       Alcotest.(check bool) ("rejects " ^ bad) true
+         (Schedule.perturbation_of_string bad = None))
+    [ "no-equals"; "site@x=crash"; "site@1=explode"; "@1=crash";
+      "site@-1=crash"; "site@1=delay:-2" ]
+
+let test_schedule_triggers_and_kills () =
+  let schedule =
+    [ { Schedule.site = "store.append"; occurrence = 1; action = Schedule.Crash };
+      { Schedule.site = Schedule.kill_site; occurrence = 2;
+        action = Schedule.Kill };
+      { Schedule.site = "sat.solve"; occurrence = 0;
+        action = Schedule.Delay 0.25 } ]
+  in
+  let triggers = Schedule.triggers schedule in
+  Alcotest.(check int) "kill entries never reach the fault plan" 2
+    (List.length triggers);
+  Alcotest.(check (list int)) "kill indices" [ 2 ] (Schedule.kills schedule);
+  Alcotest.(check bool) "delay budget" true
+    (abs_float (Schedule.delay_budget schedule -. 0.25) < 1e-9)
+
+(* ---------- corpus entry codec ---------- *)
+
+let test_entry_roundtrip () =
+  let w =
+    { (Workload.seed ~kind:Workload.Serve ()) with
+      Workload.deadline = 0.5; grace = 0.25 }
+  in
+  let entry =
+    { Chaos.workload = w;
+      schedule =
+        [ { Schedule.site = "bdd.fixpoint"; occurrence = 1;
+            action = Schedule.Delay 3.0 } ];
+      seed = 7;
+      expect = Chaos.Pass;
+      requires = [ ("serve.preempted", 1) ] }
+  in
+  let text = Chaos.entry_to_string entry in
+  match Chaos.entry_of_string text with
+  | Error e -> Alcotest.fail ("own output unparsable: " ^ e)
+  | Ok back ->
+    Alcotest.(check string) "stable reprint" text (Chaos.entry_to_string back)
+
+let test_entry_rejects_garbage () =
+  List.iter
+    (fun text ->
+       match Chaos.entry_of_string text with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail ("accepted garbage: " ^ text))
+    [ "workload: spaceship\n";
+      "workload: batch\nperturb: nonsense\n";
+      "workload: batch\ntext: orphan line\n";
+      "workload: batch\nexpect: maybe\n";
+      "workload: batch\nrequire: served\n" ]
+
+(* ---------- checkpoint registry ---------- *)
+
+let test_registry_covers_io_sites () =
+  List.iter
+    (fun site ->
+       Alcotest.(check bool) (site ^ " registered") true
+         (Fault.Checkpoint.mem site))
+    [ "store.append"; "store.compact"; "journal.append"; "server.write";
+      "shard.dispatch"; "route.write"; "server.request"; "bdd.fixpoint" ];
+  Alcotest.(check bool) "store.append is corrupt-capable" true
+    (Fault.Checkpoint.corruptible "store.append");
+  Alcotest.(check bool) "journal.append is not corrupt-capable" false
+    (Fault.Checkpoint.corruptible "journal.append");
+  (* registration is idempotent: re-registering must not duplicate *)
+  let before = List.length (Fault.Checkpoint.all ()) in
+  let (_ : string) = Fault.Checkpoint.register "store.append" "dup" in
+  Alcotest.(check int) "idempotent registration" before
+    (List.length (Fault.Checkpoint.all ()))
+
+(* Satellite invariant: no raw I/O path may run without an enclosing
+   fault-checkpoint scope.  Run a full journalled + store-backed batch
+   workload under the strict-I/O lint and demand zero unguarded
+   events; then prove the lint actually bites with a bare event. *)
+let test_strict_io_lint () =
+  Fault.strict_io true;
+  let dir = Workload.temp_dir "speccc_strict_io" in
+  let obs =
+    Fun.protect
+      ~finally:(fun () ->
+        Workload.rm_rf dir;
+        Fault.strict_io false)
+      (fun () -> Workload.run_batch ~dir ~resume:false (Workload.seed ()))
+  in
+  (match obs.Workload.crashed with
+   | Some e -> Alcotest.fail ("strict-io batch run crashed: " ^ e)
+   | None -> ());
+  Alcotest.(check (list (pair string int)))
+    "every I/O path ran inside a fault checkpoint" []
+    (Fault.unguarded_io ());
+  Fault.strict_io true;
+  Fault.io_event "test.bare";
+  let unguarded = Fault.unguarded_io () in
+  Fault.strict_io false;
+  Alcotest.(check (list (pair string int))) "bare I/O event is caught"
+    [ ("test.bare", 1) ] unguarded
+
+(* ---------- minimizer ---------- *)
+
+let test_list_shrinks_ladder () =
+  let shrinks = Speccc_diffcheck.Shrink.list_shrinks [ 1; 2; 3; 4 ] in
+  List.iter
+    (fun candidate ->
+       Alcotest.(check bool) "strictly smaller" true
+         (List.length candidate < 4);
+       List.iter
+         (fun x ->
+            Alcotest.(check bool) "only original elements" true
+              (List.mem x [ 1; 2; 3; 4 ]))
+         candidate)
+    shrinks;
+  Alcotest.(check bool) "halves present" true
+    (List.mem [ 1; 2 ] shrinks && List.mem [ 3; 4 ] shrinks);
+  Alcotest.(check bool) "single deletions present" true
+    (List.mem [ 2; 3; 4 ] shrinks && List.mem [ 1; 2; 3 ] shrinks)
+
+(* ---------- corpus replay ---------- *)
+
+let corpus_dir = "corpus"
+
+let corpus_entries () =
+  if Sys.file_exists corpus_dir && Sys.is_directory corpus_dir then
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".chaos")
+    |> List.sort compare
+  else []
+
+let replay_entry file () =
+  let path = Filename.concat corpus_dir file in
+  match Chaos.load_entry path with
+  | Error e -> Alcotest.fail (file ^ ": " ^ e)
+  | Ok entry -> (
+      match Chaos.replay ~binary entry with
+      | Ok _ -> ()
+      | Error problems ->
+        Alcotest.fail (file ^ ":\n  " ^ String.concat "\n  " problems))
+
+let replay_tests =
+  List.map
+    (fun file ->
+       let speed =
+         match (Chaos.load_entry (Filename.concat corpus_dir file) : _ result) with
+         | Ok e when e.Chaos.workload.Workload.kind = Workload.Batch ->
+           `Quick
+         | _ -> `Slow
+       in
+       Alcotest.test_case ("replay " ^ file) speed (replay_entry file))
+    (corpus_entries ())
+
+let () =
+  Alcotest.run "chaos"
+    [ ("schedule",
+       [ Alcotest.test_case "perturbation codec" `Quick test_schedule_roundtrip;
+         Alcotest.test_case "triggers and kills" `Quick
+           test_schedule_triggers_and_kills ]);
+      ("corpus-format",
+       [ Alcotest.test_case "entry codec" `Quick test_entry_roundtrip;
+         Alcotest.test_case "rejects garbage" `Quick
+           test_entry_rejects_garbage ]);
+      ("registry",
+       [ Alcotest.test_case "io sites registered" `Quick
+           test_registry_covers_io_sites;
+         Alcotest.test_case "strict io lint" `Quick test_strict_io_lint ]);
+      ("minimizer",
+       [ Alcotest.test_case "shrink ladder" `Quick test_list_shrinks_ladder ]);
+      ("corpus", replay_tests) ]

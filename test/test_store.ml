@@ -244,6 +244,63 @@ let test_compaction_drops_dead_records () =
         (Store.stats warm).Store.recovered_bytes;
       Store.close warm)
 
+(* The compaction crash drill the chaos explorer's model assumes: a
+   process SIGKILLed between writing the complete temp log and the
+   atomic rename must leave either the old log or the new one — never
+   a partial file — and the reopen must book zero recovery work.  The
+   kill is landed deterministically by wedging the real [store.compact]
+   checkpoint (announced exactly between the two steps) in a forked
+   child and killing it once the temp log appears on disk. *)
+let test_sigkill_during_compaction () =
+  with_store_path (fun path ->
+      let tmp = path ^ ".compact.tmp" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+        (fun () ->
+           match Unix.fork () with
+           | 0 ->
+             (* child: fill the log with dead records, then compact —
+                the Delay trigger wedges it with the temp log complete
+                and the rename not yet performed *)
+             Fault.install
+               [ { Fault.checkpoint = "store.compact"; after = 0;
+                   action = Fault.Delay 30.0 } ];
+             let store = Store.open_ path in
+             Store.put store ~key:"k1" (result "d1");
+             Store.put store ~key:"k1"
+               (result ~verdict:Speccc_harness.Harness.Inconsistent "d1");
+             Store.put store ~key:"k1" (result "d1");
+             Store.put store ~key:"k2" (result "d2");
+             Store.compact store;
+             Unix._exit 0
+           | child ->
+             let deadline = Unix.gettimeofday () +. 30.0 in
+             while
+               (not (Sys.file_exists tmp))
+               && Unix.gettimeofday () < deadline
+             do
+               Unix.sleepf 0.01
+             done;
+             Alcotest.(check bool) "temp log appeared" true
+               (Sys.file_exists tmp);
+             Unix.kill child Sys.sigkill;
+             ignore (Unix.waitpid [] child);
+             let store = Store.open_ path in
+             let s = Store.stats store in
+             Alcotest.(check int) "every live verdict present" 2 s.Store.live;
+             Alcotest.(check int) "no torn bytes to recover" 0
+               s.Store.recovered_bytes;
+             Alcotest.(check int) "no CRC failures" 0 s.Store.crc_failures;
+             (match Store.find store "k1" with
+              | Some r ->
+                Alcotest.check verdict_testable "k1 kept its latest verdict"
+                  Speccc_harness.Harness.Consistent
+                  r.Speccc_harness.Harness.verdict
+              | None -> Alcotest.fail "k1 lost to the compaction kill");
+             Alcotest.(check bool) "k2 survived" true
+               (Store.find store "k2" <> None);
+             Store.close store))
+
 let test_auto_compaction_at_threshold () =
   with_store_path (fun path ->
       let store = Store.open_ ~compact_threshold:3 path in
@@ -330,6 +387,8 @@ let () =
             test_compaction_drops_dead_records;
           Alcotest.test_case "auto-compaction at threshold" `Quick
             test_auto_compaction_at_threshold;
+          Alcotest.test_case "SIGKILL between temp log and rename" `Quick
+            test_sigkill_during_compaction;
         ] );
       ( "keys",
         [
