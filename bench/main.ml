@@ -477,6 +477,121 @@ let template_bench () =
               f))
     template_families
 
+(* ---------- edit latency (watch sessions) ---------- *)
+
+(* A CARA-sized live document (14 requirements over 9 propositions,
+   consistent throughout) and a script of single-sentence edits, each
+   preserving consistency and producing a document the session has
+   never seen (so the whole-document verdict cache cannot hit — the
+   numbers measure genuine incremental re-checking).  Three walls per
+   edit: the watch session's incremental check, a cold fresh-session
+   check (same decomposed engine, no inherited state), and the stock
+   full pipeline — what every edit used to re-pay. *)
+
+let live_document_items =
+  [
+    ("R1", "If the button is pressed, the pump is started.");
+    ("R2", "If the occlusion is present, the alarm is triggered.");
+    ("R3", "If the pressure is high, the valve is opened.");
+    ("R4", "If the signal is low, the monitor is enabled.");
+    ("R5", "If the button is pressed, the monitor is enabled.");
+    ("R6", "If the occlusion is present, the valve is opened.");
+    ("R7", "If the pressure is high, the alarm is triggered.");
+    ("R8", "If the signal is low, the pump is started.");
+    ("R9", "If the button is pressed, the alarm is triggered.");
+    ("R10", "If the occlusion is present, the pump is started.");
+    ("R11", "If the pressure is high, the monitor is enabled.");
+    ("R12", "If the signal is low, the valve is opened.");
+    ("R13", "When the pump is started, eventually the cuff is inflated.");
+    ("R14", "When the valve is opened, eventually the cuff is inflated.");
+  ]
+
+let live_edit_script =
+  [
+    ("R5", "If the button is pressed, the valve is opened.");
+    ("R9", "If the button is pressed, the cuff is inflated.");
+    ("R11", "If the pressure is high, the pump is started.");
+    ("R12", "If the signal is low, the alarm is triggered.");
+    ("R2", "If the occlusion is present, the monitor is enabled.");
+    ("R7", "If the pressure is high, the cuff is inflated.");
+    ("R4", "If the signal is low, the pump is started.");
+    ("R14", "When the monitor is enabled, eventually the cuff is inflated.");
+    ("R6", "If the occlusion is present, the alarm is triggered.");
+    ("R1", "If the button is pressed, the monitor is enabled.");
+  ]
+
+(* Nearest-rank percentile over seconds. *)
+let percentile p values =
+  match List.sort compare values with
+  | [] -> 0.
+  | sorted ->
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    arr.(max 0 (min (n - 1) (rank - 1)))
+
+let edit_latency_rows ~smoke =
+  let options =
+    { (Pipeline.default_options ()) with
+      Pipeline.engine = Realizability.Explicit }
+  in
+  let doc =
+    List.mapi
+      (fun line (id, text) -> { Document.id; text; line = line + 1 })
+      live_document_items
+  in
+  let session = Watch.create ~options doc in
+  ignore (Watch.check session);
+  let script =
+    if smoke then List.filteri (fun i _ -> i < 4) live_edit_script
+    else live_edit_script
+  in
+  List.map
+    (fun (id, text) ->
+       (match Watch.edit session ~id ~text with
+        | Ok () -> ()
+        | Error message -> failwith ("edit_latency: " ^ message));
+       let live = Watch.check session in
+       let cold = Watch.check_cold ~options (Watch.document session) in
+       if Watch.fingerprint live <> Watch.fingerprint cold then
+         failwith "edit_latency: incremental check diverged from cold";
+       let t0 = Unix.gettimeofday () in
+       let outcome =
+         Pipeline.run_document ~options (Watch.document session)
+       in
+       let pipeline_s = Unix.gettimeofday () -. t0 in
+       (match outcome.Pipeline.report.Realizability.verdict with
+        | Realizability.Consistent -> ()
+        | _ -> failwith "edit_latency: the live document must stay consistent");
+       (id, live.Watch.wall_s, cold.Watch.wall_s, pipeline_s))
+    script
+
+let edit_latency_summary rows =
+  let incr = List.map (fun (_, i, _, _) -> i) rows in
+  let cold = List.map (fun (_, _, c, _) -> c) rows in
+  let pipeline = List.map (fun (_, _, _, p) -> p) rows in
+  ( (percentile 50. incr, percentile 95. incr),
+    (percentile 50. cold, percentile 95. cold),
+    (percentile 50. pipeline, percentile 95. pipeline) )
+
+let edit_latency_bench () =
+  Format.printf "@.== Edit latency (watch sessions) ==@.@.";
+  Format.printf "%-6s %12s %12s %14s@." "edit" "incr(ms)" "cold(ms)"
+    "pipeline(ms)";
+  let rows = edit_latency_rows ~smoke:false in
+  List.iter
+    (fun (id, incr, cold, pipeline) ->
+       Format.printf "%-6s %12.3f %12.3f %14.3f@." id (incr *. 1000.)
+         (cold *. 1000.) (pipeline *. 1000.))
+    rows;
+  let (i50, i95), (c50, c95), (p50, p95) = edit_latency_summary rows in
+  Format.printf "@.p50  incremental %.3fms  cold %.3fms  pipeline %.3fms@."
+    (i50 *. 1000.) (c50 *. 1000.) (p50 *. 1000.);
+  Format.printf "p95  incremental %.3fms  cold %.3fms  pipeline %.3fms@."
+    (i95 *. 1000.) (c95 *. 1000.) (p95 *. 1000.);
+  Format.printf "p95 speedup: %.1fx vs cold session, %.1fx vs full pipeline@."
+    (c95 /. i95) (p95 /. i95)
+
 (* ---------- json trajectory output ----------
 
    Machine-readable perf snapshot for tracking the trajectory across
@@ -536,6 +651,35 @@ let bench_json () =
            (json_escape (verdict_string report.Realizability.verdict)))
       rows
   in
+  let edit_rows = edit_latency_rows ~smoke in
+  let (i50, i95), (c50, c95), (p50, p95) = edit_latency_summary edit_rows in
+  List.iter
+    (fun (id, incr, cold, pipeline) ->
+       Format.printf "edit %-5s incr %8.3fms  cold %8.3fms  pipeline %8.3fms@."
+         id (incr *. 1000.) (cold *. 1000.) (pipeline *. 1000.))
+    edit_rows;
+  let edit_entries =
+    List.map
+      (fun (id, incr, cold, pipeline) ->
+         Printf.sprintf
+           "{\"id\":\"%s\",\"incr_ms\":%.4f,\"cold_ms\":%.4f,\
+            \"pipeline_ms\":%.4f}"
+           (json_escape id) (incr *. 1000.) (cold *. 1000.)
+           (pipeline *. 1000.))
+      edit_rows
+  in
+  let edit_summary =
+    Printf.sprintf
+      "\"sentences\":%d,\"edits\":[%s],\"incr_p50_ms\":%.4f,\
+       \"incr_p95_ms\":%.4f,\"cold_p50_ms\":%.4f,\"cold_p95_ms\":%.4f,\
+       \"pipeline_p50_ms\":%.4f,\"pipeline_p95_ms\":%.4f,\
+       \"speedup_vs_cold_p95\":%.2f,\"speedup_vs_pipeline_p95\":%.2f"
+      (List.length live_document_items)
+      (String.concat "," edit_entries)
+      (i50 *. 1000.) (i95 *. 1000.) (c50 *. 1000.) (c95 *. 1000.)
+      (p50 *. 1000.) (p95 *. 1000.)
+      (c95 /. i95) (p95 /. i95)
+  in
   let cache_entries =
     List.map
       (fun s ->
@@ -554,11 +698,13 @@ let bench_json () =
     "{\"schema\":\"speccc-bench-v1\",\"smoke\":%b,\n\
      \"localize\":[%s],\n\
      \"table1\":[%s],\n\
+     \"edit_latency\":{%s},\n\
      \"caches\":[%s],\n\
      \"hashcons\":{\"nodes\":%d,\"hits\":%d,\"misses\":%d}}\n"
     smoke
     (String.concat "," localize_entries)
     (String.concat "," table1_entries)
+    edit_summary
     (String.concat "," cache_entries)
     h.Ltl.nodes h.Ltl.hc_hits h.Ltl.hc_misses;
   close_out oc;
@@ -571,7 +717,7 @@ let () =
     | _ :: args when args <> [] -> args
     | _ ->
       [ "table1"; "fig1"; "fig2"; "ablations"; "robots"; "localize";
-        "template" ]
+        "template"; "edit" ]
   in
   List.iter
     (fun group ->
@@ -591,6 +737,7 @@ let () =
        | "robots" -> robot_sweep ()
        | "localize" -> localize_bench ()
        | "template" -> template_bench ()
+       | "edit" | "edit-latency" | "edit_latency" -> edit_latency_bench ()
        | "json" -> bench_json ()
        | other -> Format.printf "unknown bench group %S@." other)
     groups

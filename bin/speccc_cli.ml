@@ -5,6 +5,7 @@
      tree        print the syntax tree of one sentence (Fig. 2)
      lint        exact per-requirement sanity checks (SCR-style)
      check       full pipeline: translate, abstract, partition, check
+     watch       incremental re-checking for a live document
      localize    locate the inconsistent requirements (Sec. V-B)
      synth       extract the controller / counterstrategy
      testgen     conformance test suite from the controller
@@ -1638,6 +1639,208 @@ let chaos_cmd =
           $ pairs_arg $ occ_arg $ sites_arg $ max_schedules_arg
           $ corpus_arg $ replay_arg)
 
+(* ---------- watch ---------- *)
+
+(* A long-lived incremental session over one document: re-check on
+   file change (mtime polling) or on JSONL edit commands from stdin,
+   answering one JSONL verdict event per check.  The heavy lifting —
+   per-sentence parse caching, arena-block reuse, warm-started joint
+   fixpoints, localization memoization — lives in
+   [Speccc_core.Watch]. *)
+let watch_cmd =
+  let module J = Speccc_server.Jsonl in
+  let poll_arg =
+    Arg.(value & opt float 0.5
+         & info [ "poll" ]
+           ~doc:"Seconds between file modification-time polls (ignored \
+                 for built-in specifications).")
+  in
+  let emit json =
+    print_string (J.to_string json);
+    print_newline ();
+    flush stdout
+  in
+  let error_event seq message =
+    emit (J.Obj [ ("event", J.Str "error"); ("seq", J.Num (float_of_int seq));
+                  ("message", J.Str message) ])
+  in
+  let verdict_event (checked : Watch.checked) =
+    let report = checked.Watch.outcome.Pipeline.report in
+    let verdict, detail =
+      match report.Realizability.verdict with
+      | Realizability.Consistent -> ("consistent", None)
+      | Realizability.Inconsistent -> ("inconsistent", None)
+      | Realizability.Inconclusive why -> ("inconclusive", Some why)
+    in
+    let reuse = checked.Watch.reuse in
+    emit
+      (J.Obj
+         ([ ("event", J.Str "verdict");
+            ("seq", J.Num (float_of_int checked.Watch.seq));
+            ("verdict", J.Str verdict) ]
+          @ (match detail with
+             | Some why -> [ ("detail", J.Str why) ]
+             | None -> [])
+          @ [ ("engine", J.Str report.Realizability.engine_used);
+              ("wall_ms", J.Num (checked.Watch.wall_s *. 1000.)) ]
+          @ (match checked.Watch.culprit_id with
+             | Some id ->
+               [ ("culprit", J.Str id);
+                 ("partners",
+                  J.Arr
+                    (List.map (fun p -> J.Str p) checked.Watch.partner_ids)) ]
+             | None -> [])
+          @ [ ("reused",
+               J.Obj
+                 [ ("verdict_cached", J.Bool reuse.Watch.verdict_cached);
+                   ("parse_hits", J.Num (float_of_int reuse.Watch.parse_hits));
+                   ("blocks", J.Num (float_of_int reuse.Watch.blocks_reused));
+                   ("solo", J.Num (float_of_int reuse.Watch.solo_reused));
+                   ("invalidated",
+                    J.Num (float_of_int reuse.Watch.invalidated)) ]) ]))
+  in
+  let stats_event session =
+    let c = Watch.counters session in
+    let engine = c.Watch.engine in
+    let num n = J.Num (float_of_int n) in
+    emit
+      (J.Obj
+         [ ("event", J.Str "stats");
+           ("checks", num c.Watch.checks);
+           ("verdict_hits", num c.Watch.verdict_hits);
+           ("blocks_built", num engine.Bounded.built_blocks);
+           ("blocks_reused", num engine.Bounded.reused_blocks);
+           ("solo_solved", num engine.Bounded.solved_solo);
+           ("solo_reused", num engine.Bounded.reused_solo);
+           ("localize_entries", num c.Watch.localize_entries);
+           ("invalidated", num c.Watch.invalidated_total) ])
+  in
+  let run source engine lookahead time_budget poll stats =
+    let options = options_of ~engine ~lookahead ~time_budget () in
+    let session = Watch.create ~options (load_document source) in
+    let is_file = Sys.file_exists source in
+    let mtime () = if is_file then (Unix.stat source).Unix.st_mtime else 0. in
+    let last_mtime = ref (mtime ()) in
+    let seq = ref 0 in
+    let check () =
+      incr seq;
+      match Watch.check session with
+      | checked -> verdict_event checked
+      | exception Speccc_nlp.Parser.Error message ->
+        error_event !seq ("parse error: " ^ message)
+    in
+    (* Stdin is a line protocol; buffer reads ourselves so several
+       commands arriving in one burst are all drained before the next
+       select. *)
+    let pending = Buffer.create 256 in
+    let eof = ref false in
+    let next_line () =
+      let contents = Buffer.contents pending in
+      match String.index_opt contents '\n' with
+      | Some i ->
+        Buffer.clear pending;
+        Buffer.add_string pending
+          (String.sub contents (i + 1) (String.length contents - i - 1));
+        Some (String.sub contents 0 i)
+      | None -> None
+    in
+    let fill () =
+      let chunk = Bytes.create 4096 in
+      match Unix.read Unix.stdin chunk 0 4096 with
+      | 0 -> eof := true
+      | n -> Buffer.add_subbytes pending chunk 0 n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    in
+    let quit = ref false in
+    let on_command line =
+      let trimmed = String.trim line in
+      if trimmed <> "" then
+        match J.parse trimmed with
+        | Error message -> error_event !seq ("bad command: " ^ message)
+        | Ok json ->
+          let id () = J.str_member "id" json in
+          let text () = J.str_member "text" json in
+          (match J.str_member "cmd" json with
+           | Some "edit" ->
+             (match (id (), text ()) with
+              | Some id, Some text ->
+                (match Watch.edit session ~id ~text with
+                 | Ok () -> check ()
+                 | Error message -> error_event !seq message)
+              | _ -> error_event !seq "edit needs \"id\" and \"text\"")
+           | Some "insert" ->
+             (match (id (), text ()) with
+              | Some id, Some text ->
+                let at = J.int_member "at" json in
+                (match Watch.insert ?at session ~id ~text with
+                 | Ok () -> check ()
+                 | Error message -> error_event !seq message)
+              | _ -> error_event !seq "insert needs \"id\" and \"text\"")
+           | Some "delete" ->
+             (match id () with
+              | Some id ->
+                (match Watch.delete session ~id with
+                 | Ok () -> check ()
+                 | Error message -> error_event !seq message)
+              | None -> error_event !seq "delete needs \"id\"")
+           | Some "check" -> check ()
+           | Some "reload" ->
+             if is_file then begin
+               Watch.set_document session (Document.of_file source);
+               last_mtime := mtime ();
+               check ()
+             end
+             else error_event !seq "reload: not watching a file"
+           | Some "stats" -> stats_event session
+           | Some "quit" -> quit := true
+           | Some other -> error_event !seq ("unknown command " ^ other)
+           | None -> error_event !seq "missing \"cmd\"")
+    in
+    check ();
+    while not (!quit || !eof) do
+      (match next_line () with
+       | Some line -> on_command line
+       | None ->
+         let timeout = if is_file then poll else -1. in
+         (match Unix.select [ Unix.stdin ] [] [] timeout with
+          | [ _ ], _, _ -> fill ()
+          | _ ->
+            if is_file then begin
+              let now = mtime () in
+              if now <> !last_mtime then begin
+                last_mtime := now;
+                match Document.of_file source with
+                | document -> Watch.set_document session document; check ()
+                | exception Sys_error message -> error_event !seq message
+              end
+            end
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+    done;
+    if stats then stats_event session
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Incrementally re-check a live document"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Keeps a long-lived checking session over one \
+              specification and re-checks it when it changes — on \
+              file modification (polled), or on JSONL commands from \
+              stdin: {\"cmd\":\"edit\",\"id\":\"R3\",\"text\":\"...\"}, \
+              insert (optional \"at\"), delete, check, reload, stats, \
+              quit.  Each re-check reuses everything an edit did not \
+              touch: sentence parses, the explicit engine's arena \
+              blocks and solo game frontiers (the joint fixpoint \
+              warm-starts next to its previous solution), localization \
+              subset verdicts and whole-document verdicts.  Verdicts \
+              are bit-identical to a cold $(b,speccc check) run.  One \
+              JSONL event per check on stdout.";
+         ])
+    Term.(const run $ spec_arg $ engine_arg $ lookahead_arg
+          $ time_budget_arg $ poll_arg $ stats_arg)
+
 (* Exit codes: 0 consistent / success, 1 inconsistent (or lint /
    monitor findings), 2 unknown or degraded verdict, 3 usage or parse
    error.  Cmdliner reports its own CLI errors as 124; fold them into
@@ -1674,7 +1877,7 @@ let () =
       [ translate_cmd; tree_cmd; check_cmd; batch_cmd; serve_cmd;
         route_cmd; localize_cmd; synth_cmd; lint_cmd; monitor_cmd;
         report_cmd; testgen_cmd; patterns_cmd; table_cmd; fuzz_cmd;
-        chaos_cmd ]
+        chaos_cmd; watch_cmd ]
   in
   (* cmdliner reserves the double dash for long names; accept the
      documented "--n" spelling anyway. *)

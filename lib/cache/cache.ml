@@ -33,7 +33,8 @@ let set_enabled value = Atomic.set enabled_flag value
    localize subset is its own key. *)
 
 let capacities =
-  [ ("nbw.of_ltl", 16384); ("nbw.template", 1024) ]
+  [ ("nbw.of_ltl", 16384); ("nbw.template", 1024); ("nlp.parse", 2048);
+    ("watch.verdict", 128) ]
 
 let capacity ~name ~default =
   match List.assoc_opt name capacities with
@@ -117,6 +118,12 @@ end
 module Int_list_key = struct
   type t = int list
   let equal = List.equal Int.equal
+  let hash = Hashtbl.hash
+end
+
+module String_key = struct
+  type t = string
+  let equal = String.equal
   let hash = Hashtbl.hash
 end
 

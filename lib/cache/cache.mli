@@ -64,6 +64,9 @@ module Int_key : KEY with type t = int
 module Int_list_key : KEY with type t = int list
 (** Sorted id-sets, e.g. conjunction sets in [Localize]. *)
 
+module String_key : KEY with type t = string
+(** Textual keys, e.g. requirement sentences in the parse cache. *)
+
 module Make (K : KEY) : sig
   type 'a t
 

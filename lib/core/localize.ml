@@ -42,20 +42,32 @@ let shrink_partners ~check_indices culprit candidates =
    requirements, not their order or multiplicity, which holds for the
    realizability checkers used here (conjunction is the spec).
 
-   A fresh run must never see a previous run's verdicts — [check]
-   closes over per-document options and partitions — so every run salts
-   its keys with a distinct nonce; the shared bounded cache then needs
-   no per-run registration. *)
+   Within one run the memo is the index-keyed [decided] table.  Cross-
+   run reuse is opt-in via [memo]: a caller that re-localizes the same
+   evolving document (the watch session) passes one memo per session,
+   keyed by formula ids — content-addressed, so an edited sentence
+   gets a fresh id and can never be served a stale verdict.  Earlier
+   revisions salted a *shared* LRU with a per-run nonce instead; every
+   entry it deposited was unreachable by construction (the in-run
+   table already answered every repeat), pure dead weight that evicted
+   live entries.  There is deliberately no shared cache here anymore:
+   without a memo, no state survives the run. *)
 
-module Verdicts = Speccc_cache.Cache.Make (Speccc_cache.Cache.Int_list_key)
+type memo = (int list, bool) Hashtbl.t
 
-let verdicts =
-  Verdicts.create_dls ~name:"localize.verdict"
-    ~capacity:
-      (Speccc_cache.Cache.capacity ~name:"localize.verdict" ~default:512)
-    ()
+let memo () : memo = Hashtbl.create 64
 
-let run_nonce = Atomic.make 0
+let memo_length = Hashtbl.length
+
+let prune_memo memo ~retain =
+  let stale =
+    Hashtbl.fold
+      (fun ids _ acc ->
+         if List.for_all retain ids then acc else ids :: acc)
+      memo []
+  in
+  List.iter (Hashtbl.remove memo) stale;
+  List.length stale
 
 (* ---------- anytime snapshots of the subset lattice ----------
 
@@ -103,12 +115,10 @@ let decode_decided s =
   in
   if ok then Some table else None
 
-let run ?snapshot ~check formulas =
+let run ?snapshot ?memo ~check formulas =
   let formulas_array = Array.of_list formulas in
   let n = Array.length formulas_array in
   let ids = Array.map Ltl.id formulas_array in
-  let nonce = Atomic.fetch_and_add run_nonce 1 in
-  let cache = Domain.DLS.get verdicts in
   (* Seed decided subsets from an armed snapshot: each seeded subset
      is one [check] (and its whole engine ladder) a resumed run never
      pays again.  A count mismatch or decode failure degrades to a
@@ -145,10 +155,18 @@ let run ?snapshot ~check formulas =
     match Hashtbl.find_opt decided sorted with
     | Some verdict -> verdict
     | None ->
-      let key = nonce :: List.map (fun i -> ids.(i)) sorted in
+      let id_key = List.sort Int.compare (List.map (fun i -> ids.(i)) sorted) in
       let verdict =
-        Verdicts.memo cache key
-          (fun () -> check (List.map (fun i -> formulas_array.(i)) indices))
+        match memo with
+        | Some memo when Hashtbl.mem memo id_key -> Hashtbl.find memo id_key
+        | _ ->
+          let verdict =
+            check (List.map (fun i -> formulas_array.(i)) indices)
+          in
+          (match memo with
+           | Some memo -> Hashtbl.replace memo id_key verdict
+           | None -> ());
+          verdict
       in
       Hashtbl.replace decided sorted verdict;
       publish ();

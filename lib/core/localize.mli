@@ -18,8 +18,30 @@ type result = {
           with the culprit *)
 }
 
+type memo
+(** Session-scoped subset-verdict store, keyed by the {e sorted
+    formula-id set} of each checked conjunction — content-addressed,
+    so an edited requirement (fresh hash-cons id) can never be served
+    a stale verdict.  Create one per long-lived session (the watch
+    mode keeps one per document session) and pass it to every {!run}
+    whose [check] closes over the same options; runs without a memo
+    share nothing. *)
+
+val memo : unit -> memo
+
+val memo_length : memo -> int
+(** Number of stored subset verdicts. *)
+
+val prune_memo : memo -> retain:(int -> bool) -> int
+(** Drop every entry mentioning a formula id for which [retain]
+    returns [false]; returns how many entries were dropped.  The watch
+    session calls this after an edit with the surviving document's
+    formula ids, so verdicts about edited-away requirements do not
+    accumulate. *)
+
 val run :
   ?snapshot:Speccc_runtime.Snapshot.slot ->
+  ?memo:memo ->
   check:(Speccc_logic.Ltl.t list -> bool) ->
   Speccc_logic.Ltl.t list ->
   result option
@@ -30,11 +52,15 @@ val run :
     empty partner set.
 
     Within one [run], subset verdicts are memoized by the sorted set
-    of formula ids (cache ["localize.verdict"]), so [check] is invoked
-    at most once per distinct requirement set; it must therefore be
-    deterministic and extensional (order- and duplicate-insensitive),
-    which holds for conjunction-based consistency checks.  Verdicts
-    never leak between runs.
+    of formula indices, so [check] is invoked at most once per
+    distinct requirement set; it must therefore be deterministic and
+    extensional (order- and duplicate-insensitive), which holds for
+    conjunction-based consistency checks.  Verdicts never leak
+    between runs unless the caller passes the same [memo] — then a
+    subset whose formula-id set was decided by an earlier run (e.g.
+    before an unrelated edit) is answered without invoking [check],
+    which must therefore also be stable across those runs (same
+    engine options; the partition is a function of the subset).
 
     [snapshot] makes the run {e anytime}: every decided subset is
     published to the slot (engine ["localize"], decided subsets keyed

@@ -75,6 +75,22 @@ type outcome = {
       (** witness-validation outcome; [None] unless [options.certify] *)
 }
 
+val abstract_times :
+  options ->
+  Speccc_logic.Ltl.t list ->
+  Speccc_logic.Ltl.t list * Speccc_timeabs.Timeabs.solution option
+(** The time-abstraction stage on its own: collect the θ constants,
+    solve for a divisor (per [options.time_budget] /
+    [options.use_smt_abstraction]) and rewrite the formulas.  Exposed
+    for {!Watch}, which re-runs translation and abstraction per edit
+    but owns its own synthesis path. *)
+
+val governed : options -> bool
+(** True when the options route synthesis through the governed ladder
+    ({!Speccc_synthesis.Realizability.check_governed}): any of [fuel],
+    [deadline], [cancel], [skip_engines] or [snapshot] set, or memory
+    pressure above normal. *)
+
 val run : ?options:options -> string list -> outcome
 (** Full pipeline from requirement sentences (positional identifiers;
     equivalent to {!run_document} over {!Document.of_texts}). *)

@@ -53,10 +53,37 @@ let key ?salt (doc : Document.t) =
   key_of_texts ?salt
     (List.map (fun it -> it.Document.id ^ "\x1f" ^ it.Document.text) doc)
 
+(* Everything that changes the *checked formulas* (or which sentences
+   survive to be checked) must be in the salt, or a stored verdict
+   could be served for a semantically different check:
+   - [time_budget] and [use_smt_abstraction] pick the time-abstraction
+     solution, rewriting every timed formula;
+   - the [translate] switches ([next_as_x], [future_as_eventually])
+     change the per-sentence LTL templates;
+   - [recover] decides whether ungrammatical sentences abort the run
+     or are dropped, i.e. which formula set is conjoined.
+   Engine knobs stay out on purpose: [engine], [lookahead], [bound],
+   [fuel], [deadline], [cancel], [skip_engines], [certify] and
+   [snapshot] change how hard the engines try, never which formulas
+   are checked — a definite verdict is a fact about the formulas, and
+   sharing it across engine configurations is the store's point.
+   ([translate.lexicon] and [translate.dictionary] also shape the
+   formulas, but carry no canonical serialization; every production
+   caller uses the defaults, and a caller with a custom lexicon must
+   key its store by construction.) *)
 let salt_of_options (o : Pipeline.options) =
-  match o.Pipeline.time_budget with
-  | None -> "tb=gcd"
-  | Some b -> "tb=" ^ string_of_int b
+  let flag b = if b then "1" else "0" in
+  String.concat ","
+    [
+      (match o.Pipeline.time_budget with
+       | None -> "tb=gcd"
+       | Some b -> "tb=" ^ string_of_int b);
+      "smt=" ^ flag o.Pipeline.use_smt_abstraction;
+      "nx=" ^ flag o.Pipeline.translate.Speccc_translate.Translate.next_as_x;
+      "fe="
+      ^ flag o.Pipeline.translate.Speccc_translate.Translate.future_as_eventually;
+      "rec=" ^ flag o.Pipeline.recover;
+    ]
 
 (* ---------- framing ---------- *)
 

@@ -70,8 +70,11 @@ val key : ?salt:string -> Speccc_core.Document.t -> string
 val salt_of_options : Speccc_core.Pipeline.options -> string
 (** The key salt for the option fields that change the {e checked
     formulas} (and hence possibly the verdict): the time-abstraction
-    budget.  Engine/fuel/deadline/lookahead are excluded on purpose —
-    see the module doc. *)
+    budget and solver choice, the translation template switches, and
+    error recovery (which decides the surviving sentence set).
+    Engine/fuel/deadline/lookahead/bound and the other effort knobs
+    are excluded on purpose — a definite verdict is a fact about the
+    formulas, shared across engine configurations. *)
 
 val open_ :
   ?fsync:bool ->

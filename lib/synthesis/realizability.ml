@@ -87,29 +87,26 @@ let canonical_degradation report =
   |> List.stable_sort (fun a b ->
       compare (rung_rank a.rung_engine) (rung_rank b.rung_engine))
 
-let run_explicit ?budget ~bound ~inputs ~outputs spec =
-  let verdict_of = function
-    | Bounded.Realizable controller ->
-      ( Consistent,
-        Some (emit_controller (Minimize.minimize controller)),
-        None,
-        "controller extracted and minimized" )
-    | Bounded.Unrealizable counterstrategy ->
-      ( Inconsistent,
-        None,
-        Some (emit_counterstrategy counterstrategy),
-        "environment wins the dual game (counterstrategy extracted)" )
-    | Bounded.Unknown k ->
-      ( Inconclusive (Printf.sprintf "counting bound %d exhausted" k),
-        None,
-        None,
-        "no side won within the bound" )
-  in
+let explicit_verdict_of = function
+  | Bounded.Realizable controller ->
+    ( Consistent,
+      Some (emit_controller (Minimize.minimize controller)),
+      None,
+      "controller extracted and minimized" )
+  | Bounded.Unrealizable counterstrategy ->
+    ( Inconsistent,
+      None,
+      Some (emit_counterstrategy counterstrategy),
+      "environment wins the dual game (counterstrategy extracted)" )
+  | Bounded.Unknown k ->
+    ( Inconclusive (Printf.sprintf "counting bound %d exhausted" k),
+      None,
+      None,
+      "no side won within the bound" )
+
+let explicit_report solve =
   let (verdict, controller, counterstrategy, detail), wall_time =
-    with_timer (fun () ->
-        verdict_of
-          (Bounded.solve_iterative ?budget ~max_bound:bound ~inputs ~outputs
-             spec))
+    with_timer (fun () -> explicit_verdict_of (solve ()))
   in
   {
     verdict;
@@ -121,6 +118,18 @@ let run_explicit ?budget ~bound ~inputs ~outputs spec =
     detail;
     degradation = [];
   }
+
+let run_explicit ?budget ~bound ~inputs ~outputs spec =
+  explicit_report (fun () ->
+      Bounded.solve_iterative ?budget ~max_bound:bound ~inputs ~outputs spec)
+
+(* Session-incremental variant: assumption-free requirement lists go
+   through the block-decomposed conjunction solver, which reuses the
+   session's arena blocks and solo frontiers (see {!Bounded}). *)
+let run_explicit_conj ~session ~bound ~inputs ~outputs requirements =
+  explicit_report (fun () ->
+      Bounded.solve_conj_iterative ~session ~max_bound:bound ~inputs ~outputs
+        requirements)
 
 let run_symbolic ?budget ~lookahead ~inputs ~outputs spec =
   let had_liveness = Classify.has_liveness spec in
@@ -257,8 +266,8 @@ let spec_of ~assumptions requirements =
   | _ -> Ltl.implies (Ltl.conj_list assumptions) guarantees
 
 let check ?(engine = Auto) ?(lookahead = 6) ?(bound = 8)
-    ?(explicit_prop_limit = 12) ?(assumptions = []) ~inputs ~outputs
-    requirements =
+    ?(explicit_prop_limit = 12) ?(assumptions = []) ?explicit_session ~inputs
+    ~outputs requirements =
   let spec = spec_of ~assumptions requirements in
   let chosen =
     match engine with
@@ -273,7 +282,13 @@ let check ?(engine = Auto) ?(lookahead = 6) ?(bound = 8)
       else `Symbolic
   in
   match chosen with
-  | `Explicit -> run_explicit ~bound ~inputs ~outputs spec
+  | `Explicit ->
+    (match explicit_session with
+     | Some session when assumptions = [] ->
+       (* With assumptions the spec is an implication, not a plain
+          conjunction — the block decomposition does not apply. *)
+       run_explicit_conj ~session ~bound ~inputs ~outputs requirements
+     | Some _ | None -> run_explicit ~bound ~inputs ~outputs spec)
   | `Symbolic -> run_symbolic ~lookahead ~inputs ~outputs spec
 
 (* ---------- resource-governed checking with a fallback ladder ---------- *)

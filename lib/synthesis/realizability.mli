@@ -94,6 +94,7 @@ val check :
   ?bound:int ->
   ?explicit_prop_limit:int ->
   ?assumptions:Speccc_logic.Ltl.t list ->
+  ?explicit_session:Bounded.session ->
   inputs:string list ->
   outputs:string list ->
   Speccc_logic.Ltl.t list ->
@@ -103,6 +104,15 @@ val check :
     engine), [bound = 8] (maximal counting bound for the explicit
     engine), [explicit_prop_limit = 12] (Auto threshold on
     [|inputs| + |outputs|]).
+
+    [explicit_session] opts assumption-free checks that land on the
+    explicit engine into {!Bounded.solve_conj_iterative}'s session-
+    incremental block decomposition: arena blocks and solo frontiers
+    for unchanged requirement formulas are reused across calls, and
+    verdicts and witnesses are bit-identical to the same call with a
+    fresh session.  Ignored for the symbolic engine and for
+    assumption-carrying checks (the spec is then an implication, not a
+    plain conjunction).
 
     [assumptions] are environment hypotheses [A]: the checked formula
     becomes [(∧A) → (∧requirements)], so the system need only comply

@@ -251,8 +251,33 @@ let of_parsed config texts sentences =
   in
   { requirements; analyses; relations }
 
-let specification config texts =
-  of_parsed config texts (List.map (Parser.sentence config.lexicon) texts)
+(* ---------- per-sentence parse cache ----------
+
+   Parsing is the per-sentence part of the front-end; the semantic
+   analysis (antonym discovery, Algorithm 1) is document-global and is
+   always re-run, so a cached parse tree can never change a
+   translation — [of_parsed] over the same trees is deterministic.
+   The cache is keyed by sentence text alone and therefore owned by
+   the caller (one cache per lexicon/session), not shared globally:
+   two lexicons could parse the same text differently. *)
+
+module Parse_lru = Speccc_cache.Cache.Make (Speccc_cache.Cache.String_key)
+
+type parse_cache = Syntax.sentence Parse_lru.t
+
+let parse_cache () =
+  Parse_lru.create ~name:"nlp.parse"
+    ~capacity:(Speccc_cache.Cache.capacity ~name:"nlp.parse" ~default:2048)
+    ()
+
+let specification ?parse_cache:cache config texts =
+  let parse text =
+    match cache with
+    | None -> Parser.sentence config.lexicon text
+    | Some cache ->
+      Parse_lru.memo cache text (fun () -> Parser.sentence config.lexicon text)
+  in
+  of_parsed config texts (List.map parse texts)
 
 let specification_recover config items =
   let parsed, diagnostics =

@@ -41,11 +41,23 @@ type result = {
   relations : Speccc_nlp.Dependency.relation list;
 }
 
-val specification : config -> string list -> result
+type parse_cache
+(** Bounded per-sentence parse memo (LRU, cache name ["nlp.parse"]),
+    keyed by sentence text.  Parsing is the only per-sentence stage of
+    the front-end — semantic reasoning is document-global and always
+    re-runs — so reusing a tree can never change a translation.  Keys
+    do not include the lexicon: keep one cache per lexicon (the watch
+    session owns one), never share across configs. *)
+
+val parse_cache : unit -> parse_cache
+
+val specification : ?parse_cache:parse_cache -> config -> string list -> result
 (** Translate a list of requirement sentences.  Semantic reasoning is
     performed over the whole specification first (antonym pairs are
     discovered across requirements), then each sentence is translated.
-    Raises {!Speccc_nlp.Parser.Error} on ungrammatical input. *)
+    Raises {!Speccc_nlp.Parser.Error} on ungrammatical input.
+    [parse_cache] reuses parse trees for sentences already seen by the
+    cache — translations are identical with or without it. *)
 
 val specification_recover :
   config ->

@@ -44,6 +44,12 @@ def entries(snapshot):
         points[("table1", row["row"])] = float(row["seconds"])
     for point in snapshot.get("localize", []):
         points[("localize", f"n={point['n']}")] = float(point["seconds"])
+    edit = snapshot.get("edit_latency", {})
+    for field in ("incr_p50_ms", "incr_p95_ms", "cold_p50_ms", "cold_p95_ms"):
+        if field in edit:
+            # per-edit walls are milliseconds; compare in seconds like
+            # every other point so the absolute floor keeps meaning
+            points[("edit_latency", field)] = float(edit[field]) / 1000.0
     return points
 
 

@@ -109,6 +109,61 @@ let test_localize_self_inconsistent () =
     Alcotest.(check (list int)) "no partners needed" []
       result.Localize.partners
 
+let counting_check calls formulas =
+  incr calls;
+  explicit_check formulas
+
+let test_localize_memo_reuses_verdicts () =
+  let calls = ref 0 in
+  let check = counting_check calls in
+  let memo = Localize.memo () in
+  let first = Localize.run ~memo ~check conflicting_formulas in
+  let cold_calls = !calls in
+  Alcotest.(check bool) "localized" true (first <> None);
+  Alcotest.(check bool) "cold run invokes the engine" true (cold_calls > 0);
+  Alcotest.(check bool) "memo holds the decided subsets" true
+    (Localize.memo_length memo > 0);
+  let second = Localize.run ~memo ~check conflicting_formulas in
+  Alcotest.(check bool) "same localization" true (first = second);
+  Alcotest.(check int) "memoized run re-checks nothing" cold_calls !calls
+
+let test_localize_no_cross_run_pollution () =
+  (* Without an explicit memo, verdicts never leak between runs — the
+     second run pays full price.  (The removed shared LRU salted its
+     keys with a per-run nonce, so its entries were dead weight that
+     could never hit; cross-run reuse is now the opt-in [memo].) *)
+  let calls = ref 0 in
+  let check = counting_check calls in
+  ignore (Localize.run ~check conflicting_formulas);
+  let cold_calls = !calls in
+  ignore (Localize.run ~check conflicting_formulas);
+  Alcotest.(check int) "second memo-less run re-checks everything"
+    (2 * cold_calls) !calls;
+  Alcotest.(check bool) "no shared localize LRU is registered" true
+    (not
+       (List.exists
+          (fun s -> s.Speccc_cache.Cache.name = "localize.verdict")
+          (Speccc_cache.Cache.stats ())))
+
+let test_localize_memo_prune () =
+  let memo = Localize.memo () in
+  ignore (Localize.run ~memo ~check:explicit_check conflicting_formulas);
+  let full = Localize.memo_length memo in
+  let keep =
+    List.filteri (fun i _ -> i <> 3) conflicting_formulas
+    |> List.map Ltl.id
+  in
+  let dropped =
+    Localize.prune_memo memo ~retain:(fun id -> List.mem id keep)
+  in
+  Alcotest.(check bool) "entries mentioning the pruned id drop" true
+    (dropped > 0);
+  Alcotest.(check int) "survivors + dropped = all" full
+    (Localize.memo_length memo + dropped);
+  (* a fresh prune with the same retained set is a no-op *)
+  Alcotest.(check int) "prune is idempotent" 0
+    (Localize.prune_memo memo ~retain:(fun id -> List.mem id keep))
+
 (* --- refinement --- *)
 
 let test_refine_partition_fix () =
@@ -431,6 +486,11 @@ let () =
             test_localize_consistent_spec;
           Alcotest.test_case "self-inconsistent requirement" `Quick
             test_localize_self_inconsistent;
+          Alcotest.test_case "memo reuses verdicts across runs" `Quick
+            test_localize_memo_reuses_verdicts;
+          Alcotest.test_case "no cross-run pollution without memo" `Quick
+            test_localize_no_cross_run_pollution;
+          Alcotest.test_case "memo prune" `Quick test_localize_memo_prune;
         ] );
       ( "refine",
         [

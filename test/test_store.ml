@@ -329,18 +329,59 @@ let test_key_content_addressing () =
   Alcotest.(check bool) "salt separates keyspaces" true
     (Store.key ~salt:"tb=3" d1 <> Store.key ~salt:"tb=7" d1)
 
+(* Per-field audit of the salt: every option that changes the checked
+   formulas (and hence possibly the verdict) must feed it; every
+   effort knob — which decides whether a verdict is reached, never
+   which one is true — must not. *)
 let test_salt_of_options () =
   let options = Pipeline.default_options () in
-  let budget n = { options with Pipeline.time_budget = n } in
-  Alcotest.(check bool) "time budget feeds the salt" true
-    (Store.salt_of_options (budget (Some 3))
-     <> Store.salt_of_options (budget (Some 7)));
-  (* engine choice must NOT: it decides whether a verdict is reached,
-     never which one is true *)
-  Alcotest.(check string) "engine choice does not"
-    (Store.salt_of_options options)
-    (Store.salt_of_options
-       { options with Pipeline.skip_engines = [ "symbolic" ] })
+  let base = Store.salt_of_options options in
+  let changes name flipped =
+    Alcotest.(check bool) (name ^ " feeds the salt") true
+      (Store.salt_of_options flipped <> base)
+  in
+  let inert name flipped =
+    Alcotest.(check string) (name ^ " does not feed the salt") base
+      (Store.salt_of_options flipped)
+  in
+  (* formula-changing fields *)
+  changes "time budget" { options with Pipeline.time_budget = Some 7 };
+  changes "time budget None"
+    { options with Pipeline.time_budget = None };
+  changes "smt abstraction"
+    { options with
+      Pipeline.use_smt_abstraction = not options.Pipeline.use_smt_abstraction };
+  changes "next-as-X template"
+    { options with
+      Pipeline.translate =
+        { options.Pipeline.translate with
+          Speccc_translate.Translate.next_as_x =
+            not
+              options.Pipeline.translate
+                .Speccc_translate.Translate.next_as_x } };
+  changes "future-as-eventually template"
+    { options with
+      Pipeline.translate =
+        { options.Pipeline.translate with
+          Speccc_translate.Translate.future_as_eventually =
+            not
+              options.Pipeline.translate
+                .Speccc_translate.Translate.future_as_eventually } };
+  changes "error recovery" { options with Pipeline.recover = true };
+  (* engine/effort knobs *)
+  inert "engine choice"
+    { options with
+      Pipeline.engine = Speccc_synthesis.Realizability.Explicit };
+  inert "lookahead" { options with Pipeline.lookahead = 11 };
+  inert "bound" { options with Pipeline.bound = 2 };
+  inert "fuel" { options with Pipeline.fuel = Some 1234 };
+  inert "deadline" { options with Pipeline.deadline = Some 0.5 };
+  inert "skip engines"
+    { options with Pipeline.skip_engines = [ "symbolic" ] };
+  inert "certify" { options with Pipeline.certify = true };
+  inert "snapshot slot"
+    { options with
+      Pipeline.snapshot = Some (Speccc_runtime.Snapshot.slot ()) }
 
 let test_cacheable () =
   Alcotest.(check bool) "definite fresh" true (Store.cacheable (result "d"));
